@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation bench for the device-model structural choices called out
+ * in DESIGN.md section 5:
+ *  (a) the tAggOFF hammer-recovery time constant (drives Obsv. 16);
+ *  (b) the double-sided RowHammer synergy kappa (drives the SS/DS
+ *      RowHammer gap);
+ *  (c) the RowPress side-asymmetry rho (drives Obsv. 13's crossover);
+ *  (d) the charge-domain direction mapping (drives Obsv. 8);
+ *  (e) the word-correlated threshold clustering (drives the ECC
+ *      multi-bit words of Figs. 25/26).
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printAblation()
+{
+    rpb::printHeader("Model ablations", "DESIGN.md section 5");
+
+    // (b)/(c): sweep kappa and rho, watch the SS vs DS ACmin ratios
+    // in the RowHammer regime (36 ns) and RowPress regime (70.2 us).
+    Table table("kappa/rho ablation: DS/SS mean-ACmin ratio");
+    table.header({"kappa", "rho", "DS/SS @36ns", "DS/SS @70.2us"});
+    for (double kappa : {0.0, 3.0, 8.0}) {
+        for (double rho : {0.0, 0.06, 1.0}) {
+            chr::Module module = rpb::makeModule(device::dieS8GbD(),
+                                                 50.0);
+            auto &params =
+                module.platform().chip().fault().cells().mutableParams();
+            params.kappaDs = kappa;
+            params.rhoWeakSide = rho;
+            module.platform().chip().fault().cells().invalidateCaches();
+
+            auto r36_ss = chr::acminPoint(
+                module, 36_ns, chr::AccessKind::SingleSided);
+            auto r36_ds = chr::acminPoint(
+                module, 36_ns, chr::AccessKind::DoubleSided);
+            auto rp_ss = chr::acminPoint(
+                module, 70200_ns, chr::AccessKind::SingleSided);
+            auto rp_ds = chr::acminPoint(
+                module, 70200_ns, chr::AccessKind::DoubleSided);
+
+            auto ratio = [](double ds, double ss) -> std::string {
+                return (ds > 0 && ss > 0) ? Table::toCell(ds / ss)
+                                          : std::string("-");
+            };
+            table.row({Table::toCell(kappa), Table::toCell(rho),
+                       ratio(r36_ds.meanAcmin(), r36_ss.meanAcmin()),
+                       ratio(rp_ds.meanAcmin(), rp_ss.meanAcmin())});
+        }
+    }
+    table.print();
+    std::printf("Expected: kappa > 0 makes DS RowHammer stronger "
+                "(ratio < 1 at 36 ns); rho < 1\nmakes DS RowPress "
+                "weaker (ratio > 1 at 70.2 us) - the Obsv. 13 "
+                "crossover needs both.\n\n");
+
+    // (a): tauOff ablation via the ONOFF pattern.
+    Table t2("tauOff ablation: SS ONOFF BER at dtA2A=240ns, "
+             "on-frac 0%% vs 100%%");
+    t2.header({"tauOff", "BER @ 0%", "BER @ 100%"});
+    for (Time tau : {50_ns, 500_ns, 5000_ns}) {
+        chr::Module module = rpb::makeModule(device::dieS8GbD(), 50.0);
+        auto &params =
+            module.platform().chip().fault().cells().mutableParams();
+        params.tauOff = tau;
+        module.platform().chip().fault().cells().invalidateCaches();
+        t2.row({formatTime(tau),
+                Table::toCell(chr::onOffBer(
+                    module, 0, chr::AccessKind::SingleSided, 240_ns,
+                    0.0, 1)),
+                Table::toCell(chr::onOffBer(
+                    module, 0, chr::AccessKind::SingleSided, 240_ns,
+                    1.0, 1))});
+    }
+    t2.print();
+    std::printf("Expected: larger tauOff widens the gap between "
+                "max-off and max-on BER\n(Obsv. 16's small-dtA2A "
+                "branch).\n\n");
+
+    // (e): word clustering ablation via the ECC word histogram.
+    Table t3("Word-clustering ablation: words with >2 flips @ "
+             "7.8us SS 80C");
+    t3.header({"sigmaWordP", "words 3-8", "words >8", "max/word"});
+    for (double sw : {0.0, 0.3, 0.6}) {
+        chr::Module module = rpb::makeModule(device::dieS8GbD(), 80.0);
+        auto &params =
+            module.platform().chip().fault().cells().mutableParams();
+        params.sigmaWordP = sw;
+        module.platform().chip().fault().cells().invalidateCaches();
+        auto attempt = chr::maxActivationAttempt(
+            module, 0, chr::AccessKind::SingleSided,
+            chr::DataPattern::CheckerBoard, 7800_ns);
+        auto stats = chr::analyzeWordErrors(attempt.flips);
+        t3.row({Table::toCell(sw), Table::toCell(stats.words3to8),
+                Table::toCell(stats.wordsOver8),
+                Table::toCell(stats.maxFlipsPerWord)});
+    }
+    t3.print();
+    std::printf("Expected: the multi-bit words that defeat SECDED/"
+                "Chipkill require the\nword-correlated threshold "
+                "component.\n\n");
+}
+
+void
+BM_AblationPoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbD(), 50.0);
+    for (auto _ : state) {
+        auto p = chr::acminPoint(module, 36_ns,
+                                 chr::AccessKind::DoubleSided);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_AblationPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAblation();
+    return rpb::runBenchmarkMain(argc, argv);
+}

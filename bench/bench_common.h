@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries.
+ *
+ * Every binary prints the paper-style data series first (scaled-down
+ * defaults; set ROWPRESS_BENCH_LOCATIONS / ROWPRESS_ALL_DIES /
+ * ROWPRESS_BENCH_SCALE to enlarge), then runs its google-benchmark
+ * micro-measurements.
+ */
+
+#ifndef ROWPRESS_BENCH_COMMON_H
+#define ROWPRESS_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/rowpress.h"
+
+namespace rpb {
+
+inline int
+envInt(const char *name, int def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atoi(v) : def;
+}
+
+/** Tested locations per module (paper: 3072 rows; default: 10). */
+inline int
+benchLocations()
+{
+    return envInt("ROWPRESS_BENCH_LOCATIONS", 10);
+}
+
+/** Global effort multiplier for the heavier benches. */
+inline double
+benchScale()
+{
+    const char *v = std::getenv("ROWPRESS_BENCH_SCALE");
+    return v ? std::atof(v) : 1.0;
+}
+
+/** Die set: one representative per manufacturer, or all twelve. */
+inline std::vector<rp::device::DieConfig>
+benchDies()
+{
+    if (envInt("ROWPRESS_ALL_DIES", 0))
+        return rp::device::allDies();
+    return {rp::device::dieS8GbB(), rp::device::dieH16GbA(),
+            rp::device::dieM16GbF()};
+}
+
+inline rp::chr::Module
+makeModule(const rp::device::DieConfig &die, double temp_c,
+           std::uint64_t seed = 1)
+{
+    rp::chr::ModuleConfig cfg;
+    cfg.die = die;
+    cfg.numLocations = benchLocations();
+    cfg.temperatureC = temp_c;
+    cfg.seed = seed;
+    return rp::chr::Module(cfg);
+}
+
+inline std::string
+fmtCount(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+inline void
+printHeader(const char *experiment, const char *paper_ref)
+{
+    std::printf("================================================="
+                "==============\n");
+    std::printf("RowPress reproduction - %s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("================================================="
+                "==============\n");
+}
+
+inline int
+runBenchmarkMain(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace rpb
+
+#endif // ROWPRESS_BENCH_COMMON_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figs. 6 and 7: ACmin as tAggON increases (single-sided, 50 C),
+ * including the log-log trend-line slopes (paper: -1.020 / -1.013 /
+ * -1.013 for Mfrs. S / H / M) and the linear-region reduction rates.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printFig06()
+{
+    rpb::printHeader("Figs. 6/7: ACmin vs tAggON sweep",
+                     "Fig. 6 (log-log), Fig. 7 (linear region)");
+
+    for (const auto &die : rpb::benchDies()) {
+        chr::Module module = rpb::makeModule(die, 50.0);
+        Table table(die.name + " single-sided @ 50C");
+        table.header({"tAggON", "mean ACmin", "min", "max",
+                      "mean*tAggON(ms)"});
+
+        std::vector<double> log_t, log_ac;
+        for (Time t : chr::standardTAggOnSweep()) {
+            auto point = chr::acminPoint(module, t,
+                                         chr::AccessKind::SingleSided);
+            auto s = point.acminSummary();
+            if (s.count == 0) {
+                table.row({formatTime(t), "No Bitflip", "-", "-", "-"});
+                continue;
+            }
+            table.row({formatTime(t), rpb::fmtCount(s.mean),
+                       rpb::fmtCount(s.min), rpb::fmtCount(s.max),
+                       Table::toCell(s.mean * toMs(t))});
+            if (t >= 7800_ns) {
+                log_t.push_back(std::log10(toUs(t)));
+                log_ac.push_back(std::log10(s.mean));
+            }
+        }
+        table.print();
+        const double slope = linearSlope(log_t, log_ac);
+        std::printf("log-log slope for tAggON >= tREFI: %.3f "
+                    "(paper: ~-1.01 to -1.02)\n\n",
+                    slope);
+    }
+}
+
+void
+BM_AcminSweepPoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbB(), 50.0);
+    for (auto _ : state) {
+        auto point = chr::acminPoint(module, 70200_ns,
+                                     chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(point);
+    }
+}
+BENCHMARK(BM_AcminSweepPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig06();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 8: fraction of tested rows with at least one RowPress bitflip
+ * as tAggON increases (single-sided, 50 C).  Obsv. 4: the more
+ * advanced the technology node, the more rows are vulnerable.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printFig08()
+{
+    rpb::printHeader("Fig. 8: fraction of rows with bitflips",
+                     "Fig. 8 (single-sided @ 50C)");
+
+    // Compare die revisions within Mfr. S to show the node-scaling
+    // trend (B -> C -> D), plus one die per other manufacturer.
+    std::vector<device::DieConfig> dies = {
+        device::dieById("S-8Gb-B"), device::dieById("S-8Gb-C"),
+        device::dieById("S-8Gb-D"), device::dieH16GbA(),
+        device::dieM16GbF()};
+    if (rpb::envInt("ROWPRESS_ALL_DIES", 0))
+        dies = device::allDies();
+
+    Table table("Fraction of rows with >=1 bitflip");
+    std::vector<std::string> head = {"tAggON"};
+    for (const auto &d : dies)
+        head.push_back(d.id);
+    table.header(head);
+
+    std::vector<std::vector<double>> columns(dies.size());
+    std::vector<chr::Module> modules;
+    modules.reserve(dies.size());
+    for (const auto &d : dies)
+        modules.push_back(rpb::makeModule(d, 50.0));
+
+    for (Time t : chr::standardTAggOnSweep()) {
+        std::vector<std::string> row = {formatTime(t)};
+        for (std::size_t i = 0; i < dies.size(); ++i) {
+            auto point = chr::acminPoint(modules[i], t,
+                                         chr::AccessKind::SingleSided);
+            row.push_back(Table::toCell(point.fractionFlipped()));
+        }
+        table.row(std::move(row));
+    }
+    table.print();
+    std::printf("\nPaper shape (Obsv. 4): later die revisions (more "
+                "advanced nodes) have\nhigher vulnerable-row fractions; "
+                "S 8Gb D > C > B.\n\n");
+}
+
+void
+BM_RowFractionPoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbD(), 50.0);
+    for (auto _ : state) {
+        auto point = chr::acminPoint(module, 30_ms,
+                                     chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(point);
+    }
+}
+BENCHMARK(BM_RowFractionPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig08();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 9: minimum tAggON to induce at least one bitflip (tAggONmin)
+ * as the activation count grows from 1 to 10 K (single-sided, 50 C).
+ * Obsv. 5: slope ~ -1; Obsv. 6: single-activation flips below 10 ms
+ * exist in the newest dies.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+
+namespace {
+
+void
+printFig09()
+{
+    rpb::printHeader("Fig. 9: tAggONmin vs activation count",
+                     "Fig. 9 (single-sided @ 50C)");
+
+    const std::vector<std::uint64_t> acts = {1, 10, 100, 1000, 10000};
+
+    for (const auto &die : rpb::benchDies()) {
+        chr::Module module = rpb::makeModule(die, 50.0);
+        Table table(die.name);
+        table.header({"AC", "mean tAggONmin", "min", "max",
+                      "AC*mean(ms)"});
+        std::vector<double> lx, ly;
+        for (std::uint64_t ac : acts) {
+            auto point = chr::tAggOnMinPoint(
+                module, ac, chr::AccessKind::SingleSided);
+            auto s = point.summary();
+            if (s.count == 0) {
+                table.row({Table::toCell(ac), "No Bitflip", "-", "-",
+                           "-"});
+                continue;
+            }
+            table.row({Table::toCell(ac),
+                       formatTime(Time(s.mean * double(units::US))),
+                       formatTime(Time(s.min * double(units::US))),
+                       formatTime(Time(s.max * double(units::US))),
+                       Table::toCell(double(ac) * s.mean / 1000.0)});
+            lx.push_back(std::log10(double(ac)));
+            ly.push_back(std::log10(s.mean));
+        }
+        table.print();
+        std::printf("log-log slope: %.3f (paper: -0.999 to -1.000)\n\n",
+                    linearSlope(lx, ly));
+    }
+}
+
+void
+BM_TAggOnMinSearch(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbB(), 50.0);
+    chr::RowLayout layout =
+        chr::makeLayout(chr::AccessKind::SingleSided, 1, 64);
+    for (auto _ : state) {
+        auto res = chr::findTAggOnMin(module.platform(), layout,
+                                      chr::DataPattern::CheckerBoard,
+                                      100);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_TAggOnMinSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig09();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 12: fraction of 1 -> 0 bitflips as tAggON increases.
+ * Obsv. 8: RowHammer and RowPress flip in opposite directions; the
+ * Mfr. M 16Gb E-die inverts the trend (anti-cell layout).
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printFig12()
+{
+    rpb::printHeader("Fig. 12: bitflip direction",
+                     "Fig. 12 (fraction of 1->0 flips, checkerboard)");
+
+    std::vector<device::DieConfig> dies = {
+        device::dieById("S-8Gb-D"), device::dieById("H-16Gb-A"),
+        device::dieById("M-16Gb-F"), device::dieById("M-16Gb-E")};
+    if (rpb::envInt("ROWPRESS_ALL_DIES", 0))
+        dies = device::allDies();
+
+    Table table("Fraction of 1->0 bitflips (single-sided @ 50C)");
+    std::vector<std::string> head = {"tAggON"};
+    for (const auto &d : dies)
+        head.push_back(d.id);
+    table.header(head);
+
+    std::vector<chr::Module> modules;
+    for (const auto &d : dies)
+        modules.push_back(rpb::makeModule(d, 50.0));
+
+    for (Time t : {36_ns, 186_ns, 1536_ns, 7800_ns, 70200_ns, 3_ms,
+                   30_ms}) {
+        std::vector<std::string> row = {formatTime(t)};
+        for (auto &m : modules) {
+            auto point =
+                chr::acminPoint(m, t, chr::AccessKind::SingleSided);
+            row.push_back(point.acminSummary().count
+                              ? Table::toCell(point.fractionOneToZero())
+                              : "No Bitflip");
+        }
+        table.row(std::move(row));
+    }
+    table.print();
+    std::printf("\nPaper shape: RowHammer (36 ns) flips are dominantly "
+                "0->1, RowPress flips\nreach ~100%% 1->0 for S/H dies, "
+                "~75%% for M B/F dies; the M 16Gb E-die trend\nis "
+                "inverted (true-/anti-cell layout).\n\n");
+}
+
+void
+BM_DirectionPoint(benchmark::State &state)
+{
+    chr::Module module =
+        rpb::makeModule(device::dieById("M-16Gb-E"), 50.0);
+    for (auto _ : state) {
+        auto point = chr::acminPoint(module, 7800_ns,
+                                     chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(point.fractionOneToZero());
+    }
+}
+BENCHMARK(BM_DirectionPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig12();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figs. 13 and 14: temperature sensitivity.  ACmin at 80 C normalized
+ * to 50 C (Obsv. 9: RowPress worsens with temperature) and the
+ * fraction of rows with bitflips at 80 C (Obsv. 10).
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printFig13()
+{
+    rpb::printHeader("Figs. 13/14: temperature sensitivity",
+                     "Fig. 13 (ACmin@80C / ACmin@50C), Fig. 14 "
+                     "(row fraction @80C)");
+
+    const std::vector<Time> sweep = {36_ns,    636_ns,   7800_ns,
+                                     70200_ns, 1_ms,     30_ms};
+
+    for (const auto &die : rpb::benchDies()) {
+        chr::Module m50 = rpb::makeModule(die, 50.0);
+        chr::Module m80 = rpb::makeModule(die, 80.0);
+        Table table(die.name);
+        table.header({"tAggON", "ACmin@50C", "ACmin@80C",
+                      "80C/50C ratio", "rows@80C"});
+        for (Time t : sweep) {
+            auto p50 =
+                chr::acminPoint(m50, t, chr::AccessKind::SingleSided);
+            auto p80 =
+                chr::acminPoint(m80, t, chr::AccessKind::SingleSided);
+            const double a50 = p50.meanAcmin();
+            const double a80 = p80.meanAcmin();
+            table.row({formatTime(t),
+                       a50 > 0 ? rpb::fmtCount(a50) : "No Bitflip",
+                       a80 > 0 ? rpb::fmtCount(a80) : "No Bitflip",
+                       (a50 > 0 && a80 > 0)
+                           ? Table::toCell(a80 / a50)
+                           : std::string("-"),
+                       Table::toCell(p80.fractionFlipped())});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Paper shape: the normalized ratio drops well below "
+                "1.0 for RowPress-regime\ntAggON (e.g. 0.32x-0.59x at "
+                "tREFI) while staying near 1.0 for RowHammer;\nrow "
+                "fractions approach 100%% at 80C.\n\n");
+}
+
+void
+BM_TemperaturePoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieH16GbA(), 80.0);
+    for (auto _ : state) {
+        auto point = chr::acminPoint(module, 7800_ns,
+                                     chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(point);
+    }
+}
+BENCHMARK(BM_TemperaturePoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig13();
+    return rpb::runBenchmarkMain(argc, argv);
+}

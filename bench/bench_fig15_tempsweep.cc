@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 15 (and Figs. 46/47): tAggONmin at a single activation as
+ * temperature sweeps from 50 C to 80 C in 5 C steps.  Obsv. 11:
+ * tAggONmin decreases significantly with temperature.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+
+namespace {
+
+void
+printFig15()
+{
+    rpb::printHeader("Fig. 15: tAggONmin @ AC=1 vs temperature",
+                     "Fig. 15 (50-80C, 5C steps, single-sided)");
+
+    const int step = rpb::envInt("ROWPRESS_TEMP_STEP", 5);
+
+    for (const auto &die : rpb::benchDies()) {
+        Table table(die.name + " (tAggONmin in ms, AC = 1)");
+        table.header({"temp(C)", "mean", "min", "max", "flipped-frac"});
+        for (int temp = 50; temp <= 80; temp += step) {
+            chr::Module module = rpb::makeModule(die, double(temp));
+            auto point = chr::tAggOnMinPoint(
+                module, 1, chr::AccessKind::SingleSided);
+            auto s = point.summary();
+            std::size_t flipped = 0;
+            for (const auto &[row, res] : point.locations) {
+                (void)row;
+                flipped += res.flipped ? 1 : 0;
+            }
+            const double frac =
+                double(flipped) / double(point.locations.size());
+            if (s.count == 0) {
+                table.row({Table::toCell(temp), "No Bitflip", "-", "-",
+                           Table::toCell(frac)});
+                continue;
+            }
+            table.row({Table::toCell(temp),
+                       Table::toCell(s.mean / 1000.0),
+                       Table::toCell(s.min / 1000.0),
+                       Table::toCell(s.max / 1000.0),
+                       Table::toCell(frac)});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Paper shape (Obsv. 11): mean tAggONmin shrinks by "
+                "1.6x-2.8x from 50C to 80C\n(largest for Mfr. H).\n\n");
+}
+
+void
+BM_TempSweepPoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieH16GbA(), 65.0);
+    for (auto _ : state) {
+        auto point =
+            chr::tAggOnMinPoint(module, 1, chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(point);
+    }
+}
+BENCHMARK(BM_TempSweepPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig15();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figs. 17, 18, and 48: double-sided RowPress ACmin and the
+ * single-minus-double difference at 50 C and 80 C.  Obsv. 13: beyond
+ * a crossover tAggON, single-sided RowPress becomes more effective
+ * than double-sided (unlike RowHammer).
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+const std::vector<Time> kSweep = {36_ns,   186_ns,  636_ns,  1536_ns,
+                                  7800_ns, 70200_ns, 1_ms,   10_ms};
+
+void
+printFig17()
+{
+    rpb::printHeader("Figs. 17/18: single- vs double-sided RowPress",
+                     "Fig. 17 (DS ACmin @50C), Fig. 18 (SS - DS "
+                     "difference @50C/80C)");
+
+    for (const auto &die : rpb::benchDies()) {
+        for (double temp : {50.0, 80.0}) {
+            chr::Module module = rpb::makeModule(die, temp);
+            Table table(die.name + " @ " + Table::toCell(temp) + "C");
+            table.header({"tAggON", "SS mean ACmin", "DS mean ACmin",
+                          "SS - DS", "more effective"});
+            for (Time t : kSweep) {
+                auto ss = chr::acminPoint(module, t,
+                                          chr::AccessKind::SingleSided);
+                auto ds = chr::acminPoint(module, t,
+                                          chr::AccessKind::DoubleSided);
+                const double a_ss = ss.meanAcmin();
+                const double a_ds = ds.meanAcmin();
+                if (a_ss <= 0 && a_ds <= 0) {
+                    table.row({formatTime(t), "No Bitflip",
+                               "No Bitflip", "-", "-"});
+                    continue;
+                }
+                std::string winner = "-";
+                if (a_ss > 0 && a_ds > 0)
+                    winner = a_ss < a_ds ? "single" : "double";
+                else
+                    winner = a_ss > 0 ? "single" : "double";
+                table.row({formatTime(t),
+                           a_ss > 0 ? rpb::fmtCount(a_ss)
+                                    : std::string("No Bitflip"),
+                           a_ds > 0 ? rpb::fmtCount(a_ds)
+                                    : std::string("No Bitflip"),
+                           (a_ss > 0 && a_ds > 0)
+                               ? Table::toCell(a_ss - a_ds)
+                               : std::string("-"),
+                           winner});
+            }
+            table.print();
+            std::printf("\n");
+        }
+    }
+    std::printf("Paper shape (Obsv. 13): double-sided wins at small "
+                "tAggON (RowHammer regime);\nsingle-sided needs fewer "
+                "total activations once tAggON grows past the\n"
+                "crossover (~1.5 us at 50C, earlier at 80C).\n\n");
+}
+
+void
+BM_DoubleSidedSearch(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbB(), 50.0);
+    chr::RowLayout layout =
+        chr::makeLayout(chr::AccessKind::DoubleSided, 1, 64);
+    for (auto _ : state) {
+        auto res = chr::findAcmin(module.platform(), layout,
+                                  chr::DataPattern::CheckerBoard,
+                                  7800_ns);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_DoubleSidedSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig17();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figs. 19 and 20: data-pattern sensitivity.  Mean ACmin of each data
+ * pattern normalized to the checkerboard pattern across representative
+ * tAggON values, at 50 C and 80 C, single- and double-sided.
+ * Obsv. 14/15: checkerboard is the most robustly effective RowPress
+ * pattern; RowStripe (the best RowHammer pattern) stops producing any
+ * bitflip at long tAggON.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+
+namespace {
+
+void
+printPatternTable(const device::DieConfig &die, chr::AccessKind kind,
+                  double temp)
+{
+    chr::Module module = rpb::makeModule(die, temp);
+
+    Table table(die.name + " " + chr::accessKindName(kind) + " @ " +
+                Table::toCell(temp) + "C (ACmin normalized to CB)");
+    std::vector<std::string> head = {"pattern"};
+    for (Time t : chr::dataPatternTAggOnSweep())
+        head.push_back(formatTime(t));
+    table.header(head);
+
+    // Baseline: checkerboard means per tAggON.
+    std::vector<double> cb_means;
+    for (Time t : chr::dataPatternTAggOnSweep()) {
+        auto p = chr::acminPoint(module, t, kind,
+                                 chr::DataPattern::CheckerBoard);
+        cb_means.push_back(p.meanAcmin());
+    }
+
+    for (auto pattern : chr::allDataPatterns()) {
+        std::vector<std::string> row = {chr::dataPatternName(pattern)};
+        std::size_t i = 0;
+        for (Time t : chr::dataPatternTAggOnSweep()) {
+            auto p = chr::acminPoint(module, t, kind, pattern);
+            const double mean = p.meanAcmin();
+            if (mean <= 0)
+                row.push_back("NoFlip");
+            else if (cb_means[i] <= 0)
+                row.push_back("CB-NoFlip");
+            else
+                row.push_back(Table::toCell(mean / cb_means[i]));
+            ++i;
+        }
+        table.row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+}
+
+void
+printFig19()
+{
+    rpb::printHeader("Figs. 19/20: data-pattern sensitivity",
+                     "Fig. 19 (single-sided), Fig. 20 (double-sided, "
+                     "S 8Gb B)");
+
+    // Default: the paper's three representative dies at 50C plus the
+    // S 8Gb B-die's 80C and double-sided variants; ROWPRESS_ALL_DIES=1
+    // adds the 80C column for all dies.
+    const bool all = rpb::envInt("ROWPRESS_ALL_DIES", 0);
+    std::vector<device::DieConfig> dies = {device::dieS8GbB(),
+                                           device::dieH16GbA(),
+                                           device::dieM16GbF()};
+    for (const auto &die : dies) {
+        printPatternTable(die, chr::AccessKind::SingleSided, 50.0);
+        if (all || die.id == "S-8Gb-B")
+            printPatternTable(die, chr::AccessKind::SingleSided, 80.0);
+    }
+    // Fig. 20: double-sided for the S 8Gb B-die.
+    printPatternTable(device::dieS8GbB(), chr::AccessKind::DoubleSided,
+                      50.0);
+
+    std::printf("Paper shape: RS/RSI (victim rows all-0/all-1) stop "
+                "flipping at long tAggON\n(RowPress can only drain "
+                "charged victim cells); CB always flips; values\nnear "
+                "1.00 elsewhere with modest pattern effects.\n\n");
+}
+
+void
+BM_DataPatternPoint(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbB(), 50.0);
+    for (auto _ : state) {
+        auto p = chr::acminPoint(module, 7800_ns,
+                                 chr::AccessKind::SingleSided,
+                                 chr::DataPattern::ColStripeI);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_DataPatternPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig19();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 22 (and appendix Figs. 27-37): BER of the RowPress-ONOFF
+ * pattern, sweeping the ACT-to-ACT slack (delta tA2A) and the fraction
+ * of the slack that contributes to tAggON, single- and double-sided,
+ * at 50 C and 80 C.  Obsv. 16-18.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printOnOff(const device::DieConfig &die)
+{
+    const std::vector<Time> deltas = {240_ns, 600_ns, 1200_ns, 2400_ns,
+                                      6000_ns};
+    const std::vector<double> fracs = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    for (auto kind : {chr::AccessKind::SingleSided,
+                      chr::AccessKind::DoubleSided}) {
+        for (double temp : {50.0, 80.0}) {
+            chr::Module module = rpb::makeModule(die, temp);
+            Table table(die.name + " " + chr::accessKindName(kind) +
+                        " @ " + Table::toCell(temp) +
+                        "C (max BER over victims)");
+            std::vector<std::string> head = {"dtA2A \\ on-frac"};
+            for (double f : fracs)
+                head.push_back(Table::toCell(f * 100.0) + "%");
+            table.header(head);
+            for (Time d : deltas) {
+                std::vector<std::string> row = {formatTime(d)};
+                for (double f : fracs)
+                    row.push_back(Table::toCell(
+                        chr::onOffBer(module, 0, kind, d, f, 2)));
+                table.row(std::move(row));
+            }
+            table.print();
+            std::printf("\n");
+        }
+    }
+}
+
+void
+printFig22()
+{
+    rpb::printHeader("Fig. 22: RowPress-ONOFF pattern BER",
+                     "Fig. 22 (S 8Gb D-die; Figs. 27-37 for the rest "
+                     "with ROWPRESS_ALL_DIES=1)");
+
+    if (rpb::envInt("ROWPRESS_ALL_DIES", 0)) {
+        for (const auto &die : device::allDies())
+            printOnOff(die);
+    } else {
+        printOnOff(device::dieS8GbD());
+    }
+
+    std::printf("Paper shape (Obsv. 16-18): single-sided BER falls "
+                "with on-fraction at small\ndtA2A but rises at large "
+                "dtA2A; temperature amplifies the large-dtA2A, "
+                "high-on\ncorner; double-sided BER rises with "
+                "on-fraction for every dtA2A.\n\n");
+}
+
+void
+BM_OnOffBer(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbD(), 50.0);
+    for (auto _ : state) {
+        double ber = chr::onOffBer(module, 0,
+                                   chr::AccessKind::SingleSided,
+                                   2400_ns, 0.75, 1);
+        benchmark::DoNotOptimize(ber);
+    }
+}
+BENCHMARK(BM_OnOffBer)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig22();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 24: verification that accessing consecutive cache blocks of a
+ * DRAM row keeps the row open - latency histogram of the first vs the
+ * remaining cache-block accesses (the paper reports a ~30-cycle
+ * median gap on the i5-10400 system).
+ */
+
+#include "bench_common.h"
+
+using namespace rp;
+
+namespace {
+
+void
+printFig24()
+{
+    rpb::printHeader("Fig. 24: row-open-time verification probe",
+                     "Fig. 24 (latency histogram, 100K trials)");
+
+    const int trials =
+        std::max(2000, int(50000 * rpb::benchScale()));
+    auto probe = sys::rowOpenLatencyProbe(trials);
+
+    std::printf("Access to FIRST cache block (row must be "
+                "activated):\n%s\n",
+                probe.first.render(46).c_str());
+    std::printf("Subsequent accesses to remaining cache blocks (row "
+                "open):\n%s\n",
+                probe.rest.render(46).c_str());
+    std::printf("median first  = %.1f cycles\n",
+                probe.medianFirstCycles);
+    std::printf("median rest   = %.1f cycles\n", probe.medianRestCycles);
+    std::printf("median gap    = %.1f cycles (paper: ~30 cycles)\n\n",
+                probe.medianFirstCycles - probe.medianRestCycles);
+}
+
+void
+BM_LatencyProbe(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto probe = sys::rowOpenLatencyProbe(1000);
+        benchmark::DoNotOptimize(probe);
+    }
+}
+BENCHMARK(BM_LatencyProbe)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig24();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figs. 46-48 (Appendix F): 65 C results - ACmin at 65 C normalized
+ * to 50 C, ACmin at 80 C normalized to 65 C, and the single-minus-
+ * double-sided difference across all three temperatures.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+const std::vector<Time> kSweep = {36_ns, 636_ns, 7800_ns, 70200_ns,
+                                  1_ms, 30_ms};
+
+void
+printFig46()
+{
+    rpb::printHeader("Figs. 46-48: 65C temperature step",
+                     "Appendix F (normalized ACmin at 65C and 80C)");
+
+    for (const auto &die : rpb::benchDies()) {
+        chr::Module m50 = rpb::makeModule(die, 50.0);
+        chr::Module m65 = rpb::makeModule(die, 65.0);
+        chr::Module m80 = rpb::makeModule(die, 80.0);
+
+        Table table(die.name + " (single-sided mean ACmin ratios)");
+        table.header({"tAggON", "65C/50C", "80C/65C", "SS-DS@65C"});
+        for (Time t : kSweep) {
+            auto p50 =
+                chr::acminPoint(m50, t, chr::AccessKind::SingleSided);
+            auto p65 =
+                chr::acminPoint(m65, t, chr::AccessKind::SingleSided);
+            auto p80 =
+                chr::acminPoint(m80, t, chr::AccessKind::SingleSided);
+            auto d65 =
+                chr::acminPoint(m65, t, chr::AccessKind::DoubleSided);
+
+            auto ratio = [](double num, double den) -> std::string {
+                return (num > 0 && den > 0) ? Table::toCell(num / den)
+                                            : std::string("-");
+            };
+            std::string diff = "-";
+            if (p65.meanAcmin() > 0 && d65.meanAcmin() > 0)
+                diff = Table::toCell(p65.meanAcmin() -
+                                     d65.meanAcmin());
+            table.row({formatTime(t),
+                       ratio(p65.meanAcmin(), p50.meanAcmin()),
+                       ratio(p80.meanAcmin(), p65.meanAcmin()), diff});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Paper shape: ACmin shrinks consistently at each "
+                "temperature step for\nRowPress-regime tAggON; the "
+                "single-sided advantage at long tAggON holds\nat 65C "
+                "as well.\n\n");
+}
+
+void
+BM_Temp65Point(benchmark::State &state)
+{
+    chr::Module module = rpb::makeModule(device::dieS8GbB(), 65.0);
+    for (auto _ : state) {
+        auto p = chr::acminPoint(module, 7800_ns,
+                                 chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_Temp65Point)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig46();
+    return rpb::runBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tables 5 and 6: per-die-revision summary of RowHammer and RowPress
+ * vulnerabilities - ACmin at representative tAggON values, tAggONmin
+ * at AC = 1 and AC = 10K, and maximum BER - at 50 C and 80 C.
+ */
+
+#include "bench_common.h"
+
+#include "common/table.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+void
+printTable5()
+{
+    rpb::printHeader("Tables 5/6: module summary",
+                     "Table 5 (ACmin / tAggONmin), Table 6 (max BER); "
+                     "all 12 dies with ROWPRESS_ALL_DIES=1");
+
+    auto dies = rpb::benchDies();
+
+    Table t5("Table 5 analogue: ACmin (mean) and tAggONmin (mean)");
+    t5.header({"die", "AC@36ns 50C", "AC@7.8us 50C", "AC@70.2us 50C",
+               "AC@7.8us 80C", "tOnMin@AC=1 50C", "tOnMin@AC=1 80C"});
+
+    Table t6("Table 6 analogue: max BER @ max activation count (SS)");
+    t6.header({"die", "BER@36ns 50C", "BER@7.8us 50C",
+               "BER@7.8us 80C"});
+
+    for (const auto &die : dies) {
+        chr::Module m50 = rpb::makeModule(die, 50.0);
+        chr::Module m80 = rpb::makeModule(die, 80.0);
+
+        auto cell = [&](chr::Module &m, Time t) -> std::string {
+            // Table 5 reports the stronger of SS and DS.
+            auto ss =
+                chr::acminPoint(m, t, chr::AccessKind::SingleSided);
+            auto ds =
+                chr::acminPoint(m, t, chr::AccessKind::DoubleSided);
+            double best = 0.0;
+            if (ss.meanAcmin() > 0)
+                best = ss.meanAcmin();
+            if (ds.meanAcmin() > 0)
+                best = best > 0 ? std::min(best, ds.meanAcmin())
+                                : ds.meanAcmin();
+            return best > 0 ? rpb::fmtCount(best)
+                            : std::string("No Bitflip");
+        };
+        auto ton = [&](chr::Module &m) -> std::string {
+            auto p =
+                chr::tAggOnMinPoint(m, 1, chr::AccessKind::SingleSided);
+            auto s = p.summary();
+            return s.count
+                       ? formatTime(Time(s.mean * double(units::US)))
+                       : std::string("No Bitflip");
+        };
+
+        t5.row({die.id, cell(m50, 36_ns), cell(m50, 7800_ns),
+                cell(m50, 70200_ns), cell(m80, 7800_ns), ton(m50),
+                ton(m80)});
+
+        auto ber = [&](chr::Module &m, Time t) {
+            auto attempt = chr::maxActivationAttempt(
+                m, 0, chr::AccessKind::SingleSided,
+                chr::DataPattern::CheckerBoard, t);
+            return Table::toCell(double(attempt.flips.size()) /
+                                 double(chr::bitsPerRow(m)));
+        };
+        t6.row({die.id, ber(m50, 36_ns), ber(m50, 7800_ns),
+                ber(m80, 7800_ns)});
+    }
+    t5.print();
+    std::printf("\n");
+    t6.print();
+    std::printf("\nCompare against the calibration targets recorded in "
+                "device/die_config.cc\n(transcribed from paper Tables "
+                "5/6).\n\n");
+}
+
+void
+BM_SummaryDie(benchmark::State &state)
+{
+    for (auto _ : state) {
+        chr::Module m = rpb::makeModule(device::dieM16GbF(), 50.0);
+        auto p =
+            chr::acminPoint(m, 7800_ns, chr::AccessKind::SingleSided);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_SummaryDie)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable5();
+    return rpb::runBenchmarkMain(argc, argv);
+}

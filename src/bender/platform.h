@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DRAM-Bender-equivalent test platform.
+ *
+ * Executes command-level test programs against a device::Chip while
+ * enforcing DDR4 bank timings and the command-bus granularity of the
+ * paper's FPGA infrastructure (one command per 1.5 ns).  Plays the
+ * role of the Alveo U200 + DRAM Bender + heater/PID-controller rig of
+ * paper Fig. 4:
+ *
+ *  - programs run with auto-refresh disabled (interference-source
+ *    isolation, section 3.1) unless REF commands are issued explicitly;
+ *  - a temperature-controller model holds the chip at a target
+ *    temperature;
+ *  - counted loops are fast-forwarded analytically once they reach
+ *    steady state (dose accumulation per iteration is constant), so
+ *    ACmin searches over millions of activations run in microseconds
+ *    of host time while producing the same dose state as a concrete
+ *    command-by-command execution.
+ */
+
+#ifndef ROWPRESS_BENDER_PLATFORM_H
+#define ROWPRESS_BENDER_PLATFORM_H
+
+#include <memory>
+#include <vector>
+
+#include "bender/program.h"
+#include "device/chip.h"
+#include "dram/address.h"
+
+namespace rp::bender {
+
+/** Platform construction parameters. */
+struct PlatformConfig
+{
+    device::DieConfig die;
+    dram::Organization org;
+    dram::TimingParams timing = dram::benderTiming();
+    std::uint64_t seed = 0x5AFA21;
+    Time cmdGap = 1500;             ///< Command bus granularity (ps).
+    double temperatureC = 50.0;
+    /** Loops at least this long are eligible for fast-forwarding. */
+    std::uint64_t fastForwardThreshold = 8;
+};
+
+/** The FPGA-based testing infrastructure model. */
+class TestPlatform
+{
+  public:
+    explicit TestPlatform(PlatformConfig cfg);
+
+    device::Chip &chip() { return *chip_; }
+    const device::Chip &chip() const { return *chip_; }
+    const dram::TimingParams &timing() const { return cfg_.timing; }
+    const dram::Organization &org() const { return cfg_.org; }
+    Time cmdGap() const { return cfg_.cmdGap; }
+
+    /** Temperature controller (instantaneous settling model). */
+    void setTemperature(double temp_c);
+    double temperature() const { return chip_->temperature(); }
+
+    /** Current command-bus time. */
+    Time now() const { return nextFree_; }
+
+    /**
+     * Execute @p program; returns the elapsed command-bus time.  The
+     * paper's methodology requires every test program to finish within
+     * 60 ms (strictly inside the 64 ms refresh window).
+     */
+    Time run(const Program &program);
+
+    // --- convenience wrappers for harness code ---
+
+    /** Fill a row with a pattern byte (functional write + restore). */
+    void fillRow(int bank, int row, std::uint8_t fill);
+
+    /** Materialize and return the bitflips of a row. */
+    std::vector<device::FlipRecord>
+    checkRow(int bank, int row, bool full_scan = false);
+
+  private:
+    void execNodes(const std::vector<ProgramNode> &nodes);
+    void execCmd(const ProgramNode &n);
+    void execLoop(const ProgramNode &n);
+
+    static bool containsRef(const std::vector<ProgramNode> &nodes);
+    static void collectActRows(const std::vector<ProgramNode> &nodes,
+                               std::vector<std::pair<int, int>> &out);
+
+    PlatformConfig cfg_;
+    std::unique_ptr<device::Chip> chip_;
+
+    Time nextFree_ = 0;     ///< Earliest time the command bus is free.
+    Time lastIssue_ = 0;    ///< Issue time of the last command.
+};
+
+} // namespace rp::bender
+
+#endif // ROWPRESS_BENDER_PLATFORM_H

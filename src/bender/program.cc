@@ -1,0 +1,123 @@
+#include "bender/program.h"
+
+namespace rp::bender {
+
+Program &
+Program::act(int bank, int row)
+{
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Cmd;
+    n.cmd = dram::Command::ACT;
+    n.bank = bank;
+    n.row = row;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::pre(int bank)
+{
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Cmd;
+    n.cmd = dram::Command::PRE;
+    n.bank = bank;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::rd(int bank, int column)
+{
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Cmd;
+    n.cmd = dram::Command::RD;
+    n.bank = bank;
+    n.column = column;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::wr(int bank, int column)
+{
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Cmd;
+    n.cmd = dram::Command::WR;
+    n.bank = bank;
+    n.column = column;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::ref()
+{
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Cmd;
+    n.cmd = dram::Command::REF;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::wait(Time duration)
+{
+    if (duration <= 0)
+        return *this;
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Wait;
+    n.duration = duration;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::loop(std::uint64_t count, const Program &body)
+{
+    if (count == 0 || body.empty())
+        return *this;
+    ProgramNode n;
+    n.kind = ProgramNode::Kind::Loop;
+    n.count = count;
+    n.body = body.nodes_;
+    nodes_.push_back(n);
+    return *this;
+}
+
+Program &
+Program::append(const Program &other)
+{
+    nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+    return *this;
+}
+
+namespace {
+
+std::uint64_t
+countNodes(const std::vector<ProgramNode> &nodes)
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes) {
+        switch (n.kind) {
+          case ProgramNode::Kind::Cmd:
+            ++total;
+            break;
+          case ProgramNode::Kind::Wait:
+            break;
+          case ProgramNode::Kind::Loop:
+            total += n.count * countNodes(n.body);
+            break;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+Program::commandCount() const
+{
+    return countNodes(nodes_);
+}
+
+} // namespace rp::bender

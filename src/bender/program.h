@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Command-level DRAM test programs, DRAM-Bender style.
+ *
+ * A Program is a sequence of timed DRAM commands plus counted loops.
+ * The builder API mirrors how the paper's characterization programs
+ * are written against DRAM Bender / SoftMC: issue ACT, hold the row
+ * open for an exact tAggON using a timed wait, PRE, wait tRP, repeat N
+ * times.
+ *
+ * Loops carry explicit trip counts so the executing platform can
+ * fast-forward steady-state iterations analytically (dose accumulation
+ * is linear and time-invariant once the loop reaches steady state),
+ * which is what makes ACmin bisection searches over millions of
+ * activations tractable.
+ */
+
+#ifndef ROWPRESS_BENDER_PROGRAM_H
+#define ROWPRESS_BENDER_PROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/command.h"
+
+namespace rp::bender {
+
+/** One node of a test program: a command or a counted loop. */
+struct ProgramNode
+{
+    enum class Kind
+    {
+        Cmd,
+        Wait,
+        Loop,
+    };
+
+    Kind kind = Kind::Cmd;
+
+    // Kind::Cmd
+    dram::Command cmd = dram::Command::NOP;
+    int bank = 0;
+    int row = 0;
+    int column = 0;
+
+    // Kind::Wait
+    Time duration = 0;
+
+    // Kind::Loop
+    std::uint64_t count = 0;
+    std::vector<ProgramNode> body;
+};
+
+/** Builder for command-level test programs. */
+class Program
+{
+  public:
+    Program &act(int bank, int row);
+    Program &pre(int bank);
+    Program &rd(int bank, int column);
+    Program &wr(int bank, int column);
+    Program &ref();
+
+    /** Timed wait: advance the command clock by @p duration. */
+    Program &wait(Time duration);
+
+    /** Append @p body repeated @p count times. */
+    Program &loop(std::uint64_t count, const Program &body);
+
+    /** Append all of @p other once. */
+    Program &append(const Program &other);
+
+    const std::vector<ProgramNode> &nodes() const { return nodes_; }
+    bool empty() const { return nodes_.empty(); }
+    void clear() { nodes_.clear(); }
+
+    /** Total number of commands, with loops expanded. */
+    std::uint64_t commandCount() const;
+
+  private:
+    std::vector<ProgramNode> nodes_;
+};
+
+} // namespace rp::bender
+
+#endif // ROWPRESS_BENDER_PROGRAM_H

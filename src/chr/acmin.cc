@@ -1,0 +1,132 @@
+#include "chr/acmin.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rp::chr {
+
+namespace {
+
+AttemptResult
+collectVictims(bender::TestPlatform &platform, const RowLayout &layout,
+               bool full_scan, Time elapsed)
+{
+    AttemptResult res;
+    res.elapsed = elapsed;
+    for (int victim : layout.victims) {
+        auto flips = platform.checkRow(layout.bank, victim, full_scan);
+        for (const auto &f : flips)
+            res.flips.push_back({victim, f});
+    }
+    return res;
+}
+
+} // namespace
+
+AttemptResult
+runPressAttempt(bender::TestPlatform &platform, const RowLayout &layout,
+                DataPattern pattern, Time t_agg_on,
+                std::uint64_t total_acts, bool full_scan)
+{
+    initLayout(platform, layout, pattern);
+    auto program = makePressProgram(layout, t_agg_on, total_acts,
+                                    platform.timing());
+    const Time elapsed = platform.run(program);
+    return collectVictims(platform, layout, full_scan, elapsed);
+}
+
+AttemptResult
+runOnOffAttempt(bender::TestPlatform &platform, const RowLayout &layout,
+                DataPattern pattern, Time t_agg_on, Time t_agg_off,
+                std::uint64_t total_acts, bool full_scan)
+{
+    initLayout(platform, layout, pattern);
+    auto program = makeOnOffProgram(layout, t_agg_on, t_agg_off,
+                                    total_acts, platform.timing());
+    const Time elapsed = platform.run(program);
+    return collectVictims(platform, layout, full_scan, elapsed);
+}
+
+AcminResult
+findAcmin(bender::TestPlatform &platform, const RowLayout &layout,
+          DataPattern pattern, Time t_agg_on, const SearchConfig &cfg)
+{
+    const std::uint64_t max_acts = maxActsWithinBudget(
+        t_agg_on, platform.timing(), platform.cmdGap(), cfg.budget);
+    if (max_acts == 0)
+        return {};
+
+    AcminResult best;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+        auto probe = runPressAttempt(platform, layout, pattern, t_agg_on,
+                                     max_acts);
+        if (!probe.any())
+            continue;
+
+        std::uint64_t lo = 0;
+        std::uint64_t hi = max_acts;
+        std::vector<VictimFlip> hi_flips = std::move(probe.flips);
+        while (hi - lo > std::max<std::uint64_t>(
+                             1, std::uint64_t(cfg.accuracy * double(hi)))) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            auto attempt = runPressAttempt(platform, layout, pattern,
+                                           t_agg_on, mid);
+            if (attempt.any()) {
+                hi = mid;
+                hi_flips = std::move(attempt.flips);
+            } else {
+                lo = mid;
+            }
+        }
+        if (!best.flipped || hi < best.acmin) {
+            best.flipped = true;
+            best.acmin = hi;
+            best.flips = std::move(hi_flips);
+        }
+    }
+    return best;
+}
+
+TAggOnMinResult
+findTAggOnMin(bender::TestPlatform &platform, const RowLayout &layout,
+              DataPattern pattern, std::uint64_t total_acts,
+              const SearchConfig &cfg)
+{
+    const auto &timing = platform.timing();
+    // The largest per-activation on-time that keeps the whole program
+    // within the budget.
+    const Time overhead =
+        pressActPeriod(0, timing, platform.cmdGap());
+    const Time max_on = cfg.budget / Time(total_acts) - overhead;
+    if (max_on <= timing.tRAS)
+        return {};
+
+    TAggOnMinResult best;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+        auto probe = runPressAttempt(platform, layout, pattern, max_on,
+                                     total_acts);
+        if (!probe.any())
+            continue;
+
+        Time lo = timing.tRAS;
+        Time hi = max_on;
+        while (hi - lo > std::max<Time>(Time(units::NS),
+                                        Time(cfg.accuracy * double(hi)))) {
+            const Time mid = lo + (hi - lo) / 2;
+            auto attempt = runPressAttempt(platform, layout, pattern, mid,
+                                           total_acts);
+            if (attempt.any())
+                hi = mid;
+            else
+                lo = mid;
+        }
+        if (!best.flipped || hi < best.tAggOnMin) {
+            best.flipped = true;
+            best.tAggOnMin = hi;
+        }
+    }
+    return best;
+}
+
+} // namespace rp::chr

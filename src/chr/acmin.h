@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ACmin and tAggONmin search algorithms (paper section 4.1).
+ *
+ * ACmin is found with the paper's modified bisection method: start
+ * from the maximum activation count that fits the 60 ms experiment
+ * budget (strictly inside the 64 ms refresh window); if that produces
+ * no bitflip the location is recorded as not flippable at this tAggON.
+ * Otherwise bisect to 1 % relative accuracy.  Each search is repeated
+ * (default five times, like the paper) and the minimum is reported.
+ */
+
+#ifndef ROWPRESS_CHR_ACMIN_H
+#define ROWPRESS_CHR_ACMIN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "chr/patterns.h"
+#include "device/cell_model.h"
+
+namespace rp::chr {
+
+/** One bitflip observed in a victim row. */
+struct VictimFlip
+{
+    int victimRow;
+    device::FlipRecord flip;
+
+    /** Stable identity for overlap analyses. */
+    std::uint64_t
+    id() const
+    {
+        return (std::uint64_t(std::uint32_t(victimRow)) << 20) |
+               std::uint32_t(flip.bit);
+    }
+};
+
+/** Outcome of running one access-pattern attempt. */
+struct AttemptResult
+{
+    std::vector<VictimFlip> flips;
+    Time elapsed = 0;
+
+    bool any() const { return !flips.empty(); }
+};
+
+/**
+ * Initialize the layout's rows per @p pattern, run the press pattern
+ * with @p total_acts activations of @p t_agg_on each, and inspect all
+ * victim rows.
+ */
+AttemptResult runPressAttempt(bender::TestPlatform &platform,
+                              const RowLayout &layout, DataPattern pattern,
+                              Time t_agg_on, std::uint64_t total_acts,
+                              bool full_scan = false);
+
+/** Same, for the RowPress-ONOFF pattern (section 5.4). */
+AttemptResult runOnOffAttempt(bender::TestPlatform &platform,
+                              const RowLayout &layout, DataPattern pattern,
+                              Time t_agg_on, Time t_agg_off,
+                              std::uint64_t total_acts,
+                              bool full_scan = false);
+
+/** Search configuration (paper defaults). */
+struct SearchConfig
+{
+    Time budget = 60 * units::MS;
+    double accuracy = 0.01;
+    int repeats = 5;
+};
+
+/** Result of an ACmin search at one (location, tAggON) point. */
+struct AcminResult
+{
+    bool flipped = false;
+    std::uint64_t acmin = 0;
+    /** Flips observed at the reported ACmin. */
+    std::vector<VictimFlip> flips;
+};
+
+/** Bisection ACmin search at fixed @p t_agg_on. */
+AcminResult findAcmin(bender::TestPlatform &platform,
+                      const RowLayout &layout, DataPattern pattern,
+                      Time t_agg_on, const SearchConfig &cfg = {});
+
+/** Result of a tAggONmin search at fixed activation count. */
+struct TAggOnMinResult
+{
+    bool flipped = false;
+    Time tAggOnMin = 0;
+};
+
+/** Bisection tAggONmin search at fixed @p total_acts (Figs. 9, 15). */
+TAggOnMinResult findTAggOnMin(bender::TestPlatform &platform,
+                              const RowLayout &layout, DataPattern pattern,
+                              std::uint64_t total_acts,
+                              const SearchConfig &cfg = {});
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_ACMIN_H

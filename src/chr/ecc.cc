@@ -1,0 +1,90 @@
+#include "chr/ecc.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rp::chr {
+
+namespace {
+
+/** Group flips into 64-bit words keyed by (victim row, word index). */
+std::map<std::uint64_t, std::vector<int>>
+groupByWord(const std::vector<VictimFlip> &flips)
+{
+    std::map<std::uint64_t, std::vector<int>> words;
+    for (const auto &f : flips) {
+        const std::uint64_t word_key =
+            (std::uint64_t(std::uint32_t(f.victimRow)) << 20) |
+            std::uint32_t(f.flip.bit / 64);
+        words[word_key].push_back(f.flip.bit % 64);
+    }
+    return words;
+}
+
+} // namespace
+
+void
+WordErrorStats::merge(const WordErrorStats &o)
+{
+    words1to2 += o.words1to2;
+    words3to8 += o.words3to8;
+    wordsOver8 += o.wordsOver8;
+    maxFlipsPerWord = std::max(maxFlipsPerWord, o.maxFlipsPerWord);
+    totalErrorWords += o.totalErrorWords;
+}
+
+WordErrorStats
+analyzeWordErrors(const std::vector<VictimFlip> &flips)
+{
+    WordErrorStats stats;
+    for (const auto &[key, bits] : groupByWord(flips)) {
+        (void)key;
+        const std::uint64_t n = bits.size();
+        ++stats.totalErrorWords;
+        if (n <= 2)
+            ++stats.words1to2;
+        else if (n <= 8)
+            ++stats.words3to8;
+        else
+            ++stats.wordsOver8;
+        stats.maxFlipsPerWord = std::max(stats.maxFlipsPerWord, n);
+    }
+    return stats;
+}
+
+EccOutcome
+evaluateSecded(const std::vector<VictimFlip> &flips)
+{
+    EccOutcome out;
+    for (const auto &[key, bits] : groupByWord(flips)) {
+        (void)key;
+        if (bits.size() == 1)
+            ++out.corrected;
+        else if (bits.size() == 2)
+            ++out.detected;
+        else
+            ++out.silent;
+    }
+    return out;
+}
+
+EccOutcome
+evaluateChipkill(const std::vector<VictimFlip> &flips, int symbol_bits)
+{
+    EccOutcome out;
+    for (const auto &[key, bits] : groupByWord(flips)) {
+        (void)key;
+        std::set<int> symbols;
+        for (int b : bits)
+            symbols.insert(b / symbol_bits);
+        if (symbols.size() == 1)
+            ++out.corrected;
+        else if (symbols.size() == 2)
+            ++out.detected;
+        else
+            ++out.silent;
+    }
+    return out;
+}
+
+} // namespace rp::chr

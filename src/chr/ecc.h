@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ECC implications of RowPress bitflips (paper section 7.1, Figs. 25
+ * and 26): distribution of bitflips per 64-bit data word and the
+ * correction/detection outcomes of SECDED and Chipkill codes.
+ */
+
+#ifndef ROWPRESS_CHR_ECC_H
+#define ROWPRESS_CHR_ECC_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "chr/acmin.h"
+
+namespace rp::chr {
+
+/** Bitflip counts per 64-bit word, bucketed as in Figs. 25/26. */
+struct WordErrorStats
+{
+    std::uint64_t words1to2 = 0;
+    std::uint64_t words3to8 = 0;
+    std::uint64_t wordsOver8 = 0;
+    std::uint64_t maxFlipsPerWord = 0;
+    std::uint64_t totalErrorWords = 0;
+
+    void merge(const WordErrorStats &o);
+};
+
+/** Histogram of flips per 64-bit word from a set of victim flips. */
+WordErrorStats analyzeWordErrors(const std::vector<VictimFlip> &flips);
+
+/** Outcome of applying an ECC scheme to the observed error words. */
+struct EccOutcome
+{
+    std::uint64_t corrected = 0;
+    std::uint64_t detected = 0;   ///< Detected but uncorrectable.
+    std::uint64_t silent = 0;     ///< Beyond the code's guarantees.
+};
+
+/**
+ * SECDED(72,64): corrects 1 flip per word, detects 2, anything beyond
+ * escapes the code's guarantees.
+ */
+EccOutcome evaluateSecded(const std::vector<VictimFlip> &flips);
+
+/**
+ * Chipkill with @p symbol_bits -wide symbols (x4/x8/x16 devices):
+ * corrects 1 erroneous symbol per word, detects 2 (paper footnote 24).
+ */
+EccOutcome evaluateChipkill(const std::vector<VictimFlip> &flips,
+                            int symbol_bits);
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_ECC_H

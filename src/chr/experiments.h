@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Characterization experiment drivers (paper sections 4 and 5).
+ *
+ * A Module wraps one simulated DIMM (platform + the set of tested row
+ * locations); the free functions below run the paper's experiments
+ * over it and return structured results that the bench binaries format
+ * into the corresponding tables/figures.
+ */
+
+#ifndef ROWPRESS_CHR_EXPERIMENTS_H
+#define ROWPRESS_CHR_EXPERIMENTS_H
+
+#include <memory>
+#include <vector>
+
+#include "chr/acmin.h"
+#include "chr/patterns.h"
+#include "common/stats.h"
+
+namespace rp::chr {
+
+/** Construction parameters of a module under test. */
+struct ModuleConfig
+{
+    device::DieConfig die;
+    int numLocations = 32;      ///< Tested aggressor locations.
+    int bank = 1;               ///< Paper: bank 1.
+    double temperatureC = 50.0;
+    std::uint64_t seed = 1;
+    int rowStride = 16;         ///< Spacing between tested locations.
+    int firstRow = 64;
+};
+
+/** One simulated DIMM under characterization. */
+class Module
+{
+  public:
+    explicit Module(const ModuleConfig &cfg);
+
+    bender::TestPlatform &platform() { return *platform_; }
+    const bender::TestPlatform &platform() const { return *platform_; }
+    const ModuleConfig &config() const { return cfg_; }
+    const device::DieConfig &die() const { return cfg_.die; }
+
+    /** Base rows of the tested locations. */
+    const std::vector<int> &baseRows() const { return baseRows_; }
+
+    void setTemperature(double c) { platform_->setTemperature(c); }
+
+  private:
+    ModuleConfig cfg_;
+    std::unique_ptr<bender::TestPlatform> platform_;
+    std::vector<int> baseRows_;
+};
+
+/** The tAggON values swept by the characterization (paper x-axes). */
+const std::vector<Time> &standardTAggOnSweep();
+
+/** The representative tAggON subset of the data-pattern study. */
+const std::vector<Time> &dataPatternTAggOnSweep();
+
+/** Per-location outcome of an ACmin search. */
+struct LocationResult
+{
+    int row = 0;
+    bool flipped = false;
+    std::uint64_t acmin = 0;
+    std::vector<VictimFlip> flips; ///< Flips at the reported ACmin.
+};
+
+/** All locations of a module at one (tAggON, pattern) point. */
+struct SweepPoint
+{
+    Time tAggOn = 0;
+    std::vector<LocationResult> locations;
+
+    /** Box summary of ACmin over locations that flipped. */
+    BoxSummary acminSummary() const;
+    /** Fraction of tested locations with at least one flip. */
+    double fractionFlipped() const;
+    /** Fraction of observed flips whose direction is 1 -> 0. */
+    double fractionOneToZero() const;
+    /** Mean ACmin over flipped locations (0 if none). */
+    double meanAcmin() const;
+};
+
+/** ACmin at one tAggON for every tested location. */
+SweepPoint acminPoint(Module &module, Time t_agg_on, AccessKind kind,
+                      DataPattern pattern = DataPattern::CheckerBoard,
+                      const SearchConfig &cfg = {});
+
+/** Full ACmin-vs-tAggON sweep (Figs. 6, 8, 12, 13, 14, 17). */
+std::vector<SweepPoint>
+acminSweep(Module &module, const std::vector<Time> &t_agg_ons,
+           AccessKind kind,
+           DataPattern pattern = DataPattern::CheckerBoard,
+           const SearchConfig &cfg = {});
+
+/** Per-location tAggONmin at a fixed activation count (Figs. 9, 15). */
+struct TAggOnMinPoint
+{
+    std::uint64_t acts = 0;
+    std::vector<std::pair<int, TAggOnMinResult>> locations;
+
+    BoxSummary summary() const;   ///< Over flipped locations (us).
+};
+
+TAggOnMinPoint tAggOnMinPoint(Module &module, std::uint64_t acts,
+                              AccessKind kind,
+                              DataPattern pattern =
+                                  DataPattern::CheckerBoard,
+                              const SearchConfig &cfg = {});
+
+/**
+ * Retention-failure test: fill the victim rows, disable refresh for
+ * @p seconds at @p temp_c, and report the failed cells (paper
+ * footnote 12 methodology).
+ */
+std::vector<VictimFlip> retentionFailures(Module &module, double seconds,
+                                          double temp_c);
+
+/**
+ * BER of the ONOFF pattern at maximum activation count (Fig. 22):
+ * returns the highest per-victim-row bit error rate over
+ * @p repeats attempts.
+ */
+double onOffBer(Module &module, int location_idx, AccessKind kind,
+                Time delta_a2a, double on_fraction, int repeats = 3);
+
+/**
+ * Max-activation-count press attempt (used by BER/ECC experiments);
+ * full-scan inspection of all victim rows.
+ */
+AttemptResult maxActivationAttempt(Module &module, int location_idx,
+                                   AccessKind kind, DataPattern pattern,
+                                   Time t_agg_on);
+
+/** Bits per victim row of a module (BER denominators). */
+int bitsPerRow(const Module &module);
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_EXPERIMENTS_H

@@ -1,0 +1,90 @@
+#include "chr/export.h"
+
+namespace rp::chr {
+
+std::string
+csvRow(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ',';
+        const std::string &f = fields[i];
+        const bool needs_quotes =
+            f.find_first_of(",\"\n") != std::string::npos;
+        if (!needs_quotes) {
+            out += f;
+            continue;
+        }
+        out += '"';
+        for (char c : f) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+    }
+    out += '\n';
+    return out;
+}
+
+void
+writeAcminSweepCsv(std::ostream &os, const std::string &die_id,
+                   double temperature_c, AccessKind kind,
+                   DataPattern pattern,
+                   const std::vector<SweepPoint> &sweep)
+{
+    os << csvRow({"die", "temperature_c", "kind", "pattern",
+                  "taggon_ns", "row", "flipped", "acmin", "flips",
+                  "one_to_zero"});
+    for (const auto &point : sweep) {
+        for (const auto &loc : point.locations) {
+            std::size_t one_to_zero = 0;
+            for (const auto &vf : loc.flips)
+                one_to_zero += vf.flip.oneToZero ? 1 : 0;
+            os << csvRow(
+                {die_id, std::to_string(temperature_c),
+                 accessKindName(kind), dataPatternName(pattern),
+                 std::to_string(toNs(point.tAggOn)),
+                 std::to_string(loc.row),
+                 loc.flipped ? "1" : "0",
+                 std::to_string(loc.acmin),
+                 std::to_string(loc.flips.size()),
+                 std::to_string(one_to_zero)});
+        }
+    }
+}
+
+void
+writeTAggOnMinCsv(std::ostream &os, const std::string &die_id,
+                  double temperature_c,
+                  const std::vector<TAggOnMinPoint> &points)
+{
+    os << csvRow({"die", "temperature_c", "acts", "row", "flipped",
+                  "taggonmin_us"});
+    for (const auto &point : points) {
+        for (const auto &[row, res] : point.locations) {
+            os << csvRow({die_id, std::to_string(temperature_c),
+                          std::to_string(point.acts),
+                          std::to_string(row),
+                          res.flipped ? "1" : "0",
+                          std::to_string(toUs(res.tAggOnMin))});
+        }
+    }
+}
+
+void
+writeOverlapCsv(std::ostream &os, const std::string &die_id,
+                const std::vector<OverlapResult> &results)
+{
+    os << csvRow({"die", "taggon_ns", "rp_cells", "overlap_rowhammer",
+                  "overlap_retention"});
+    for (const auto &r : results) {
+        os << csvRow({die_id, std::to_string(toNs(r.tAggOn)),
+                      std::to_string(r.rpCells),
+                      std::to_string(r.withRowHammer),
+                      std::to_string(r.withRetention)});
+    }
+}
+
+} // namespace rp::chr

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CSV export of characterization results.
+ *
+ * The paper's artifact ships its raw data as processed dataframes; we
+ * provide the equivalent: every sweep result can be serialized to CSV
+ * for external plotting (matplotlib/gnuplot), which is how the
+ * repository's figures are meant to be rendered outside the ASCII
+ * bench output.
+ */
+
+#ifndef ROWPRESS_CHR_EXPORT_H
+#define ROWPRESS_CHR_EXPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "chr/experiments.h"
+#include "chr/overlap.h"
+
+namespace rp::chr {
+
+/** Escape and join one CSV record. */
+std::string csvRow(const std::vector<std::string> &fields);
+
+/**
+ * Write an ACmin sweep as tidy CSV:
+ * die,temperature,kind,pattern,taggon_ns,row,flipped,acmin,flips,one_to_zero
+ */
+void writeAcminSweepCsv(std::ostream &os, const std::string &die_id,
+                        double temperature_c, AccessKind kind,
+                        DataPattern pattern,
+                        const std::vector<SweepPoint> &sweep);
+
+/**
+ * Write a tAggONmin sweep as tidy CSV:
+ * die,temperature,acts,row,flipped,taggonmin_us
+ */
+void writeTAggOnMinCsv(std::ostream &os, const std::string &die_id,
+                       double temperature_c,
+                       const std::vector<TAggOnMinPoint> &points);
+
+/**
+ * Write overlap results as tidy CSV:
+ * die,taggon_ns,rp_cells,overlap_rowhammer,overlap_retention
+ */
+void writeOverlapCsv(std::ostream &os, const std::string &die_id,
+                     const std::vector<OverlapResult> &results);
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_EXPORT_H

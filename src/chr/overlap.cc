@@ -1,0 +1,111 @@
+#include "chr/overlap.h"
+
+#include <algorithm>
+
+namespace rp::chr {
+
+using namespace rp::literals;
+
+std::vector<std::uint64_t>
+flipIdSet(const std::vector<VictimFlip> &flips)
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(flips.size());
+    for (const auto &f : flips)
+        ids.push_back(f.id());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+double
+overlapFraction(const std::vector<std::uint64_t> &a,
+                const std::vector<std::uint64_t> &b)
+{
+    if (a.empty())
+        return 0.0;
+    std::size_t common = 0;
+    auto it = b.begin();
+    for (std::uint64_t id : a) {
+        it = std::lower_bound(it, b.end(), id);
+        if (it == b.end())
+            break;
+        if (*it == id)
+            ++common;
+    }
+    return double(common) / double(a.size());
+}
+
+namespace {
+
+std::vector<VictimFlip>
+allFlipsOf(const SweepPoint &point)
+{
+    std::vector<VictimFlip> flips;
+    for (const auto &loc : point.locations)
+        flips.insert(flips.end(), loc.flips.begin(), loc.flips.end());
+    return flips;
+}
+
+} // namespace
+
+std::vector<OverlapResult>
+overlapAtAcmin(Module &module, const std::vector<Time> &t_agg_ons,
+               AccessKind kind, const SearchConfig &cfg)
+{
+    // Reference sets: RowHammer (tAggON = tRAS) and retention.
+    const Time t_rh = module.platform().timing().tRAS;
+    auto rh_ids = flipIdSet(allFlipsOf(
+        acminPoint(module, t_rh, kind, DataPattern::CheckerBoard, cfg)));
+    auto ret_ids =
+        flipIdSet(retentionFailures(module, 4.0, 80.0));
+
+    std::vector<OverlapResult> results;
+    for (Time t : t_agg_ons) {
+        auto point = acminPoint(module, t, kind,
+                                DataPattern::CheckerBoard, cfg);
+        auto rp_ids = flipIdSet(allFlipsOf(point));
+        OverlapResult r;
+        r.tAggOn = t;
+        r.rpCells = rp_ids.size();
+        r.withRowHammer = overlapFraction(rp_ids, rh_ids);
+        r.withRetention = overlapFraction(rp_ids, ret_ids);
+        results.push_back(r);
+    }
+    return results;
+}
+
+std::vector<OverlapResult>
+overlapAtMaxAc(Module &module, const std::vector<Time> &t_agg_ons,
+               AccessKind kind)
+{
+    const Time t_rh = module.platform().timing().tRAS;
+
+    auto flips_at_max = [&](Time t) {
+        std::vector<VictimFlip> flips;
+        for (int i = 0; i < int(module.baseRows().size()); ++i) {
+            auto attempt = maxActivationAttempt(
+                module, i, kind, DataPattern::CheckerBoard, t);
+            flips.insert(flips.end(), attempt.flips.begin(),
+                         attempt.flips.end());
+        }
+        return flips;
+    };
+
+    auto rh_ids = flipIdSet(flips_at_max(t_rh));
+    auto ret_ids = flipIdSet(retentionFailures(module, 4.0, 80.0));
+
+    std::vector<OverlapResult> results;
+    for (Time t : t_agg_ons) {
+        auto rp_ids = flipIdSet(flips_at_max(t));
+        OverlapResult r;
+        r.tAggOn = t;
+        r.rpCells = rp_ids.size();
+        r.withRowHammer = overlapFraction(rp_ids, rh_ids);
+        r.withRetention = overlapFraction(rp_ids, ret_ids);
+        results.push_back(r);
+    }
+    return results;
+}
+
+} // namespace rp::chr

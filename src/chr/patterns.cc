@@ -1,0 +1,182 @@
+#include "chr/patterns.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rp::chr {
+
+std::uint8_t
+aggressorFill(DataPattern p)
+{
+    switch (p) {
+      case DataPattern::CheckerBoard: return 0xAA;
+      case DataPattern::CheckerBoardI: return 0x55;
+      case DataPattern::RowStripe: return 0xFF;
+      case DataPattern::RowStripeI: return 0x00;
+      case DataPattern::ColStripe: return 0x55;
+      case DataPattern::ColStripeI: return 0xAA;
+    }
+    return 0xAA;
+}
+
+std::uint8_t
+victimFill(DataPattern p)
+{
+    switch (p) {
+      case DataPattern::CheckerBoard: return 0x55;
+      case DataPattern::CheckerBoardI: return 0xAA;
+      case DataPattern::RowStripe: return 0x00;
+      case DataPattern::RowStripeI: return 0xFF;
+      case DataPattern::ColStripe: return 0x55;
+      case DataPattern::ColStripeI: return 0xAA;
+    }
+    return 0x55;
+}
+
+const std::vector<DataPattern> &
+allDataPatterns()
+{
+    static const std::vector<DataPattern> all = {
+        DataPattern::CheckerBoard, DataPattern::CheckerBoardI,
+        DataPattern::ColStripe,    DataPattern::ColStripeI,
+        DataPattern::RowStripe,    DataPattern::RowStripeI,
+    };
+    return all;
+}
+
+int
+RowLayout::lowRow() const
+{
+    int lo = aggressors.empty() ? 0 : aggressors.front();
+    for (int r : aggressors)
+        lo = std::min(lo, r);
+    for (int r : victims)
+        lo = std::min(lo, r);
+    return lo;
+}
+
+int
+RowLayout::highRow() const
+{
+    int hi = aggressors.empty() ? 0 : aggressors.front();
+    for (int r : aggressors)
+        hi = std::max(hi, r);
+    for (int r : victims)
+        hi = std::max(hi, r);
+    return hi;
+}
+
+RowLayout
+makeLayout(AccessKind kind, int bank, int row0)
+{
+    RowLayout layout;
+    layout.bank = bank;
+    if (kind == AccessKind::SingleSided) {
+        layout.aggressors = {row0};
+        for (int d = 1; d <= 3; ++d) {
+            layout.victims.push_back(row0 - d);
+            layout.victims.push_back(row0 + d);
+        }
+    } else {
+        // Aggressors R0 and R2 sandwich victim R1 (paper Fig. 16).
+        layout.aggressors = {row0, row0 + 2};
+        layout.victims.push_back(row0 + 1);
+        for (int d = 1; d <= 3; ++d) {
+            layout.victims.push_back(row0 - d);
+            layout.victims.push_back(row0 + 2 + d);
+        }
+    }
+    std::sort(layout.victims.begin(), layout.victims.end());
+    return layout;
+}
+
+void
+initLayout(bender::TestPlatform &platform, const RowLayout &layout,
+           DataPattern pattern)
+{
+    for (int r : layout.victims)
+        platform.fillRow(layout.bank, r, victimFill(pattern));
+    for (int r : layout.aggressors)
+        platform.fillRow(layout.bank, r, aggressorFill(pattern));
+}
+
+bender::Program
+makePressProgram(const RowLayout &layout, Time t_agg_on,
+                 std::uint64_t total_acts,
+                 const dram::TimingParams &timing)
+{
+    if (t_agg_on < timing.tRAS)
+        fatal("tAggON %s below tRAS %s", formatTime(t_agg_on).c_str(),
+              formatTime(timing.tRAS).c_str());
+
+    bender::Program program;
+    if (layout.aggressors.size() == 1) {
+        bender::Program body;
+        body.act(layout.bank, layout.aggressors[0]);
+        body.wait(t_agg_on);
+        body.pre(layout.bank);
+        program.loop(total_acts, body);
+        return program;
+    }
+
+    // Double-sided: alternate between the two aggressors; ACmin counts
+    // *total* activations (paper Fig. 16).
+    bender::Program body;
+    body.act(layout.bank, layout.aggressors[0]);
+    body.wait(t_agg_on);
+    body.pre(layout.bank);
+    body.act(layout.bank, layout.aggressors[1]);
+    body.wait(t_agg_on);
+    body.pre(layout.bank);
+    program.loop(total_acts / 2, body);
+    if (total_acts % 2) {
+        bender::Program tail;
+        tail.act(layout.bank, layout.aggressors[0]);
+        tail.wait(t_agg_on);
+        tail.pre(layout.bank);
+        program.append(tail);
+    }
+    return program;
+}
+
+bender::Program
+makeOnOffProgram(const RowLayout &layout, Time t_agg_on, Time t_agg_off,
+                 std::uint64_t total_acts,
+                 const dram::TimingParams &timing)
+{
+    if (t_agg_on < timing.tRAS || t_agg_off < timing.tRP)
+        fatal("ONOFF pattern violates tRAS/tRP minimums");
+
+    bender::Program program;
+    const std::size_t n_aggr = layout.aggressors.size();
+    bender::Program body;
+    for (int r : layout.aggressors) {
+        body.act(layout.bank, r);
+        body.wait(t_agg_on);
+        body.pre(layout.bank);
+        body.wait(t_agg_off);
+    }
+    program.loop(total_acts / n_aggr, body);
+    return program;
+}
+
+Time
+pressActPeriod(Time t_agg_on, const dram::TimingParams &timing,
+               Time cmd_gap)
+{
+    // ACT ... (t_agg_on) ... PRE ... max(tRP, gap) ... next ACT.
+    return t_agg_on + std::max(timing.tRP, cmd_gap) + cmd_gap;
+}
+
+std::uint64_t
+maxActsWithinBudget(Time t_agg_on, const dram::TimingParams &timing,
+                    Time cmd_gap, Time budget)
+{
+    const Time period = pressActPeriod(t_agg_on, timing, cmd_gap);
+    if (period <= 0)
+        return 0;
+    return std::uint64_t(budget / period);
+}
+
+} // namespace rp::chr

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Access patterns and data patterns of the RowPress characterization
+ * (paper sections 4.1, 5.2, 5.3, 5.4).
+ */
+
+#ifndef ROWPRESS_CHR_PATTERNS_H
+#define ROWPRESS_CHR_PATTERNS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bender/platform.h"
+#include "bender/program.h"
+
+namespace rp::chr {
+
+/** Single- vs double-sided aggressor placement (Figs. 5 and 16). */
+enum class AccessKind
+{
+    SingleSided,
+    DoubleSided,
+};
+
+constexpr const char *
+accessKindName(AccessKind k)
+{
+    return k == AccessKind::SingleSided ? "Single-Sided" : "Double-Sided";
+}
+
+/** Data patterns of Table 2 (I suffix = inverse). */
+enum class DataPattern
+{
+    CheckerBoard,
+    CheckerBoardI,
+    RowStripe,
+    RowStripeI,
+    ColStripe,
+    ColStripeI,
+};
+
+constexpr const char *
+dataPatternName(DataPattern p)
+{
+    switch (p) {
+      case DataPattern::CheckerBoard: return "CB";
+      case DataPattern::CheckerBoardI: return "CBI";
+      case DataPattern::RowStripe: return "RS";
+      case DataPattern::RowStripeI: return "RSI";
+      case DataPattern::ColStripe: return "CS";
+      case DataPattern::ColStripeI: return "CSI";
+    }
+    return "?";
+}
+
+/** Aggressor-row fill byte of a data pattern (Table 2). */
+std::uint8_t aggressorFill(DataPattern p);
+
+/** Victim-row fill byte of a data pattern (Table 2). */
+std::uint8_t victimFill(DataPattern p);
+
+/** All six data patterns, in the paper's presentation order. */
+const std::vector<DataPattern> &allDataPatterns();
+
+/**
+ * The aggressor/victim row layout of one tested location.
+ *
+ * Single-sided: one aggressor R0; victims are the three adjacent rows
+ * on each side.  Double-sided: aggressors R0 and R0+2 sandwich victim
+ * R0+1; victims additionally include the three rows before R0 and
+ * after R0+2 (paper section 5.2).
+ */
+struct RowLayout
+{
+    int bank = 1;
+    std::vector<int> aggressors;
+    std::vector<int> victims;
+
+    /** Lowest/highest row touched (for spacing tested locations). */
+    int lowRow() const;
+    int highRow() const;
+};
+
+/** Build the layout for base aggressor row @p row0. */
+RowLayout makeLayout(AccessKind kind, int bank, int row0);
+
+/** Fill aggressors and victims of @p layout per @p pattern. */
+void initLayout(bender::TestPlatform &platform, const RowLayout &layout,
+                DataPattern pattern);
+
+/**
+ * Build the RowPress access pattern program (Fig. 5 / Fig. 16):
+ * @p total_acts total aggressor activations, each holding the row open
+ * for @p t_agg_on.  At t_agg_on == tRAS this degenerates to the
+ * conventional RowHammer pattern.
+ */
+bender::Program makePressProgram(const RowLayout &layout, Time t_agg_on,
+                                 std::uint64_t total_acts,
+                                 const dram::TimingParams &timing);
+
+/**
+ * Build the RowPress-ONOFF pattern (Fig. 21): fixed ACT-to-ACT period
+ * tA2A = t_agg_on + t_agg_off, sweeping how the slack is split between
+ * on- and off-time (section 5.4).
+ */
+bender::Program makeOnOffProgram(const RowLayout &layout, Time t_agg_on,
+                                 Time t_agg_off,
+                                 std::uint64_t total_acts,
+                                 const dram::TimingParams &timing);
+
+/** Wall-clock duration of one press-pattern activation period. */
+Time pressActPeriod(Time t_agg_on, const dram::TimingParams &timing,
+                    Time cmd_gap);
+
+/** Maximum activations that fit within @p budget (paper: 60 ms). */
+std::uint64_t maxActsWithinBudget(Time t_agg_on,
+                                  const dram::TimingParams &timing,
+                                  Time cmd_gap, Time budget);
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_PATTERNS_H

@@ -1,0 +1,95 @@
+#include "chr/rowmap.h"
+
+#include <algorithm>
+
+#include "chr/patterns.h"
+
+namespace rp::chr {
+
+using namespace rp::literals;
+
+NeighborProbe
+probeNeighbors(bender::TestPlatform &platform,
+               const dram::RowScrambler &scrambler, int bank,
+               int logical_row, int window)
+{
+    NeighborProbe probe;
+    probe.logicalAggressor = logical_row;
+
+    // Initialize the logical window with the checkerboard victim
+    // pattern and the aggressor with the aggressor pattern - going
+    // through the scrambler, as external software would.
+    const int phys_aggr = scrambler.logicalToPhysical(logical_row);
+    for (int d = -window; d <= window; ++d) {
+        const int logical = logical_row + d;
+        if (logical < 0 || logical >= platform.org().rows)
+            continue;
+        const int phys = scrambler.logicalToPhysical(logical);
+        platform.fillRow(bank, phys, d == 0 ? std::uint8_t(0xAA)
+                                            : std::uint8_t(0x55));
+    }
+
+    // Press the aggressor as hard as the budget allows at a large
+    // tAggON so that distance-1 physical neighbors flip reliably.
+    RowLayout layout;
+    layout.bank = bank;
+    layout.aggressors = {phys_aggr};
+    const std::uint64_t acts = maxActsWithinBudget(
+        7800_ns, platform.timing(), platform.cmdGap(), 60_ms);
+    auto program =
+        makePressProgram(layout, 7800_ns, acts, platform.timing());
+    platform.run(program);
+
+    for (int d = -window; d <= window; ++d) {
+        if (d == 0)
+            continue;
+        const int logical = logical_row + d;
+        if (logical < 0 || logical >= platform.org().rows)
+            continue;
+        const int phys = scrambler.logicalToPhysical(logical);
+        if (!platform.checkRow(bank, phys).empty())
+            probe.logicalNeighbors.push_back(logical);
+    }
+    std::sort(probe.logicalNeighbors.begin(),
+              probe.logicalNeighbors.end());
+    return probe;
+}
+
+dram::RowScrambler::Scheme
+inferScheme(bender::TestPlatform &platform,
+            const dram::RowScrambler &truth, int bank,
+            const std::vector<int> &probe_rows)
+{
+    using Scheme = dram::RowScrambler::Scheme;
+
+    // Collect observations through the true (unknown-to-us) mapping.
+    std::vector<NeighborProbe> probes;
+    for (int row : probe_rows)
+        probes.push_back(probeNeighbors(platform, truth, bank, row));
+
+    // A candidate scheme explains the observations if, under it, every
+    // observed flipping row is at physical distance 1 from the
+    // aggressor.  (Distance-2+ flips are rare at ACmin-level doses but
+    // tolerated as long as most neighbors are adjacent.)
+    auto explains = [&](Scheme candidate) {
+        dram::RowScrambler s(candidate, platform.org().rows);
+        int adjacent = 0, total = 0;
+        for (const auto &p : probes) {
+            const int pa = s.logicalToPhysical(p.logicalAggressor);
+            for (int n : p.logicalNeighbors) {
+                ++total;
+                if (std::abs(s.logicalToPhysical(n) - pa) == 1)
+                    ++adjacent;
+            }
+        }
+        return total > 0 && adjacent * 4 >= total * 3;
+    };
+
+    for (Scheme candidate : {Scheme::None, Scheme::FoldedPair}) {
+        if (explains(candidate))
+            return candidate;
+    }
+    return Scheme::None;
+}
+
+} // namespace rp::chr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * In-DRAM row-mapping reverse engineering (paper section 3.2).
+ *
+ * DRAM vendors remap externally visible row addresses inside the die,
+ * so "row N +/- 1" is not necessarily physically adjacent.  The paper
+ * follows prior work's methodology: hammer/press a candidate
+ * aggressor and observe *which* logical rows flip - the flipping rows
+ * are the physical neighbors.  This module implements that recovery
+ * loop against the test platform and returns the inferred
+ * logical-adjacency table, which characterization code then uses to
+ * address physically adjacent rows.
+ */
+
+#ifndef ROWPRESS_CHR_ROWMAP_H
+#define ROWPRESS_CHR_ROWMAP_H
+
+#include <vector>
+
+#include "bender/platform.h"
+#include "dram/address.h"
+
+namespace rp::chr {
+
+/** Result of probing one aggressor row. */
+struct NeighborProbe
+{
+    int logicalAggressor = 0;
+    /** Logical rows that flipped (physical distance-1 neighbors). */
+    std::vector<int> logicalNeighbors;
+};
+
+/**
+ * Recover the physical neighbors of @p logical_row by pressing it hard
+ * (maximum activations at a large tAggON, high temperature) and
+ * scanning the surrounding logical window for bitflips.
+ *
+ * @param scrambler the in-DRAM mapping under recovery (the platform's
+ *        chip operates in physical row space; this function drives it
+ *        through the scrambler exactly as external software would).
+ * @param window logical rows scanned on each side of the aggressor.
+ */
+NeighborProbe probeNeighbors(bender::TestPlatform &platform,
+                             const dram::RowScrambler &scrambler,
+                             int bank, int logical_row, int window = 8);
+
+/**
+ * Classify the module's mapping scheme from a set of probes: returns
+ * the candidate scheme under which every probed neighbor pair is
+ * physically adjacent, or Scheme::None if the identity mapping
+ * already explains the observations.
+ */
+dram::RowScrambler::Scheme
+inferScheme(bender::TestPlatform &platform,
+            const dram::RowScrambler &truth, int bank,
+            const std::vector<int> &probe_rows);
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_ROWMAP_H

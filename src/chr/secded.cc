@@ -1,0 +1,112 @@
+#include "chr/secded.h"
+
+namespace rp::chr {
+
+namespace {
+
+/**
+ * Parity-check matrix H: column j is the 8-bit syndrome of codeword
+ * bit j.  Data bits use columns with odd weight >= 3 (Hsiao), check
+ * bit i uses the unit vector (1 << i).  Built once, deterministically:
+ * enumerate odd-weight-(>=3) 8-bit values in increasing weight order.
+ */
+struct Matrix
+{
+    std::uint8_t column[72];
+
+    Matrix()
+    {
+        int idx = 0;
+        for (int weight = 3; weight <= 7 && idx < 64; weight += 2) {
+            for (int v = 0; v < 256 && idx < 64; ++v) {
+                if (__builtin_popcount(unsigned(v)) == weight)
+                    column[idx++] = std::uint8_t(v);
+            }
+        }
+        for (int i = 0; i < 8; ++i)
+            column[64 + i] = std::uint8_t(1u << i);
+    }
+};
+
+const Matrix &
+matrix()
+{
+    static const Matrix m;
+    return m;
+}
+
+/** Syndrome of a full codeword. */
+std::uint8_t
+syndromeOf(const SecdedWord &w)
+{
+    const Matrix &m = matrix();
+    std::uint8_t s = 0;
+    for (int i = 0; i < 64; ++i) {
+        if ((w.data >> i) & 1)
+            s ^= m.column[i];
+    }
+    for (int i = 0; i < 8; ++i) {
+        if ((w.check >> i) & 1)
+            s ^= m.column[64 + i];
+    }
+    return s;
+}
+
+} // namespace
+
+std::uint8_t
+Secded::encode(std::uint64_t data)
+{
+    const Matrix &m = matrix();
+    std::uint8_t s = 0;
+    for (int i = 0; i < 64; ++i) {
+        if ((data >> i) & 1)
+            s ^= m.column[i];
+    }
+    // Check bits are unit columns, so check = data syndrome makes the
+    // overall syndrome zero.
+    return s;
+}
+
+void
+Secded::flipBit(SecdedWord &word, int bit)
+{
+    if (bit < 64)
+        word.data ^= std::uint64_t(1) << bit;
+    else
+        word.check ^= std::uint8_t(1u << (bit - 64));
+}
+
+Secded::DecodeResult
+Secded::decode(const SecdedWord &word, std::uint64_t original)
+{
+    const std::uint8_t s = syndromeOf(word);
+    if (s == 0) {
+        // Either error-free, or an even number of errors that aliased
+        // to zero (undetected).  Classify against the truth.
+        return {word.data == original ? SecdedStatus::Ok
+                                      : SecdedStatus::Miscorrected,
+                word.data};
+    }
+
+    // Hsiao: odd-weight syndrome -> single-bit error (correct it);
+    // even-weight syndrome -> double-bit error (detected).
+    if (__builtin_popcount(unsigned(s)) % 2 == 0)
+        return {SecdedStatus::DetectedDouble, word.data};
+
+    const Matrix &m = matrix();
+    SecdedWord fixed = word;
+    for (int i = 0; i < 72; ++i) {
+        if (m.column[i] == s) {
+            flipBit(fixed, i);
+            return {fixed.data == original ? SecdedStatus::Corrected
+                                           : SecdedStatus::Miscorrected,
+                    fixed.data};
+        }
+    }
+    // An odd-weight syndrome matching no column: detected,
+    // uncorrectable (can only arise from >=3 errors).
+    return {SecdedStatus::DetectedDouble, word.data};
+}
+
+} // namespace rp::chr

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A concrete Hamming SECDED(72,64) codec (Hsiao-style construction:
+ * extended Hamming code with an overall parity bit).
+ *
+ * The ECC discussion of paper section 7.1 argues that SECDED cannot
+ * contain RowPress because erroneous words frequently carry more than
+ * two bitflips.  chr/ecc.h classifies outcomes combinatorially; this
+ * codec lets the test suite and benches *demonstrate* the failure
+ * modes bit-exactly: single-bit errors are corrected, double-bit
+ * errors are detected, and >=3-bit errors are miscorrected or pass
+ * silently - i.e., silent data corruption.
+ */
+
+#ifndef ROWPRESS_CHR_SECDED_H
+#define ROWPRESS_CHR_SECDED_H
+
+#include <cstdint>
+
+namespace rp::chr {
+
+/** A 64-bit data word with its 8 SECDED check bits. */
+struct SecdedWord
+{
+    std::uint64_t data = 0;
+    std::uint8_t check = 0;
+};
+
+/** Decode outcome of one SECDED word. */
+enum class SecdedStatus
+{
+    Ok,             ///< No error detected.
+    Corrected,      ///< Single-bit error corrected.
+    DetectedDouble, ///< Double-bit error detected (uncorrectable).
+    Miscorrected,   ///< >=3 errors aliased onto a correctable
+                    ///< syndrome: *silent data corruption*.
+};
+
+/** SECDED(72,64) encoder/decoder. */
+class Secded
+{
+  public:
+    /** Compute the 8 check bits of @p data. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /** Encode a data word into a codeword. */
+    static SecdedWord
+    encodeWord(std::uint64_t data)
+    {
+        return {data, encode(data)};
+    }
+
+    struct DecodeResult
+    {
+        SecdedStatus status;
+        std::uint64_t data; ///< Possibly corrected payload.
+    };
+
+    /**
+     * Decode @p word.  Note that Miscorrected cannot be distinguished
+     * from Corrected by a real controller; the codec reports it
+     * truthfully only because the caller may compare against the
+     * original payload (as the tests and the ECC bench do).
+     *
+     * @param original the originally written payload, used solely to
+     *        classify Corrected vs Miscorrected.
+     */
+    static DecodeResult decode(const SecdedWord &word,
+                               std::uint64_t original);
+
+    /** Flip bit @p bit (0..71; 64..71 are check bits) of a codeword. */
+    static void flipBit(SecdedWord &word, int bit);
+};
+
+} // namespace rp::chr
+
+#endif // ROWPRESS_CHR_SECDED_H

@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+#include "common/units.h"
+
+namespace rp {
+namespace detail {
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::vector<char> buf(needed > 0 ? std::size_t(needed) + 1 : 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data());
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+fatalExit(const std::string &msg)
+{
+    emit("fatal", msg);
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string &msg)
+{
+    emit("panic", msg);
+    std::abort();
+}
+
+} // namespace detail
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    auto fmt = [&](double v, const char *unit) {
+        // Trim trailing zeros for compact labels like the paper's axes.
+        if (v == double(std::int64_t(v)))
+            std::snprintf(buf, sizeof(buf), "%lld%s",
+                          (long long)(std::int64_t)v, unit);
+        else
+            std::snprintf(buf, sizeof(buf), "%.4g%s", v, unit);
+        return std::string(buf);
+    };
+    Time a = t < 0 ? -t : t;
+    if (a < units::NS)
+        return fmt(double(t), "ps");
+    if (a < units::US)
+        return fmt(toNs(t), "ns");
+    if (a < units::MS)
+        return fmt(toUs(t), "us");
+    if (a < units::SEC)
+        return fmt(toMs(t), "ms");
+    return fmt(toSec(t), "s");
+}
+
+} // namespace rp

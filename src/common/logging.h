@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: inform/warn for user-facing
+ * status, fatal for user errors (bad configuration), panic for internal
+ * invariant violations.
+ */
+
+#ifndef ROWPRESS_COMMON_LOGGING_H
+#define ROWPRESS_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rp {
+
+namespace detail {
+[[noreturn]] void fatalExit(const std::string &msg);
+[[noreturn]] void panicAbort(const std::string &msg);
+void emit(const char *tag, const std::string &msg);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Print an informative status line. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::emit("info", detail::formatMessage(fmt, args...));
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::emit("warn", detail::formatMessage(fmt, args...));
+}
+
+/** Terminate due to a user error (bad configuration / arguments). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::fatalExit(detail::formatMessage(fmt, args...));
+}
+
+/** Terminate due to an internal bug (invariant violation). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::panicAbort(detail::formatMessage(fmt, args...));
+}
+
+} // namespace rp
+
+#endif // ROWPRESS_COMMON_LOGGING_H

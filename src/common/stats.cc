@@ -1,0 +1,209 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rp {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+namespace {
+
+/** Median of the sorted range [first, last). */
+double
+medianOf(const std::vector<double> &v, std::size_t first, std::size_t last)
+{
+    std::size_t n = last - first;
+    if (n == 0)
+        return 0.0;
+    std::size_t mid = first + n / 2;
+    if (n % 2 == 1)
+        return v[mid];
+    return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+} // namespace
+
+BoxSummary
+summarize(std::vector<double> values)
+{
+    BoxSummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    s.median = medianOf(values, 0, values.size());
+
+    // Quartiles as medians of the lower/upper halves (paper footnote 2).
+    std::size_t half = values.size() / 2;
+    s.q1 = medianOf(values, 0, half);
+    s.q3 = medianOf(values, values.size() % 2 ? half + 1 : half,
+                    values.size());
+
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / double(values.size());
+    return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0)
+{
+    if (!(hi > lo) || bins == 0)
+        fatal("Histogram: invalid range [%g, %g) with %zu bins",
+              lo, hi, bins);
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    auto idx = std::size_t((x - lo_) / (hi_ - lo_) * double(counts_.size()));
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    counts_[idx] += weight;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * double(i + 1) / double(counts_.size());
+}
+
+double
+Histogram::total() const
+{
+    double t = underflow_ + overflow_;
+    for (double c : counts_)
+        t += c;
+    return t;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    double t = total();
+    return t > 0.0 ? counts_[i] / t : 0.0;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    double peak = 0.0;
+    for (double c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    char line[256];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        auto bar = std::size_t(peak > 0.0
+                                   ? counts_[i] / peak * double(width)
+                                   : 0.0);
+        std::snprintf(line, sizeof(line), "[%10.3g, %10.3g) %8.0f |",
+                      binLo(i), binHi(i), counts_[i]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+double
+probit(double p)
+{
+    // Peter Acklam's inverse-normal-CDF approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00, 2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double plow = 0.02425;
+
+    if (p <= 0.0)
+        return -38.0;       // ~smallest double-representable quantile
+    if (p >= 1.0)
+        return 38.0;
+
+    if (p < plow) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                     q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+double
+linearSlope(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        return 0.0;
+    double n = double(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    double denom = n * sxx - sx * sx;
+    return denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+}
+
+} // namespace rp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Descriptive statistics used by the characterization suite: running
+ * summaries, quartile/box-plot summaries (the paper reports most
+ * distributions as box-and-whiskers), and fixed-bin histograms.
+ */
+
+#ifndef ROWPRESS_COMMON_STATS_H
+#define ROWPRESS_COMMON_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rp {
+
+/** Streaming mean/min/max/stddev accumulator (Welford). */
+class OnlineStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Five-number summary matching the paper's box-and-whiskers convention:
+ * whiskers at min/max, box at first/third quartiles, line at median.
+ */
+struct BoxSummary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+
+    double iqr() const { return q3 - q1; }
+};
+
+/** Compute a BoxSummary; @p values is copied and sorted internally. */
+BoxSummary summarize(std::vector<double> values);
+
+/** Fixed-width histogram over [lo, hi) with overflow/underflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x, double weight = 1.0);
+
+    std::size_t bins() const { return counts_.size(); }
+    double binLo(std::size_t i) const;
+    double binHi(std::size_t i) const;
+    double count(std::size_t i) const { return counts_[i]; }
+    double underflow() const { return underflow_; }
+    double overflow() const { return overflow_; }
+    double total() const;
+
+    /** Fraction of total mass in bin i (0 if empty histogram). */
+    double fraction(std::size_t i) const;
+
+    /** Render as a compact ASCII bar chart. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<double> counts_;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+};
+
+/**
+ * Least-squares slope of y against x; used to report the log-log
+ * ACmin-vs-tAggON trend-line slopes the paper quotes (about -1.0).
+ */
+double linearSlope(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * relative error < 1.15e-9).  Used to derive per-cell thresholds from
+ * calibration quantiles.
+ */
+double probit(double p);
+
+} // namespace rp
+
+#endif // ROWPRESS_COMMON_STATS_H

@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rp {
+
+Table &
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+    return *this;
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+Table::toCell(double v)
+{
+    char buf[64];
+    double a = v < 0 ? -v : v;
+    if (v == 0.0)
+        std::snprintf(buf, sizeof(buf), "0");
+    else if (a >= 1e6 || a < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+    else if (a == double(static_cast<long long>(v)))
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+std::string
+Table::toCell(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+Table::toCell(unsigned long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths.
+    std::vector<std::size_t> widths;
+    auto account = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i]
+                                                       : std::string();
+            line += cell;
+            line.append(widths[i] - cell.size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        std::size_t rule = 0;
+        for (std::size_t w : widths)
+            rule += w + 2;
+        out.append(rule > 2 ? rule - 2 : rule, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace rp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the
+ * paper's tables and figure data series in aligned, readable form.
+ */
+
+#ifndef ROWPRESS_COMMON_TABLE_H
+#define ROWPRESS_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rp {
+
+/** Column-aligned ASCII table with an optional title and header rule. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set header cells; must be called before rows are added. */
+    Table &header(std::vector<std::string> cells);
+
+    /** Append a data row (ragged rows are padded with empty cells). */
+    Table &row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles/ints/strings into a row. */
+    template <typename... Args>
+    Table &
+    rowf(Args... args)
+    {
+        return row({toCell(args)...});
+    }
+
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    static std::string toCell(const std::string &s) { return s; }
+    static std::string toCell(const char *s) { return s; }
+    static std::string toCell(double v);
+    static std::string toCell(long long v);
+    static std::string toCell(unsigned long long v);
+    static std::string toCell(int v) { return toCell((long long)v); }
+    static std::string toCell(long v) { return toCell((long long)v); }
+    static std::string toCell(unsigned v) { return toCell((unsigned long long)v); }
+    static std::string toCell(std::size_t v) { return toCell((unsigned long long)v); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rp
+
+#endif // ROWPRESS_COMMON_TABLE_H

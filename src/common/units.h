@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Time and size units used throughout the RowPress library.
+ *
+ * All absolute times and durations are expressed as 64-bit signed
+ * picosecond counts.  Picoseconds give exact representation of DDR4
+ * clock periods (e.g., tCK = 625 ps at DDR4-3200) while still covering
+ * +/- 106 days of simulated time, far beyond the 64 ms refresh windows
+ * and 60 ms experiment budgets the paper works with.
+ */
+
+#ifndef ROWPRESS_COMMON_UNITS_H
+#define ROWPRESS_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace rp {
+
+/** Time duration / timestamp in picoseconds. */
+using Time = std::int64_t;
+
+namespace units {
+
+inline constexpr Time PS = 1;
+inline constexpr Time NS = 1000 * PS;
+inline constexpr Time US = 1000 * NS;
+inline constexpr Time MS = 1000 * US;
+inline constexpr Time SEC = 1000 * MS;
+
+} // namespace units
+
+/** User-defined literals so timing tables read like the JEDEC spec. */
+inline namespace literals {
+
+constexpr Time operator""_ps(unsigned long long v) { return Time(v); }
+constexpr Time operator""_ns(unsigned long long v) { return Time(v) * units::NS; }
+constexpr Time operator""_us(unsigned long long v) { return Time(v) * units::US; }
+constexpr Time operator""_ms(unsigned long long v) { return Time(v) * units::MS; }
+constexpr Time operator""_s(unsigned long long v) { return Time(v) * units::SEC; }
+
+constexpr Time operator""_ns(long double v) { return Time(v * units::NS); }
+constexpr Time operator""_us(long double v) { return Time(v * units::US); }
+constexpr Time operator""_ms(long double v) { return Time(v * units::MS); }
+constexpr Time operator""_s(long double v) { return Time(v * units::SEC); }
+
+} // namespace literals
+
+/** Convert a picosecond duration to floating-point convenience units. */
+constexpr double toNs(Time t) { return double(t) / double(units::NS); }
+constexpr double toUs(Time t) { return double(t) / double(units::US); }
+constexpr double toMs(Time t) { return double(t) / double(units::MS); }
+constexpr double toSec(Time t) { return double(t) / double(units::SEC); }
+
+/**
+ * Render a duration with an auto-selected human unit, as used in the
+ * paper's axis labels (e.g., "36ns", "7.8us", "30ms").
+ */
+std::string formatTime(Time t);
+
+} // namespace rp
+
+#endif // ROWPRESS_COMMON_UNITS_H

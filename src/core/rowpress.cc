@@ -1,0 +1,54 @@
+#include "core/rowpress.h"
+
+#include <algorithm>
+
+namespace rp {
+
+mitigation::DisturbProfile
+characterizeProfile(const device::DieConfig &die,
+                    const ProfileOptions &opts)
+{
+    mitigation::DisturbProfile profile;
+
+    for (Time t_mro : opts.tMros) {
+        double worst_ratio = 1.0;
+        for (double temp : opts.temperatures) {
+            chr::ModuleConfig mc;
+            mc.die = die;
+            mc.numLocations = opts.numLocations;
+            mc.temperatureC = temp;
+            mc.seed = opts.seed;
+            chr::Module module(mc);
+
+            for (auto kind : opts.kinds) {
+                auto base = chr::acminPoint(
+                    module, module.platform().timing().tRAS, kind);
+                auto point = chr::acminPoint(module, t_mro, kind);
+                if (base.fractionFlipped() <= 0.0 ||
+                    point.fractionFlipped() <= 0.0)
+                    continue;
+                // Worst case: smallest per-location ratio.
+                for (std::size_t i = 0; i < point.locations.size();
+                     ++i) {
+                    const auto &p = point.locations[i];
+                    const auto &b = base.locations[i];
+                    if (p.flipped && b.flipped && b.acmin > 0) {
+                        worst_ratio = std::min(
+                            worst_ratio,
+                            double(p.acmin) / double(b.acmin));
+                    }
+                }
+            }
+        }
+        profile.points.push_back({t_mro, worst_ratio});
+    }
+    return profile;
+}
+
+const char *
+version()
+{
+    return "1.0.0";
+}
+
+} // namespace rp

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Circuit-level read-disturbance cell model.
+ *
+ * Every DRAM cell has three independent, deterministic (hash-derived)
+ * disturbance thresholds:
+ *
+ *  - thetaHammer: weighted aggressor-ACT count that charges a
+ *    *discharged* cell enough to flip it (the RowHammer mechanism:
+ *    electron injection, paper Obsv. 8 / footnote 14);
+ *  - thetaPress: cumulative aggressor-row-on time (ps, at 50C) that
+ *    drains a *charged* cell enough to flip it (the RowPress /
+ *    passing-gate mechanism);
+ *  - tauRetention: unrefreshed time (s, at 80C) after which a charged
+ *    cell leaks below the sense threshold.
+ *
+ * Because the thresholds are drawn independently per cell, the
+ * RowHammer-, RowPress-, and retention-vulnerable cell populations are
+ * naturally (almost) disjoint, reproducing paper section 4.3; and
+ * because RowHammer only charges discharged cells while RowPress only
+ * drains charged cells, the opposite bitflip directionality of the two
+ * phenomena (Obsv. 8) and the data-pattern eligibility effects
+ * (section 5.3, e.g. RowStripe's "No Bitflip" cells at long tAggON)
+ * emerge without special cases.
+ *
+ * Thresholds are log-normal with cell-, word-, and row-level variance
+ * components; the word component produces the multi-bit-per-64-bit-word
+ * clustering that defeats ECC (section 7.1).
+ */
+
+#ifndef ROWPRESS_DEVICE_CELL_MODEL_H
+#define ROWPRESS_DEVICE_CELL_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "device/die_config.h"
+
+namespace rp::device {
+
+/** Which failure mechanism produced a bitflip. */
+enum class Mechanism
+{
+    RowHammer,
+    RowPress,
+    Retention,
+};
+
+constexpr const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::RowHammer: return "RowHammer";
+      case Mechanism::RowPress: return "RowPress";
+      case Mechanism::Retention: return "Retention";
+    }
+    return "?";
+}
+
+/**
+ * Disturbance accumulated by one victim row since its charge was last
+ * restored (by refresh, by its own activation, or by a write).
+ *
+ * Side 0 collects contributions from aggressors at lower row indices,
+ * side 1 from higher ones.  Doses are pre-scaled at accumulation time
+ * by temperature factors, tAggOFF recovery weights, and row-distance
+ * attenuation, so evaluation only combines them with per-cell
+ * couplings.
+ */
+struct DoseState
+{
+    double hammer[2] = {0.0, 0.0};  ///< Weighted ACT counts.
+    double press[2] = {0.0, 0.0};   ///< Weighted on-time (ps).
+    Time lastRestore = 0;           ///< Wall-clock of last restore.
+
+    bool
+    empty() const
+    {
+        return hammer[0] == 0.0 && hammer[1] == 0.0 && press[0] == 0.0 &&
+               press[1] == 0.0;
+    }
+};
+
+/** Evaluation context: dose + stored data of victim and neighbors. */
+struct RowContext
+{
+    const DoseState *dose = nullptr;
+    std::uint8_t victimFill = 0x00;
+    /** Sparse byte overrides (accumulated flips) of the victim row. */
+    const std::unordered_map<int, std::uint8_t> *victimOverrides = nullptr;
+    std::uint8_t aggrFill[2] = {0x00, 0x00}; ///< Distance-1 neighbor fills.
+    double retentionSeconds = 0.0; ///< Temp-scaled unrefreshed time.
+
+    /**
+     * Per-attempt measurement noise: cells close to their threshold
+     * flip probabilistically across repeated attempts (this is why the
+     * paper repeats every search five times and why repeatability,
+     * Appendix E, is below 100 %).  Zero disables the noise.
+     */
+    double noiseSigma = 0.0;
+    std::uint64_t noiseNonce = 0;
+};
+
+/** One bitflip detected during evaluation. */
+struct FlipRecord
+{
+    int bit;            ///< Bit index within the row.
+    bool oneToZero;     ///< Logical flip direction.
+    Mechanism mechanism;
+};
+
+/** Per-die derived model parameters; exposed for tests and ablations. */
+struct CellModelParams
+{
+    // Threshold distributions (log-space).
+    double muH, sigmaH, sigmaRowH, sigmaWordH;
+    double muP, sigmaP, sigmaRowP, sigmaWordP;
+    double muRet, sigmaRet;
+
+    // Temperature response (dose multiplier per degree C above 50C).
+    double lambdaRp;
+    double lambdaRh;
+
+    // Structure.
+    double kappaDs;      ///< Double-sided RowHammer synergy.
+    double rhoWeakSide;  ///< RowPress coupling of the non-dominant side.
+    double gammaRhAggr;  ///< Hammer coupling vs aggressor-cell charge.
+    double gammaRpAggr0; ///< Press coupling vs aggressor charge, at 50C.
+    double gammaRpAggrT; ///< Temperature slope of the above (per 30C).
+    Time tauOff;         ///< Hammer recovery time constant (tAggOFF).
+    double offFloor;     ///< Hammer weight floor at tAggOFF -> 0.
+    /**
+     * Press onset: the first ~tRAS of every open interval contributes
+     * no press dose (the passing-gate stress needs the row held open
+     * past the charge-restoration transient).  This is why the paper
+     * sees only a 1.04-1.17x ACmin reduction at tAggON = 186 ns while
+     * the t >= tREFI region follows the constant-cumulative-on-time
+     * law (Obsv. 3).
+     */
+    Time pressOnset;
+    double dist2Rh, dist2Rp; ///< Distance-2 coupling attenuation.
+    double dist3Rh, dist3Rp; ///< Distance-3 coupling attenuation.
+    double antiFraction;
+};
+
+/**
+ * The per-die cell model: derives CellModelParams from a DieConfig's
+ * measured targets and answers per-cell and per-row queries.
+ */
+class CellModel
+{
+  public:
+    /** Cached per-row list of the weakest cells (search fast path). */
+    struct Candidate
+    {
+        int bit;
+        double thetaH;
+        double thetaP;
+        double tauRet;
+        bool anti;
+        int domSide;
+    };
+
+    CellModel(const DieConfig &die, int bits_per_row, std::uint64_t seed);
+
+    const DieConfig &die() const { return die_; }
+    int bitsPerRow() const { return bitsPerRow_; }
+    const CellModelParams &params() const { return params_; }
+
+    /** Mutable access for ablation studies (bench_ablation_model). */
+    CellModelParams &mutableParams() { return params_; }
+
+    // --- accumulation-time scaling helpers ---
+
+    /** Multiplier on press (on-time) dose at temperature @p temp_c. */
+    double pressTempFactor(double temp_c) const;
+
+    /** Multiplier on hammer dose at temperature @p temp_c. */
+    double hammerTempFactor(double temp_c) const;
+
+    /**
+     * Per-ACT hammer weight as a function of the aggressor's preceding
+     * off-time; normalized to 1.0 at the nominal tRP so conventional
+     * back-to-back hammering has unit weight (paper section 5.4).
+     */
+    double hammerOffWeight(Time t_off) const;
+
+    /** Retention time-scaling: x2 leakage per 10C above 80C. */
+    double retentionTempFactor(double temp_c) const;
+
+    // --- per-cell properties (deterministic in (seed,bank,row,bit)) ---
+
+    bool isAnti(int bank, int row, int bit) const;
+    int dominantSide(int bank, int row, int bit) const;
+    double thetaHammer(int bank, int row, int bit) const;
+    double thetaPress(int bank, int row, int bit) const;
+    double tauRetention(int bank, int row, int bit) const;
+
+    /** Retention-time quantile function (seconds at 80C). */
+    double retentionQuantile(double u) const;
+
+    // --- evaluation ---
+
+    /**
+     * Evaluate which cells of the row flip under @p ctx.
+     *
+     * @param full_scan evaluate all cells (needed for BER-level doses);
+     *        otherwise only the cached weakest-cell candidates are
+     *        checked (sufficient for ACmin-level searches).
+     * @param temp_c current temperature (affects data-pattern coupling).
+     */
+    std::vector<FlipRecord> evaluate(int bank, int row,
+                                     const RowContext &ctx, bool full_scan,
+                                     double temp_c) const;
+
+    /** The cached weakest-cell candidate list of a row. */
+    const std::vector<Candidate> &candidates(int bank, int row) const;
+
+    /** Drop all cached candidate lists (after parameter mutation). */
+    void invalidateCaches() { candidateCache_.clear(); }
+
+  private:
+    struct CellProps
+    {
+        double thetaH;
+        double thetaP;
+        double tauRet;
+        bool anti;
+        int domSide;
+        double uH;
+        double uP;
+    };
+
+    void deriveParams();
+    CellProps cellProps(int bank, int row, int bit) const;
+    bool evaluateCell(const CellProps &props, int bit,
+                      const RowContext &ctx, double temp_c,
+                      FlipRecord *out) const;
+
+    DieConfig die_;
+    int bitsPerRow_;
+    std::uint64_t seed_;
+    CellModelParams params_;
+
+    mutable std::unordered_map<std::uint64_t, std::vector<Candidate>>
+        candidateCache_;
+};
+
+} // namespace rp::device
+
+#endif // ROWPRESS_DEVICE_CELL_MODEL_H

@@ -1,0 +1,232 @@
+#include "device/chip.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rp::device {
+
+Chip::Chip(const DieConfig &die, dram::Organization org,
+           dram::TimingParams timing, std::uint64_t seed)
+    : org_(org), timing_(timing), fault_(die, org, seed)
+{
+    banks_.reserve(std::size_t(org_.totalBanks()));
+    for (int b = 0; b < org_.totalBanks(); ++b)
+        banks_.emplace_back(timing_);
+    rowsPerRef_ = std::max(1, org_.rows / 8192);
+}
+
+dram::Bank &
+Chip::bank(int b)
+{
+    if (b < 0 || b >= int(banks_.size()))
+        panic("bank index %d out of range", b);
+    return banks_[std::size_t(b)];
+}
+
+const dram::Bank &
+Chip::bank(int b) const
+{
+    return const_cast<Chip *>(this)->bank(b);
+}
+
+const Chip::RowMinima &
+Chip::rowMinima(int b, int row)
+{
+    auto it = minimaCache_.find(key(b, row));
+    if (it != minimaCache_.end())
+        return it->second;
+
+    RowMinima m{1e300, 1e300, 1e300};
+    for (const auto &cand : fault_.cells().candidates(b, row)) {
+        m.minThetaH = std::min(m.minThetaH, cand.thetaH);
+        m.minThetaP = std::min(m.minThetaP, cand.thetaP);
+        m.minTauRet = std::min(m.minTauRet, cand.tauRet);
+    }
+    return minimaCache_.emplace(key(b, row), m).first->second;
+}
+
+void
+Chip::restoreRow(int b, int row, Time now)
+{
+    const DoseState &dose = fault_.dose(b, row);
+    const double ret = fault_.retentionSeconds(b, row, now);
+    if (dose.empty() && ret <= 0.0) {
+        fault_.onRestore(b, row, now);
+        return;
+    }
+
+    // Conservative upper bounds on any cell's damage; if no cell can
+    // have flipped, skip the (more expensive) evaluation.
+    const auto &p = fault_.cells().params();
+    const double h_bound = (1.0 + p.kappaDs + p.gammaRhAggr) *
+                           (dose.hammer[0] + dose.hammer[1]);
+    const double p_bound = (1.0 + p.gammaRpAggr0 + 1.0) *
+                           (dose.press[0] + dose.press[1]);
+    // The 1.5x headroom covers per-attempt evaluation noise.
+    const RowMinima &m = rowMinima(b, row);
+    if (1.5 * h_bound < m.minThetaH && 1.5 * p_bound < m.minThetaP &&
+        1.5 * ret < m.minTauRet) {
+        fault_.onRestore(b, row, now);
+        return;
+    }
+
+    materializeRow(b, row, now, false);
+}
+
+void
+Chip::act(int b, int row, Time now)
+{
+    bank(b).act(row, now);
+    // Opening the row restores its own cells (latching any flips the
+    // accumulated dose already caused) and disturbs its neighbors.
+    restoreRow(b, row, now);
+    fault_.onActivate(b, row, now);
+}
+
+dram::Bank::OpenInterval
+Chip::pre(int b, Time now)
+{
+    auto interval = bank(b).pre(now);
+    fault_.onPrecharge(b, interval.row, interval.openAt, interval.closeAt);
+    return interval;
+}
+
+Time
+Chip::read(int b, int column, Time now)
+{
+    (void)column;
+    return bank(b).read(now);
+}
+
+Time
+Chip::write(int b, int column, Time now)
+{
+    (void)column;
+    return bank(b).write(now);
+}
+
+void
+Chip::refresh(Time now)
+{
+    for (auto &bk : banks_)
+        bk.ref(now);
+
+    const int lo = refreshPtr_;
+    const int hi = refreshPtr_ + rowsPerRef_;
+    refreshPtr_ = hi >= org_.rows ? 0 : hi;
+
+    // Restore every tracked row within the refreshed stripe.  Only
+    // rows with dose or retention history need attention.
+    std::vector<std::pair<int, int>> to_restore;
+    for (const auto &[b, r] : fault_.disturbedRows()) {
+        if (r >= lo && r < hi)
+            to_restore.emplace_back(b, r);
+    }
+    for (const auto &[k, rd] : data_) {
+        (void)rd;
+        const int b = int(k >> 32);
+        const int r = int(std::uint32_t(k));
+        if (r >= lo && r < hi)
+            to_restore.emplace_back(b, r);
+    }
+    std::sort(to_restore.begin(), to_restore.end());
+    to_restore.erase(std::unique(to_restore.begin(), to_restore.end()),
+                     to_restore.end());
+    for (const auto &[b, r] : to_restore)
+        restoreRow(b, r, now);
+}
+
+void
+Chip::refreshRow(int b, int row, Time now)
+{
+    restoreRow(b, row, now);
+}
+
+void
+Chip::fillRow(int b, int row, std::uint8_t fill, Time now)
+{
+    RowData &rd = data_[key(b, row)];
+    rd.fill = fill;
+    rd.overrides.clear();
+    fault_.onRestore(b, row, now);
+}
+
+std::uint8_t
+Chip::rowFill(int b, int row) const
+{
+    auto it = data_.find(key(b, row));
+    return it != data_.end() ? it->second.fill : 0x00;
+}
+
+std::uint8_t
+Chip::readByte(int b, int row, int byte_idx) const
+{
+    auto it = data_.find(key(b, row));
+    if (it == data_.end())
+        return 0x00;
+    auto ov = it->second.overrides.find(byte_idx);
+    return ov != it->second.overrides.end() ? ov->second
+                                            : it->second.fill;
+}
+
+std::vector<FlipRecord>
+Chip::materializeRow(int b, int row, Time now, bool full_scan)
+{
+    RowData &rd = data_[key(b, row)];
+
+    RowContext ctx;
+    DoseState dose = fault_.dose(b, row);
+    ctx.dose = &dose;
+    ctx.victimFill = rd.fill;
+    ctx.victimOverrides = &rd.overrides;
+    ctx.aggrFill[0] = row > 0 ? rowFill(b, row - 1) : 0x00;
+    ctx.aggrFill[1] = row + 1 < org_.rows ? rowFill(b, row + 1) : 0x00;
+    ctx.retentionSeconds = fault_.retentionSeconds(b, row, now);
+    ctx.noiseSigma = fault_.evalNoiseSigma();
+    ctx.noiseNonce = std::uint64_t(now);
+
+    auto flips = fault_.cells().evaluate(b, row, ctx, full_scan,
+                                         fault_.temperature());
+
+    for (const FlipRecord &f : flips) {
+        const int byte_idx = f.bit >> 3;
+        auto ov = rd.overrides.find(byte_idx);
+        std::uint8_t cur = ov != rd.overrides.end() ? ov->second : rd.fill;
+        cur = std::uint8_t(cur ^ (1u << (f.bit & 7)));
+        rd.overrides[byte_idx] = cur;
+    }
+
+    fault_.onRestore(b, row, now);
+    return flips;
+}
+
+std::vector<int>
+Chip::storedFlipBits(int b, int row) const
+{
+    std::vector<int> bits;
+    auto it = data_.find(key(b, row));
+    if (it == data_.end())
+        return bits;
+    for (const auto &[byte_idx, value] : it->second.overrides) {
+        const std::uint8_t diff = value ^ it->second.fill;
+        for (int i = 0; i < 8; ++i) {
+            if (diff & (1u << i))
+                bits.push_back(byte_idx * 8 + i);
+        }
+    }
+    std::sort(bits.begin(), bits.end());
+    return bits;
+}
+
+void
+Chip::reset()
+{
+    for (auto &bk : banks_)
+        bk.reset();
+    data_.clear();
+    fault_.reset();
+    refreshPtr_ = 0;
+}
+
+} // namespace rp::device

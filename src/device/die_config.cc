@@ -1,0 +1,105 @@
+#include "device/die_config.h"
+
+#include "common/logging.h"
+
+namespace rp::device {
+
+namespace {
+
+/**
+ * Calibration values transcribed from paper Tables 5 and 6, using one
+ * representative module per die revision.  BER values are the maximum
+ * bit error rates at maximum activation count within 60 ms.
+ *
+ * antiFraction encodes the observed bitflip directionality (Fig. 12):
+ * Mfr. S / H dies reach ~100 % 1->0 RowPress flips (pure true-cell
+ * layout); Mfr. M B/F dies plateau near 75 % (mixed layout); the
+ * Mfr. M 16Gb E die shows the inverted trend (mostly anti-cells).
+ */
+std::vector<DieConfig>
+buildDies()
+{
+    std::vector<DieConfig> dies;
+
+    // ---- Mfr. S (Samsung) ----
+    dies.push_back({"S-4Gb-F", "S", "Mfr. S 4Gb F-Die", "4Gb", "F",
+                    116e3, 20e3, 117e3, 0.005, 0.079,
+                    48.5, 15.0, 17.7, 0.0002,
+                    0.0, 12.0});
+    dies.push_back({"S-8Gb-B", "S", "Mfr. S 8Gb B-Die", "8Gb", "B",
+                    279e3, 47e3, 295e3, 0.001, 0.038,
+                    47.3, 12.4, 24.8, 0.00009,
+                    0.0, 10.0});
+    dies.push_back({"S-8Gb-C", "S", "Mfr. S 8Gb C-Die", "8Gb", "C",
+                    110e3, 24e3, 108e3, 0.007, 0.095,
+                    49.1, 13.0, 33.9, 0.0002,
+                    0.0, 11.0});
+    dies.push_back({"S-8Gb-D", "S", "Mfr. S 8Gb D-Die", "8Gb", "D",
+                    41e3, 12e3, 43e3, 0.077, 0.331,
+                    40.7, 11.4, 23.4, 0.0007,
+                    0.0, 14.0});
+
+    // ---- Mfr. H (SK Hynix) ----
+    dies.push_back({"H-4Gb-A", "H", "Mfr. H 4Gb A-Die", "4Gb", "A",
+                    382e3, 83e3, 373e3, 0.002, 0.011,
+                    144.0, 80.0, 50.8, 0.0,
+                    0.0, 8.0});
+    dies.push_back({"H-4Gb-X", "H", "Mfr. H 4Gb X-Die", "4Gb", "X",
+                    119e3, 20e3, 116e3, 0.009, 0.090,
+                    53.5, 21.8, 13.9, 0.00005,
+                    0.0, 9.0});
+    dies.push_back({"H-16Gb-A", "H", "Mfr. H 16Gb A-Die", "16Gb", "A",
+                    119e3, 21e3, 112e3, 0.010, 0.093,
+                    46.2, 14.3, 10.0, 0.0003,
+                    0.0, 13.0});
+    dies.push_back({"H-16Gb-C", "H", "Mfr. H 16Gb C-Die", "16Gb", "C",
+                    77e3, 14e3, 75e3, 0.022, 0.140,
+                    51.9, 25.4, 22.0, 0.00002,
+                    0.0, 12.0});
+
+    // ---- Mfr. M (Micron) ----
+    dies.push_back({"M-8Gb-B", "M", "Mfr. M 8Gb B-Die", "8Gb", "B",
+                    386e3, 87e3, 367e3, 0.003, 0.026,
+                    400.0, 250.0, 200.0, 0.0,
+                    0.25, 7.0});
+    dies.push_back({"M-16Gb-B", "M", "Mfr. M 16Gb B-Die", "16Gb", "B",
+                    114e3, 24e3, 105e3, 0.012, 0.120,
+                    55.0, 35.2, 44.5, 0.00005,
+                    0.25, 10.0});
+    dies.push_back({"M-16Gb-E", "M", "Mfr. M 16Gb E-Die", "16Gb", "E",
+                    41e3, 10e3, 39e3, 0.074, 0.392,
+                    53.3, 28.1, 28.3, 0.00003,
+                    0.85, 15.0});
+    dies.push_back({"M-16Gb-F", "M", "Mfr. M 16Gb F-Die", "16Gb", "F",
+                    31e3, 8.7e3, 30e3, 0.071, 0.232,
+                    50.9, 17.9, 18.9, 0.0001,
+                    0.25, 16.0});
+
+    return dies;
+}
+
+} // namespace
+
+const std::vector<DieConfig> &
+allDies()
+{
+    static const std::vector<DieConfig> dies = buildDies();
+    return dies;
+}
+
+const DieConfig &
+dieById(const std::string &id)
+{
+    for (const auto &d : allDies()) {
+        if (d.id == id)
+            return d;
+    }
+    fatal("unknown die id '%s'", id.c_str());
+}
+
+const DieConfig &dieS8GbB() { return dieById("S-8Gb-B"); }
+const DieConfig &dieS8GbD() { return dieById("S-8Gb-D"); }
+const DieConfig &dieH16GbA() { return dieById("H-16Gb-A"); }
+const DieConfig &dieM16GbF() { return dieById("M-16Gb-F"); }
+
+} // namespace rp::device

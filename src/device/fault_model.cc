@@ -1,0 +1,144 @@
+#include "device/fault_model.h"
+
+namespace rp::device {
+
+FaultModel::FaultModel(const DieConfig &die, const dram::Organization &org,
+                       std::uint64_t seed)
+    : org_(org),
+      cells_(die, org.columns * org.blockBytes * 8, seed)
+{
+}
+
+DoseState &
+FaultModel::state(int bank, int row)
+{
+    return doses_[key(bank, row)];
+}
+
+void
+FaultModel::onActivate(int bank, int row, Time now)
+{
+    // Hammer weight depends on how long this aggressor rested since it
+    // was last closed (charge recombination; paper section 5.4).
+    Time t_off = -1;
+    if (auto it = lastClose_.find(key(bank, row)); it != lastClose_.end())
+        t_off = now - it->second;
+
+    const double w = cells_.hammerOffWeight(t_off) *
+                     cells_.hammerTempFactor(temperatureC_);
+    const auto &p = cells_.params();
+    const double atten[4] = {0.0, 1.0, p.dist2Rh, p.dist3Rh};
+
+    for (int d = 1; d <= 3; ++d) {
+        for (int sign : {-1, +1}) {
+            const int victim = row + sign * d;
+            if (victim < 0 || victim >= org_.rows)
+                continue;
+            // The aggressor sits below (side 0) or above (side 1) the
+            // victim.
+            const int side = sign > 0 ? 0 : 1;
+            state(bank, victim).hammer[side] += w * atten[d];
+        }
+    }
+}
+
+void
+FaultModel::onPrecharge(int bank, int row, Time open_at, Time close_at)
+{
+    lastClose_[key(bank, row)] = close_at;
+
+    // The press-onset transient of each open interval contributes no
+    // passing-gate stress (CellModelParams::pressOnset).
+    const double on_time =
+        double(close_at - open_at - cells_.params().pressOnset);
+    if (on_time <= 0.0)
+        return;
+    const double scaled = on_time * cells_.pressTempFactor(temperatureC_);
+    const auto &p = cells_.params();
+    const double atten[4] = {0.0, 1.0, p.dist2Rp, p.dist3Rp};
+
+    for (int d = 1; d <= 3; ++d) {
+        for (int sign : {-1, +1}) {
+            const int victim = row + sign * d;
+            if (victim < 0 || victim >= org_.rows)
+                continue;
+            const int side = sign > 0 ? 0 : 1;
+            state(bank, victim).press[side] += scaled * atten[d];
+        }
+    }
+}
+
+void
+FaultModel::onRestore(int bank, int row, Time now)
+{
+    doses_.erase(key(bank, row));
+    lastRestore_[key(bank, row)] = now;
+}
+
+const DoseState &
+FaultModel::dose(int bank, int row) const
+{
+    static const DoseState zero;
+    auto it = doses_.find(key(bank, row));
+    return it != doses_.end() ? it->second : zero;
+}
+
+double
+FaultModel::retentionSeconds(int bank, int row, Time now) const
+{
+    Time since = now;
+    if (auto it = lastRestore_.find(key(bank, row));
+        it != lastRestore_.end())
+        since = now - it->second;
+    if (since <= 0)
+        return 0.0;
+    return toSec(since) * cells_.retentionTempFactor(temperatureC_);
+}
+
+std::vector<std::pair<int, int>>
+FaultModel::disturbedRows() const
+{
+    std::vector<std::pair<int, int>> rows;
+    rows.reserve(doses_.size());
+    for (const auto &[k, v] : doses_) {
+        if (!v.empty())
+            rows.emplace_back(int(k >> 32), int(std::uint32_t(k)));
+    }
+    return rows;
+}
+
+void
+FaultModel::reset()
+{
+    doses_.clear();
+    lastClose_.clear();
+    lastRestore_.clear();
+}
+
+void
+FaultModel::scaleDoseDelta(const DoseMap &before, double factor)
+{
+    if (factor <= 0.0)
+        return;
+    for (auto &[k, cur] : doses_) {
+        DoseState prev;
+        if (auto it = before.find(k); it != before.end())
+            prev = it->second;
+        for (int s = 0; s < 2; ++s) {
+            cur.hammer[s] += (cur.hammer[s] - prev.hammer[s]) * factor;
+            cur.press[s] += (cur.press[s] - prev.press[s]) * factor;
+        }
+    }
+}
+
+void
+FaultModel::shiftRowHistory(int bank, int row, Time delta)
+{
+    if (auto it = lastClose_.find(key(bank, row)); it != lastClose_.end())
+        it->second += delta;
+    if (auto it = lastRestore_.find(key(bank, row));
+        it != lastRestore_.end())
+        it->second += delta;
+}
+
+} // namespace rp::device

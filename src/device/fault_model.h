@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dose accounting for read disturbance.
+ *
+ * The FaultModel listens to row activity (ACT / PRE / restore events)
+ * and maintains, for every disturbed victim row, the accumulated
+ * hammer and press doses since that row's charge was last restored.
+ * Doses are pre-scaled at accumulation time by:
+ *  - temperature factors (RowPress: Arrhenius-like acceleration;
+ *    RowHammer: the mild, die-specific response from Table 5);
+ *  - the aggressor's preceding off-time (hammer recovery weight,
+ *    paper section 5.4);
+ *  - row-distance attenuation (victims up to +/-3 rows).
+ */
+
+#ifndef ROWPRESS_DEVICE_FAULT_MODEL_H
+#define ROWPRESS_DEVICE_FAULT_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "device/cell_model.h"
+#include "dram/address.h"
+
+namespace rp::device {
+
+/** Tracks disturbance doses for every victim row of one chip. */
+class FaultModel
+{
+  public:
+    FaultModel(const DieConfig &die, const dram::Organization &org,
+               std::uint64_t seed);
+
+    CellModel &cells() { return cells_; }
+    const CellModel &cells() const { return cells_; }
+    const dram::Organization &org() const { return org_; }
+
+    void setTemperature(double temp_c) { temperatureC_ = temp_c; }
+    double temperature() const { return temperatureC_; }
+
+    /** Per-attempt measurement-noise level (0 = deterministic). */
+    void setEvalNoiseSigma(double sigma) { evalNoiseSigma_ = sigma; }
+    double evalNoiseSigma() const { return evalNoiseSigma_; }
+
+    /** Aggressor row opened: deposit hammer dose on neighbors. */
+    void onActivate(int bank, int row, Time now);
+
+    /** Aggressor row closed: deposit press dose for the open interval. */
+    void onPrecharge(int bank, int row, Time open_at, Time close_at);
+
+    /**
+     * The row's charge was restored (refresh, own activation, or
+     * write): clear its accumulated dose and restart retention.
+     */
+    void onRestore(int bank, int row, Time now);
+
+    /** Dose state of a row (a zero state if it was never disturbed). */
+    const DoseState &dose(int bank, int row) const;
+
+    /** Temperature-scaled unrefreshed seconds of a row at @p now. */
+    double retentionSeconds(int bank, int row, Time now) const;
+
+    /** Rows that currently carry non-zero dose (bank, row pairs). */
+    std::vector<std::pair<int, int>> disturbedRows() const;
+
+    /** Clear all dose state (platform reset). */
+    void reset();
+
+    // --- loop fast-forward support (bender::TestPlatform) ---
+
+    using DoseMap = std::unordered_map<std::uint64_t, DoseState>;
+
+    /** Snapshot of all current doses. */
+    DoseMap snapshotDoses() const { return doses_; }
+
+    /**
+     * Replay the dose growth between @p before and the current state
+     * an additional @p factor times (steady-state loop extrapolation).
+     */
+    void scaleDoseDelta(const DoseMap &before, double factor);
+
+    /**
+     * Advance a row's close/restore history by @p delta (applied to
+     * rows the fast-forwarded loop body activates, so that subsequent
+     * tAggOFF weights and retention clocks stay consistent).
+     */
+    void shiftRowHistory(int bank, int row, Time delta);
+
+  private:
+    static std::uint64_t
+    key(int bank, int row)
+    {
+        return (std::uint64_t(std::uint32_t(bank)) << 32) |
+               std::uint32_t(row);
+    }
+
+    DoseState &state(int bank, int row);
+
+    dram::Organization org_;
+    CellModel cells_;
+    double temperatureC_ = 50.0;
+    double evalNoiseSigma_ = 0.05;
+
+    std::unordered_map<std::uint64_t, DoseState> doses_;
+    /** Last close time per aggressor row (for tAggOFF weighting). */
+    std::unordered_map<std::uint64_t, Time> lastClose_;
+    /** Last restore time per row (for retention). */
+    std::unordered_map<std::uint64_t, Time> lastRestore_;
+};
+
+} // namespace rp::device
+
+#endif // ROWPRESS_DEVICE_FAULT_MODEL_H

@@ -1,0 +1,118 @@
+#include "dram/address.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace rp::dram {
+
+std::string
+Address::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "ra%d bg%d ba%d row%d col%d",
+                  rank, bankGroup, bank, row, column);
+    return buf;
+}
+
+int
+AddressMapper::log2i(std::int64_t v)
+{
+    int b = 0;
+    while ((std::int64_t(1) << b) < v)
+        ++b;
+    return b;
+}
+
+AddressMapper::AddressMapper(Organization org, bool xor_bank_hash)
+    : org_(org), xorBankHash_(xor_bank_hash)
+{
+    offsetBits_ = log2i(org_.blockBytes);
+    columnBits_ = log2i(org_.columns);
+    bgBits_ = log2i(org_.bankGroups);
+    bankBits_ = log2i(org_.banksPerGroup);
+    rankBits_ = log2i(org_.ranks);
+    rowBits_ = log2i(org_.rows);
+
+    if ((1 << columnBits_) != org_.columns ||
+        (1 << bgBits_) != org_.bankGroups ||
+        (1 << bankBits_) != org_.banksPerGroup ||
+        (1 << rankBits_) != org_.ranks ||
+        (1 << rowBits_) != org_.rows) {
+        fatal("AddressMapper requires power-of-two organization fields");
+    }
+}
+
+Address
+AddressMapper::decode(std::uint64_t phys_addr) const
+{
+    std::uint64_t a = phys_addr >> offsetBits_;
+    Address out;
+    out.column = int(a & ((1u << columnBits_) - 1));
+    a >>= columnBits_;
+    out.bankGroup = int(a & ((1u << bgBits_) - 1));
+    a >>= bgBits_;
+    out.bank = int(a & ((1u << bankBits_) - 1));
+    a >>= bankBits_;
+    out.rank = int(a & ((1u << rankBits_) - 1));
+    a >>= rankBits_;
+    out.row = int(a & ((1u << rowBits_) - 1));
+
+    if (xorBankHash_) {
+        // Fold low row bits into the bank-group bits (DRAMA-style hash).
+        out.bankGroup ^= out.row & ((1 << bgBits_) - 1);
+    }
+    return out;
+}
+
+std::uint64_t
+AddressMapper::encode(const Address &a) const
+{
+    int bg = a.bankGroup;
+    if (xorBankHash_)
+        bg ^= a.row & ((1 << bgBits_) - 1);
+
+    std::uint64_t out = std::uint64_t(a.row);
+    out = (out << rankBits_) | std::uint64_t(a.rank);
+    out = (out << bankBits_) | std::uint64_t(a.bank);
+    out = (out << bgBits_) | std::uint64_t(bg);
+    out = (out << columnBits_) | std::uint64_t(a.column);
+    out <<= offsetBits_;
+    return out;
+}
+
+RowScrambler::RowScrambler(Scheme scheme, int rows)
+    : scheme_(scheme), rows_(rows)
+{
+    if (rows_ <= 0 || (rows_ & (rows_ - 1)) != 0)
+        fatal("RowScrambler requires a power-of-two row count, got %d",
+              rows_);
+}
+
+int
+RowScrambler::logicalToPhysical(int logical_row) const
+{
+    switch (scheme_) {
+      case Scheme::None:
+        return logical_row;
+      case Scheme::FoldedPair:
+        // Within each aligned group of 4, swap the middle pair:
+        // 0 1 2 3 -> 0 2 1 3.  Self-inverse.
+        {
+            int group = logical_row & ~3;
+            int pos = logical_row & 3;
+            static constexpr int perm[4] = {0, 2, 1, 3};
+            return group | perm[pos];
+        }
+    }
+    return logical_row;
+}
+
+int
+RowScrambler::physicalToLogical(int physical_row) const
+{
+    // Both supported schemes are involutions.
+    return logicalToPhysical(physical_row);
+}
+
+} // namespace rp::dram

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * DRAM organization, logical addresses, and physical-address mapping.
+ *
+ * Two distinct mapping concerns appear in the paper:
+ *  - the memory controller's physical-address -> (channel, rank, bank
+ *    group, bank, row, column) interleaving (reverse-engineered with
+ *    DRAMA in section 6.1); and
+ *  - in-DRAM row remapping: the row index the controller sends is not
+ *    necessarily physically adjacent to index +/- 1 (section 3.2).
+ */
+
+#ifndef ROWPRESS_DRAM_ADDRESS_H
+#define ROWPRESS_DRAM_ADDRESS_H
+
+#include <cstdint>
+#include <string>
+
+namespace rp::dram {
+
+/** Geometry of one DRAM channel. */
+struct Organization
+{
+    int ranks = 1;
+    int bankGroups = 4;
+    int banksPerGroup = 4;
+    int rows = 65536;
+    int columns = 128;      ///< Cache-block-sized columns per row.
+    int blockBytes = 64;    ///< Bytes per column (one cache block).
+
+    int banksPerRank() const { return bankGroups * banksPerGroup; }
+    int totalBanks() const { return ranks * banksPerRank(); }
+    std::int64_t rowBytes() const
+    {
+        return std::int64_t(columns) * blockBytes;
+    }
+    std::int64_t
+    capacityBytes() const
+    {
+        return std::int64_t(totalBanks()) * rows * rowBytes();
+    }
+};
+
+/** Fully decoded DRAM coordinates of one cache-block access. */
+struct Address
+{
+    int rank = 0;
+    int bankGroup = 0;
+    int bank = 0;
+    int row = 0;
+    int column = 0;
+
+    /** Flat bank index within the channel. */
+    int
+    flatBank(const Organization &org) const
+    {
+        return (rank * org.bankGroups + bankGroup) * org.banksPerGroup +
+               bank;
+    }
+
+    bool
+    sameBank(const Address &o) const
+    {
+        return rank == o.rank && bankGroup == o.bankGroup && bank == o.bank;
+    }
+
+    std::string str() const;
+};
+
+/**
+ * Physical-address interleaving used by the performance simulator and
+ * the real-system demonstration.  Bit layout (low to high):
+ * block offset | column | bank group (XORed with row bits) | bank |
+ * rank | row.  The XOR fold mimics the bank-hashing that DRAMA
+ * reverse-engineers on Intel parts.
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(Organization org, bool xor_bank_hash = true);
+
+    const Organization &org() const { return org_; }
+
+    /** Decode a physical byte address. */
+    Address decode(std::uint64_t phys_addr) const;
+
+    /** Inverse of decode (for constructing attack pointers). */
+    std::uint64_t encode(const Address &a) const;
+
+  private:
+    static int log2i(std::int64_t v);
+
+    Organization org_;
+    bool xorBankHash_;
+    int columnBits_;
+    int bgBits_;
+    int bankBits_;
+    int rankBits_;
+    int rowBits_;
+    int offsetBits_;
+};
+
+/**
+ * In-DRAM logical-to-physical row remapping.
+ *
+ * Real chips scramble row addresses inside the die; the paper
+ * reverse-engineers the layout so that "adjacent" means physically
+ * adjacent.  We model the common folded scheme where pairs of logical
+ * rows swap within 2^k-row groups, parameterized per die, plus the
+ * identity scheme.  The characterization code always works in
+ * *physical* row space after calling logicalToPhysical(), exactly like
+ * the paper's methodology.
+ */
+class RowScrambler
+{
+  public:
+    enum class Scheme
+    {
+        None,       ///< logical == physical.
+        FoldedPair, ///< Swap rows within aligned pairs (MSB-flip fold).
+    };
+
+    RowScrambler(Scheme scheme, int rows);
+
+    int logicalToPhysical(int logical_row) const;
+    int physicalToLogical(int physical_row) const;
+
+    Scheme scheme() const { return scheme_; }
+
+  private:
+    Scheme scheme_;
+    int rows_;
+};
+
+} // namespace rp::dram
+
+#endif // ROWPRESS_DRAM_ADDRESS_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * DRAM command set used by both the testing platform and the
+ * performance simulator.
+ */
+
+#ifndef ROWPRESS_DRAM_COMMAND_H
+#define ROWPRESS_DRAM_COMMAND_H
+
+namespace rp::dram {
+
+/** DDR4 commands relevant to the RowPress study. */
+enum class Command
+{
+    ACT,    ///< Activate (open) a row.
+    PRE,    ///< Precharge (close) the open row of one bank.
+    PREA,   ///< Precharge all banks in a rank.
+    RD,     ///< Column read.
+    WR,     ///< Column write.
+    REF,    ///< Auto-refresh.
+    NOP,    ///< Idle filler (timed delay in test programs).
+};
+
+/** Human-readable command mnemonic. */
+constexpr const char *
+commandName(Command c)
+{
+    switch (c) {
+      case Command::ACT: return "ACT";
+      case Command::PRE: return "PRE";
+      case Command::PREA: return "PREA";
+      case Command::RD: return "RD";
+      case Command::WR: return "WR";
+      case Command::REF: return "REF";
+      case Command::NOP: return "NOP";
+    }
+    return "???";
+}
+
+} // namespace rp::dram
+
+#endif // ROWPRESS_DRAM_COMMAND_H

@@ -1,0 +1,75 @@
+#include "dram/timing.h"
+
+namespace rp::dram {
+
+using namespace rp::literals;
+
+TimingParams
+ddr4_2400()
+{
+    TimingParams t;
+    t.name = "DDR4-2400R";
+    t.tCK = 833_ps;
+    t.tRAS = 32_ns;
+    t.tRP = 13910_ps;       // 17 cycles (13.91 ns, 17-17-17 bin).
+    t.tRCD = 13910_ps;
+    t.tCL = 13910_ps;
+    t.tCWL = 10 * t.tCK;
+    t.tBL = 4 * t.tCK;
+    t.tCCDS = 4 * t.tCK;
+    t.tCCDL = 6 * t.tCK;
+    t.tRRDS = 4 * t.tCK;
+    t.tRRDL = 6 * t.tCK;
+    t.tFAW = 26 * t.tCK;
+    t.tWR = 15_ns;
+    t.tRTP = 8 * t.tCK;
+    t.tWTRS = 3 * t.tCK;
+    t.tWTRL = 9 * t.tCK;
+    t.tRFC = 350_ns;
+    t.tREFI = 7800_ns;
+    t.tREFW = 64_ms;
+    return t;
+}
+
+TimingParams
+ddr4_3200()
+{
+    TimingParams t;
+    t.name = "DDR4-3200W";
+    t.tCK = 625_ps;
+    t.tRAS = 32_ns;
+    t.tRP = 13750_ps;       // 22 cycles.
+    t.tRCD = 13750_ps;
+    t.tCL = 13750_ps;
+    t.tCWL = 16 * t.tCK;
+    t.tBL = 4 * t.tCK;
+    t.tCCDS = 4 * t.tCK;
+    t.tCCDL = 8 * t.tCK;
+    t.tRRDS = 4 * t.tCK;
+    t.tRRDL = 8 * t.tCK;
+    t.tFAW = 34 * t.tCK;
+    t.tWR = 15_ns;
+    t.tRTP = 12 * t.tCK;
+    t.tWTRS = 4 * t.tCK;
+    t.tWTRL = 12 * t.tCK;
+    t.tRFC = 350_ns;
+    t.tREFI = 7800_ns;
+    t.tREFW = 64_ms;
+    return t;
+}
+
+TimingParams
+benderTiming()
+{
+    TimingParams t = ddr4_2400();
+    t.name = "DRAM-Bender";
+    // Paper footnote 3: the study uses a 36 ns minimum tAggON to cover
+    // the whole 32-35 ns tRAS range, and a 1.5 ns command granularity.
+    t.tCK = 1500_ps;
+    t.tRAS = 36_ns;
+    t.tRP = 15_ns;
+    t.tRCD = 15_ns;
+    return t;
+}
+
+} // namespace rp::dram

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * JEDEC DDR4 timing parameters (JESD79-4C) and speed-bin presets.
+ *
+ * All parameters are stored in picoseconds.  Only the parameters the
+ * RowPress study exercises are modelled; see paper section 2.3.
+ */
+
+#ifndef ROWPRESS_DRAM_TIMING_H
+#define ROWPRESS_DRAM_TIMING_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace rp::dram {
+
+/** DDR4 timing parameter set. */
+struct TimingParams
+{
+    std::string name;   ///< Speed-bin label, e.g. "DDR4-3200W".
+
+    Time tCK;           ///< Clock period.
+    Time tRAS;          ///< Minimum row open time (ACT -> PRE).
+    Time tRP;           ///< Precharge latency (PRE -> ACT).
+    Time tRCD;          ///< ACT -> first RD/WR.
+    Time tCL;           ///< Read CAS latency.
+    Time tCWL;          ///< Write CAS latency.
+    Time tBL;           ///< Burst duration (BL8).
+    Time tCCDS;         ///< Column-to-column, different bank group.
+    Time tCCDL;         ///< Column-to-column, same bank group.
+    Time tRRDS;         ///< ACT-to-ACT, different bank group.
+    Time tRRDL;         ///< ACT-to-ACT, same bank group.
+    Time tFAW;          ///< Four-activate window.
+    Time tWR;           ///< Write recovery.
+    Time tRTP;          ///< Read-to-precharge.
+    Time tWTRS;         ///< Write-to-read, different bank group.
+    Time tWTRL;         ///< Write-to-read, same bank group.
+    Time tRFC;          ///< Refresh cycle time.
+    Time tREFI;         ///< Refresh command interval (7.8 us nominal).
+    Time tREFW;         ///< Refresh window per row (64 ms nominal).
+
+    /** ACT-to-ACT on the same bank (tRAS + tRP). */
+    Time tRC() const { return tRAS + tRP; }
+
+    /** Maximum row-open time with no postponed REFs (paper: 7.8 us). */
+    Time maxRowOpenNoPostpone() const { return tREFI; }
+
+    /** Maximum row-open time with 8 postponed REFs (paper: 70.2 us). */
+    Time maxRowOpenPostponed() const { return 9 * tREFI; }
+};
+
+/** DDR4-2400 (17-17-17), matching the characterized modules' class. */
+TimingParams ddr4_2400();
+
+/** DDR4-3200W (22-22-22), the paper's Ramulator configuration. */
+TimingParams ddr4_3200();
+
+/**
+ * The characterization platform's idealized timing: tRAS rounded to the
+ * 36 ns minimum tAggON the paper uses (footnote 3) and a 1.5 ns command
+ * bus granularity like DRAM Bender.
+ */
+TimingParams benderTiming();
+
+} // namespace rp::dram
+
+#endif // ROWPRESS_DRAM_TIMING_H

@@ -1,0 +1,70 @@
+#include "mitigation/adapter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::mitigation {
+
+using namespace rp::literals;
+
+double
+DisturbProfile::worstRatioUpTo(Time t_mro) const
+{
+    double worst = 1.0;
+    for (const auto &p : points) {
+        if (p.tAggOn <= t_mro)
+            worst = std::min(worst, p.acminRatio);
+    }
+    return worst;
+}
+
+DisturbProfile
+paperTable3Profile()
+{
+    DisturbProfile profile;
+    profile.points = {
+        {36_ns, 1.000}, {66_ns, 0.809}, {96_ns, 0.724},
+        {186_ns, 0.619}, {336_ns, 0.555}, {636_ns, 0.419},
+    };
+    return profile;
+}
+
+AdaptedConfig
+adaptThreshold(const DisturbProfile &profile, std::uint32_t base_trh,
+               Time t_mro)
+{
+    AdaptedConfig cfg;
+    cfg.tMro = t_mro;
+    cfg.baseTrh = base_trh;
+    const double ratio = profile.worstRatioUpTo(t_mro);
+    cfg.adaptedTrh = std::uint32_t(
+        std::max(1.0, std::floor(double(base_trh) * ratio)));
+    return cfg;
+}
+
+bool
+adaptationIsSound(const DisturbProfile &profile, std::uint32_t base_trh,
+                  const std::vector<Time> &t_mros)
+{
+    // A profile point above 1.0 claims longer row-open time *reduces*
+    // read disturbance - not a safe basis for loosening a threshold.
+    for (const auto &p : profile.points) {
+        if (p.acminRatio > 1.0 + 1e-9 || p.acminRatio <= 0.0)
+            return false;
+    }
+
+    std::uint32_t prev = base_trh + 1;
+    std::vector<Time> sorted = t_mros;
+    std::sort(sorted.begin(), sorted.end());
+    for (Time t : sorted) {
+        const auto cfg = adaptThreshold(profile, base_trh, t);
+        if (cfg.adaptedTrh > base_trh)
+            return false;
+        if (cfg.adaptedTrh > prev)
+            return false; // larger t_mro must not raise the threshold
+        prev = cfg.adaptedTrh;
+    }
+    return true;
+}
+
+} // namespace rp::mitigation

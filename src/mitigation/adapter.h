@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's primary mitigation contribution (section 7.4): a
+ * methodology that adapts existing RowHammer mitigations to also
+ * cover RowPress.
+ *
+ * Key idea: from device characterization, quantify the worst-case
+ * ACmin reduction caused by keeping a row open up to t_mro, translate
+ * it into an equivalently reduced RowHammer threshold
+ * T'_RH = (1 - Y%) T_RH, configure the underlying mitigation for
+ * T'_RH, and have the memory controller enforce the maximum row-open
+ * time t_mro.
+ */
+
+#ifndef ROWPRESS_MITIGATION_ADAPTER_H
+#define ROWPRESS_MITIGATION_ADAPTER_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "mitigation/mitigation.h"
+
+namespace rp::mitigation {
+
+/**
+ * Worst-case read-disturbance profile of a device: how much ACmin
+ * shrinks as the row-open time grows, relative to ACmin at tRAS.
+ * Values are in (0, 1]; worst case across temperature, access
+ * pattern, and data pattern (section 7.4's security requirement).
+ */
+struct DisturbProfile
+{
+    struct Point
+    {
+        Time tAggOn;
+        double acminRatio; ///< ACmin(tAggOn) / ACmin(tRAS).
+    };
+
+    std::vector<Point> points; ///< Sorted by tAggOn.
+
+    /** Worst (smallest) ratio over all tAggOn <= @p t_mro. */
+    double worstRatioUpTo(Time t_mro) const;
+};
+
+/**
+ * The characterization-derived profile of the Mfr. S 8Gb B-die the
+ * paper uses to configure Graphene-RP and PARA-RP (Table 3's T'_RH
+ * row: 36 ns -> 1.0, 66 -> 0.809, 96 -> 0.724, 186 -> 0.619,
+ * 336 -> 0.555, 636 -> 0.419).
+ */
+DisturbProfile paperTable3Profile();
+
+/** One adapted operating point. */
+struct AdaptedConfig
+{
+    Time tMro;                  ///< Enforced maximum row-open time.
+    std::uint32_t baseTrh;      ///< Original RowHammer threshold.
+    std::uint32_t adaptedTrh;   ///< T'_RH = worst-ratio x T_RH.
+};
+
+/** Apply the adaptation methodology at one t_mro point. */
+AdaptedConfig adaptThreshold(const DisturbProfile &profile,
+                             std::uint32_t base_trh, Time t_mro);
+
+/**
+ * Security check used in unit tests: the adapted threshold must never
+ * exceed the base threshold, and tightening t_mro must never loosen
+ * the threshold (monotonicity).
+ */
+bool adaptationIsSound(const DisturbProfile &profile,
+                       std::uint32_t base_trh,
+                       const std::vector<Time> &t_mros);
+
+} // namespace rp::mitigation
+
+#endif // ROWPRESS_MITIGATION_ADAPTER_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Read-disturbance mitigation interface used by the performance
+ * simulator's memory controller (paper section 7).
+ *
+ * A mitigation observes every row activation and may request
+ * *preventive refreshes* of potential victim rows; the controller
+ * models their cost (the bank is busy for one row cycle per refreshed
+ * row).
+ */
+
+#ifndef ROWPRESS_MITIGATION_MITIGATION_H
+#define ROWPRESS_MITIGATION_MITIGATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rp::mitigation {
+
+/** Base class for activation-triggered mitigation mechanisms. */
+class Mitigation
+{
+  public:
+    virtual ~Mitigation() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Observe an activation of @p row in @p flat_bank; append any
+     * victim rows that must be preventively refreshed to @p victims.
+     */
+    virtual void onActivate(int flat_bank, int row,
+                            std::vector<int> &victims) = 0;
+
+    /** Called at every refresh-window (tREFW) boundary. */
+    virtual void onRefreshWindow() {}
+
+    /** Victim-row refreshes requested so far. */
+    std::uint64_t preventiveRefreshes() const { return preventive_; }
+
+  protected:
+    std::uint64_t preventive_ = 0;
+};
+
+} // namespace rp::mitigation
+
+#endif // ROWPRESS_MITIGATION_MITIGATION_H

@@ -1,0 +1,14 @@
+#include "mitigation/para.h"
+
+namespace rp::mitigation {
+
+ParaConfig
+paraFor(std::uint32_t adapted_trh, std::uint64_t seed)
+{
+    ParaConfig cfg;
+    cfg.p = 34.0 / double(adapted_trh);
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace rp::mitigation

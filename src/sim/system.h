@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-core simulated system: N trace-driven cores sharing one
+ * memory controller (paper Table 7 configuration), plus the
+ * evaluation metrics the paper reports (IPC, weighted speedup,
+ * row-buffer statistics, per-row activation counts).
+ */
+
+#ifndef ROWPRESS_SIM_SYSTEM_H
+#define ROWPRESS_SIM_SYSTEM_H
+
+#include <string>
+#include <vector>
+
+#include "sim/controller.h"
+#include "sim/core.h"
+#include "workloads/presets.h"
+
+namespace rp::sim {
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    ControllerConfig mem;
+    CoreConfig core;
+    std::vector<workloads::WorkloadParams> workloads; ///< One per core.
+    std::uint64_t seed = 1;
+    Time cpuCycle = 250;                 ///< ps (4 GHz, Table 7).
+    std::uint64_t maxCycles = 400000000; ///< Safety cap.
+};
+
+/** Results of one run. */
+struct SystemResult
+{
+    struct PerCore
+    {
+        std::string workload;
+        std::uint64_t instrs = 0;
+        std::uint64_t cycles = 0;
+        double ipc = 0.0;
+    };
+
+    std::vector<PerCore> cores;
+    ControllerStats mem;
+
+    double ipcOf(std::size_t core) const { return cores.at(core).ipc; }
+
+    /**
+     * Weighted speedup against per-core alone IPCs
+     * (Snavely & Tullsen): sum_i IPC_shared_i / IPC_alone_i.
+     */
+    double weightedSpeedup(const std::vector<double> &alone_ipcs) const;
+};
+
+/** Run the system to completion (all cores hit their instr limit). */
+SystemResult runSystem(const SystemConfig &cfg);
+
+/**
+ * Convenience: run one workload alone on the given memory config and
+ * return its IPC (the weighted-speedup baseline).
+ */
+double aloneIpc(const workloads::WorkloadParams &workload,
+                const ControllerConfig &mem, const CoreConfig &core,
+                std::uint64_t seed = 1);
+
+} // namespace rp::sim
+
+#endif // ROWPRESS_SIM_SYSTEM_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Functional cache-presence model for the real-system demonstration.
+ *
+ * The demo only needs to know whether a load hits the cache hierarchy
+ * (no DRAM traffic) or misses (DRAM access), and to honour
+ * clflushopt's invalidate semantics.  Aggressor rows are read-only
+ * after initialization, so flushed lines are clean and flushing
+ * produces no write-back traffic.
+ */
+
+#ifndef ROWPRESS_SYS_CACHE_H
+#define ROWPRESS_SYS_CACHE_H
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace rp::sys {
+
+/** Presence-set cache model with clflushopt support. */
+class CacheModel
+{
+  public:
+    /** Load a line; returns true on hit, inserts on miss. */
+    bool
+    load(std::uint64_t line_addr)
+    {
+        auto [it, inserted] = lines_.insert(line_addr);
+        (void)it;
+        return !inserted;
+    }
+
+    /** clflushopt: drop the line (clean lines write nothing back). */
+    void
+    clflush(std::uint64_t line_addr)
+    {
+        lines_.erase(line_addr);
+    }
+
+    void clear() { lines_.clear(); }
+    std::size_t residentLines() const { return lines_.size(); }
+
+  private:
+    std::unordered_set<std::uint64_t> lines_;
+};
+
+} // namespace rp::sys
+
+#endif // ROWPRESS_SYS_CACHE_H

@@ -1,0 +1,78 @@
+#include "sys/trr.h"
+
+#include <algorithm>
+
+namespace rp::sys {
+
+TrrEngine::TrrEngine() : TrrEngine(Config{}) {}
+
+TrrEngine::TrrEngine(Config cfg) : cfg_(cfg)
+{
+    table_.resize(std::size_t(cfg_.tableEntries));
+}
+
+void
+TrrEngine::onActivate(int row)
+{
+    // Recency sampler: remember the latest distinct rows.
+    if (recent_.empty() || recent_.front() != row) {
+        recent_.insert(recent_.begin(), row);
+        if (int(recent_.size()) > cfg_.recentRows)
+            recent_.resize(std::size_t(cfg_.recentRows));
+    }
+
+    // Misra-Gries frequent-item summary.
+    for (auto &e : table_) {
+        if (e.row == row) {
+            ++e.count;
+            return;
+        }
+    }
+    for (auto &e : table_) {
+        if (e.row < 0 || e.count == 0) {
+            e.row = row;
+            e.count = 1;
+            return;
+        }
+    }
+    for (auto &e : table_)
+        --e.count;
+}
+
+void
+TrrEngine::appendNeighbors(int row, std::vector<int> &out) const
+{
+    for (int d = 1; d <= cfg_.neighborhood; ++d) {
+        out.push_back(row - d);
+        out.push_back(row + d);
+    }
+}
+
+std::vector<int>
+TrrEngine::onRefresh()
+{
+    std::vector<int> victims;
+
+    for (int row : recent_)
+        appendNeighbors(row, victims);
+    recent_.clear();
+
+    auto top = std::max_element(
+        table_.begin(), table_.end(),
+        [](const Entry &a, const Entry &b) { return a.count < b.count; });
+    if (top != table_.end() && top->row >= 0 &&
+        top->count >= cfg_.actThreshold) {
+        appendNeighbors(top->row, victims);
+        top->row = -1;
+        top->count = 0;
+    }
+
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    if (!victims.empty())
+        ++targeted_;
+    return victims;
+}
+
+} // namespace rp::sys

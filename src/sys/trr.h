@@ -1,0 +1,75 @@
+/**
+ * @file
+ * In-DRAM Target Row Refresh (TRR) model.
+ *
+ * Real DDR4 TRR implementations sample recently activated rows and
+ * refresh their neighbors during regular REF commands (Frigo et al.,
+ * "TRRespass"; Hassan et al., "U-TRR").  We model the two mechanisms
+ * observed on commodity parts:
+ *
+ *  - a *recency sampler*: the rows activated immediately before a REF
+ *    are treated as aggressor candidates and their neighbors are
+ *    refreshed.  This is why the paper's demonstration synchronizes
+ *    its access pattern with refresh and parks 16 dummy-row
+ *    activations right before each REF (section 6.2) - and why the
+ *    attack collapses once the aggressor phase grows past the tREFI
+ *    slot and a REF lands in the middle of it (Obsv. 21);
+ *  - a small Misra-Gries counter table that catches rows hammered at a
+ *    sustained high rate even if they dodge the recency sampler.
+ */
+
+#ifndef ROWPRESS_SYS_TRR_H
+#define ROWPRESS_SYS_TRR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rp::sys {
+
+/** Sampler-based in-DRAM TRR engine for one bank. */
+class TrrEngine
+{
+  public:
+    struct Config
+    {
+        int recentRows = 2;       ///< Recency-sampled rows per REF.
+        int tableEntries = 4;     ///< Counter-tracked candidates.
+        int neighborhood = 2;     ///< Rows refreshed on each side.
+        /** Counter value required before a victim refresh triggers. */
+        std::uint32_t actThreshold = 48;
+    };
+
+    TrrEngine();
+    explicit TrrEngine(Config cfg);
+
+    /** Observe an activation (called by the DRAM chip on every ACT). */
+    void onActivate(int row);
+
+    /**
+     * A REF command arrived: return the victim rows to refresh (the
+     * neighbors of the recency-sampled rows, plus the neighbors of any
+     * counter-table candidate past the threshold).
+     */
+    std::vector<int> onRefresh();
+
+    /** Number of REFs that performed at least one victim refresh. */
+    std::uint64_t targetedRefreshes() const { return targeted_; }
+
+  private:
+    struct Entry
+    {
+        int row = -1;
+        std::uint32_t count = 0;
+    };
+
+    void appendNeighbors(int row, std::vector<int> &out) const;
+
+    Config cfg_;
+    std::vector<Entry> table_;
+    std::vector<int> recent_;   ///< Most recent distinct rows, newest first.
+    std::uint64_t targeted_ = 0;
+};
+
+} // namespace rp::sys
+
+#endif // ROWPRESS_SYS_TRR_H

@@ -1,0 +1,46 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::workloads {
+
+TraceGen::TraceGen(const WorkloadParams &params,
+                   const dram::AddressMapper &map, std::uint64_t seed)
+    : params_(params), map_(&map), rng_(seed ^ hashU64(1, seed))
+{
+}
+
+TraceItem
+TraceGen::next()
+{
+    TraceItem item;
+
+    // Geometric bubble count with mean 1000/MPKI.
+    const double mean_bubbles = 1000.0 / std::max(0.01, params_.mpki);
+    const double u = std::max(1e-12, rng_.uniform());
+    item.bubbles = int(std::min(50000.0, -mean_bubbles * std::log(u)));
+
+    const auto &org = map_->org();
+    dram::Address a;
+    if (haveLast_ && rng_.uniform() < params_.rowLocality) {
+        // Row-buffer hit: next column of the same row.
+        a = last_;
+        a.column = (a.column + 1) % org.columns;
+    } else {
+        a.rank = int(rng_.below(std::uint64_t(org.ranks)));
+        a.bankGroup = int(rng_.below(std::uint64_t(org.bankGroups)));
+        a.bank = int(rng_.below(std::uint64_t(org.banksPerGroup)));
+        a.row = int(rng_.below(std::uint64_t(
+            std::min(params_.hotRowsPerBank, org.rows))));
+        a.column = int(rng_.below(std::uint64_t(org.columns)));
+    }
+    last_ = a;
+    haveLast_ = true;
+
+    item.addr = map_->encode(a);
+    item.write = rng_.uniform() < params_.writeFrac;
+    return item;
+}
+
+} // namespace rp::workloads

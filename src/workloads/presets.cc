@@ -1,0 +1,120 @@
+#include "workloads/presets.h"
+
+#include "common/logging.h"
+
+namespace rp::workloads {
+
+namespace {
+
+std::vector<WorkloadParams>
+buildWorkloads()
+{
+    // {name, mpki, rowLocality, writeFrac, hotRowsPerBank, category}
+    return {
+        // SPEC CPU2006.
+        {"429.mcf", 70.0, 0.15, 0.20, 2048, 'H'},
+        {"433.milc", 25.0, 0.30, 0.25, 1024, 'H'},
+        {"434.zeusmp", 6.0, 0.50, 0.30, 512, 'H'},
+        {"436.cactusADM", 10.0, 0.25, 0.30, 1024, 'H'},
+        {"437.leslie3d", 15.0, 0.40, 0.30, 512, 'H'},
+        {"450.soplex", 30.0, 0.40, 0.20, 1024, 'H'},
+        {"459.GemsFDTD", 20.0, 0.45, 0.30, 512, 'H'},
+        {"462.libquantum", 25.0, 0.93, 0.15, 64, 'H'},
+        {"470.lbm", 25.0, 0.50, 0.40, 512, 'H'},
+        {"471.omnetpp", 25.0, 0.20, 0.25, 2048, 'H'},
+        {"473.astar", 10.0, 0.30, 0.25, 1024, 'H'},
+        {"482.sphinx3", 15.0, 0.55, 0.10, 512, 'H'},
+        {"483.xalancbmk", 25.0, 0.20, 0.20, 2048, 'H'},
+        {"444.namd", 0.4, 0.50, 0.25, 128, 'L'},
+        {"445.gobmk", 0.6, 0.40, 0.25, 256, 'L'},
+        {"453.povray", 0.1, 0.50, 0.25, 64, 'L'},
+        {"458.sjeng", 0.5, 0.35, 0.25, 256, 'L'},
+        // SPEC CPU2017.
+        {"505.mcf", 30.0, 0.25, 0.20, 2048, 'H'},
+        {"507.cactuBSSN", 15.0, 0.45, 0.30, 512, 'H'},
+        {"510.parest", 18.0, 0.78, 0.25, 256, 'H'},
+        {"519.lbm", 30.0, 0.50, 0.40, 512, 'H'},
+        {"520.omnetpp", 20.0, 0.25, 0.25, 2048, 'H'},
+        {"538.imagick", 2.0, 0.60, 0.30, 256, 'L'},
+        {"544.nab", 3.0, 0.50, 0.25, 256, 'L'},
+        {"549.fotonik3d", 25.0, 0.50, 0.30, 512, 'H'},
+        {"557.xz", 5.0, 0.30, 0.30, 1024, 'H'},
+        // Media / graph / map-reduce workloads of Figs. 38-40.
+        {"h264_encode", 5.0, 0.87, 0.30, 128, 'H'},
+        {"h264_decode", 5.0, 0.60, 0.30, 256, 'H'},
+        {"jp2_encode", 8.0, 0.60, 0.30, 256, 'H'},
+        {"jp2_decode", 10.0, 0.55, 0.30, 256, 'H'},
+        {"bfs_cm2003", 20.0, 0.25, 0.15, 2048, 'H'},
+        {"bfs_dblp", 18.0, 0.25, 0.15, 2048, 'H'},
+        {"bfs_ny", 16.0, 0.25, 0.15, 2048, 'H'},
+        {"grep_map0", 10.0, 0.50, 0.15, 512, 'H'},
+        {"wc_8443", 8.0, 0.55, 0.20, 512, 'H'},
+        {"wc_map0", 8.0, 0.55, 0.20, 512, 'H'},
+        // TPC-H.
+        {"tpch2", 12.0, 0.45, 0.15, 1024, 'H'},
+        {"tpch17", 12.0, 0.45, 0.15, 1024, 'H'},
+        // YCSB.
+        {"ycsb_aserver", 10.0, 0.40, 0.35, 1024, 'H'},
+        {"ycsb_bserver", 8.0, 0.40, 0.15, 1024, 'H'},
+        {"ycsb_cserver", 8.0, 0.42, 0.05, 1024, 'H'},
+        {"ycsb_dserver", 6.0, 0.45, 0.20, 1024, 'H'},
+        {"ycsb_eserver", 9.0, 0.35, 0.25, 1024, 'H'},
+    };
+}
+
+} // namespace
+
+const std::vector<WorkloadParams> &
+allWorkloads()
+{
+    static const std::vector<WorkloadParams> all = buildWorkloads();
+    return all;
+}
+
+const WorkloadParams &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<WorkloadParams>
+highIntensityWorkloads()
+{
+    std::vector<WorkloadParams> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.category == 'H')
+            out.push_back(w);
+    }
+    return out;
+}
+
+std::vector<WorkloadParams>
+lowIntensityWorkloads()
+{
+    std::vector<WorkloadParams> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.category == 'L')
+            out.push_back(w);
+    }
+    return out;
+}
+
+std::vector<WorkloadParams>
+makeMix(const std::string &composition, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto high = highIntensityWorkloads();
+    const auto low = lowIntensityWorkloads();
+    std::vector<WorkloadParams> mix;
+    for (char c : composition) {
+        const auto &pool = (c == 'H' || c == 'h') ? high : low;
+        mix.push_back(pool[rng.below(pool.size())]);
+    }
+    return mix;
+}
+
+} // namespace rp::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Named workload presets standing in for the paper's evaluation
+ * suites (SPEC CPU2006 / CPU2017, TPC-H, YCSB, and the media/graph
+ * workloads of Figs. 38-41).  MPKI and row-buffer-locality values are
+ * set from the figures the paper reports (e.g., 429.mcf RBMPKI 68.6;
+ * 462.libquantum RBMPKI 0.91 with very high row locality;
+ * h264_encode row-buffer hit rate 87 %) and from common published
+ * characterizations of these suites.
+ */
+
+#ifndef ROWPRESS_WORKLOADS_PRESETS_H
+#define ROWPRESS_WORKLOADS_PRESETS_H
+
+#include "workloads/generator.h"
+
+namespace rp::workloads {
+
+/** All named workload presets. */
+const std::vector<WorkloadParams> &allWorkloads();
+
+/** Look up one preset by name (fatal if unknown). */
+const WorkloadParams &workloadByName(const std::string &name);
+
+/** The memory-intensive ('H') subset. */
+std::vector<WorkloadParams> highIntensityWorkloads();
+
+/** The low-intensity ('L') subset. */
+std::vector<WorkloadParams> lowIntensityWorkloads();
+
+/**
+ * Build a heterogeneous four-core mix of the given composition
+ * (e.g. "HHLL"), using @p seed to pick members (paper section D.2).
+ */
+std::vector<WorkloadParams> makeMix(const std::string &composition,
+                                    std::uint64_t seed);
+
+} // namespace rp::workloads
+
+#endif // ROWPRESS_WORKLOADS_PRESETS_H

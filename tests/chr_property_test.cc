@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Parameterized property sweeps over the characterization surface:
+ * data-pattern eligibility (section 5.3), temperature monotonicity
+ * (section 5.1), access-pattern behaviour (section 5.2), and
+ * per-die single-activation extremes - each checked across many
+ * (die, pattern, temperature) combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chr/experiments.h"
+
+namespace rp::chr {
+namespace {
+
+using namespace rp::literals;
+
+ModuleConfig
+tiny(const device::DieConfig &die, double temp)
+{
+    ModuleConfig cfg;
+    cfg.die = die;
+    cfg.numLocations = 4;
+    cfg.temperatureC = temp;
+    cfg.seed = 23;
+    return cfg;
+}
+
+std::string
+sanitize(std::string s)
+{
+    for (auto &c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return s;
+}
+
+// ---------------------------------------------------------------
+// Data-pattern eligibility (Obsv. 14/15).
+// ---------------------------------------------------------------
+
+class PatternEligibility : public ::testing::TestWithParam<DataPattern>
+{
+};
+
+TEST_P(PatternEligibility, LongTAggOnFlipsRequireChargedVictims)
+{
+    const DataPattern pattern = GetParam();
+    Module module(tiny(device::dieById("S-8Gb-D"), 80.0));
+    auto point = acminPoint(module, 70200_ns, AccessKind::SingleSided,
+                            pattern);
+    const bool victims_have_charged_cells =
+        victimFill(pattern) != 0x00; // true-cell die
+    if (victims_have_charged_cells)
+        EXPECT_GT(point.fractionFlipped(), 0.0)
+            << dataPatternName(pattern);
+    else
+        EXPECT_EQ(point.fractionFlipped(), 0.0)
+            << dataPatternName(pattern);
+}
+
+TEST_P(PatternEligibility, RowHammerRegimeFlipsRequireDischargedVictims)
+{
+    const DataPattern pattern = GetParam();
+    Module module(tiny(device::dieById("S-8Gb-D"), 50.0));
+    auto point =
+        acminPoint(module, 36_ns, AccessKind::DoubleSided, pattern);
+    const bool victims_have_discharged_cells =
+        victimFill(pattern) != 0xFF;
+    if (victims_have_discharged_cells)
+        EXPECT_GT(point.fractionFlipped(), 0.0)
+            << dataPatternName(pattern);
+    else
+        EXPECT_EQ(point.fractionFlipped(), 0.0)
+            << dataPatternName(pattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternEligibility,
+    ::testing::ValuesIn(allDataPatterns()),
+    [](const ::testing::TestParamInfo<DataPattern> &info) {
+        return std::string(dataPatternName(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Temperature monotonicity (Obsv. 9), all vulnerable dies.
+// ---------------------------------------------------------------
+
+class TemperatureMonotonic
+    : public ::testing::TestWithParam<device::DieConfig>
+{
+};
+
+TEST_P(TemperatureMonotonic, HotterMeansFewerActivations)
+{
+    Module m50(tiny(GetParam(), 50.0));
+    Module m80(tiny(GetParam(), 80.0));
+    auto p50 = acminPoint(m50, 70200_ns, AccessKind::SingleSided);
+    auto p80 = acminPoint(m80, 70200_ns, AccessKind::SingleSided);
+    if (p50.acminSummary().count == 0)
+        GTEST_SKIP() << "not vulnerable at 50C";
+    ASSERT_GT(p80.fractionFlipped(), 0.0);
+    EXPECT_LT(p80.meanAcmin(), p50.meanAcmin() * 1.05)
+        << GetParam().id;
+    EXPECT_GE(p80.fractionFlipped() + 1e-9, p50.fractionFlipped())
+        << GetParam().id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dies, TemperatureMonotonic,
+    ::testing::Values(device::dieById("S-4Gb-F"),
+                      device::dieById("S-8Gb-B"),
+                      device::dieById("S-8Gb-C"),
+                      device::dieById("S-8Gb-D"),
+                      device::dieById("H-4Gb-X"),
+                      device::dieById("H-16Gb-A"),
+                      device::dieById("H-16Gb-C"),
+                      device::dieById("M-16Gb-B"),
+                      device::dieById("M-16Gb-E"),
+                      device::dieById("M-16Gb-F")),
+    [](const ::testing::TestParamInfo<device::DieConfig> &info) {
+        return sanitize(info.param.id);
+    });
+
+// ---------------------------------------------------------------
+// Access-pattern crossover (Obsv. 13).
+// ---------------------------------------------------------------
+
+TEST(AccessPattern, SingleSidedWinsAtLongTAggOn)
+{
+    Module module(tiny(device::dieById("S-8Gb-D"), 80.0));
+    auto ss = acminPoint(module, 1_ms, AccessKind::SingleSided);
+    auto ds = acminPoint(module, 1_ms, AccessKind::DoubleSided);
+    ASSERT_GT(ss.fractionFlipped(), 0.0);
+    ASSERT_GT(ds.fractionFlipped(), 0.0);
+    // Paper: single-sided needs fewer total activations past the
+    // crossover (~2x fewer, since double-sided splits on-time).
+    EXPECT_LT(ss.meanAcmin(), ds.meanAcmin());
+}
+
+TEST(AccessPattern, DoubleSidedWinsAtRowHammer)
+{
+    // Aggregate over locations so row-to-row variation averages out.
+    Module module(tiny(device::dieById("S-8Gb-C"), 50.0));
+    auto ss = acminPoint(module, 36_ns, AccessKind::SingleSided);
+    auto ds = acminPoint(module, 36_ns, AccessKind::DoubleSided);
+    ASSERT_GT(ss.fractionFlipped(), 0.0);
+    ASSERT_GT(ds.fractionFlipped(), 0.0);
+    EXPECT_LT(ds.meanAcmin(), ss.meanAcmin() * 1.1);
+}
+
+// ---------------------------------------------------------------
+// Single-activation extremes (Obsv. 2/6), per die at 80C.
+// ---------------------------------------------------------------
+
+class SingleActivation
+    : public ::testing::TestWithParam<device::DieConfig>
+{
+};
+
+TEST_P(SingleActivation, ThirtyMsFlipsWithAcOne)
+{
+    Module module(tiny(GetParam(), 80.0));
+    auto point = acminPoint(module, 30_ms, AccessKind::SingleSided);
+    ASSERT_GT(point.fractionFlipped(), 0.0) << GetParam().id;
+    EXPECT_LE(point.acminSummary().min, 2.0) << GetParam().id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dies, SingleActivation,
+    ::testing::Values(device::dieById("S-8Gb-B"),
+                      device::dieById("S-8Gb-D"),
+                      device::dieById("H-16Gb-A"),
+                      device::dieById("M-16Gb-F")),
+    [](const ::testing::TestParamInfo<device::DieConfig> &info) {
+        return sanitize(info.param.id);
+    });
+
+// ---------------------------------------------------------------
+// The search surface is consistent between kinds of searches.
+// ---------------------------------------------------------------
+
+class BudgetScaling : public ::testing::TestWithParam<Time>
+{
+};
+
+TEST_P(BudgetScaling, MaxActsInverseInTAggOn)
+{
+    const Time t = GetParam();
+    auto timing = dram::benderTiming();
+    const auto acts = maxActsWithinBudget(t, timing, 1500, 60_ms);
+    const auto acts_double =
+        maxActsWithinBudget(2 * t, timing, 1500, 60_ms);
+    // Doubling tAggON roughly halves the admissible activations; the
+    // fixed per-activation overhead (tRP + command gaps) makes the
+    // halving slightly favourable to the longer on-time.
+    EXPECT_GE(acts_double, acts / 2);
+    EXPECT_LE(acts_double, (acts + 1) * 2 / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TAggOns, BudgetScaling,
+                         ::testing::Values(96_ns, 636_ns, 7800_ns,
+                                           70200_ns, 1_ms),
+                         [](const ::testing::TestParamInfo<Time> &info) {
+                             return sanitize(formatTime(info.param));
+                         });
+
+} // namespace
+} // namespace rp::chr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Public-facade tests: the end-to-end section 7.4 workflow - measure
+ * a device's disturbance profile, derive an adapted mitigation
+ * configuration, and validate its security properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rowpress.h"
+
+namespace rp {
+namespace {
+
+using namespace rp::literals;
+
+TEST(Core, VersionString)
+{
+    EXPECT_STREQ(version(), "1.0.0");
+}
+
+TEST(Core, MeasuredProfileIsMonotonicAndBelowOne)
+{
+    ProfileOptions opts;
+    opts.numLocations = 4;
+    opts.temperatures = {80.0};
+    opts.kinds = {chr::AccessKind::SingleSided};
+    auto profile = characterizeProfile(device::dieS8GbB(), opts);
+    ASSERT_EQ(profile.points.size(), opts.tMros.size());
+
+    double prev = 1.0;
+    for (const auto &p : profile.points) {
+        EXPECT_LE(p.acminRatio, 1.0);
+        EXPECT_GT(p.acminRatio, 0.0);
+        EXPECT_LE(p.acminRatio, prev + 1e-9); // non-increasing
+        prev = p.acminRatio;
+    }
+    // At t_mro = tRAS there is no RowPress amplification to speak of.
+    EXPECT_GT(profile.points.front().acminRatio, 0.8);
+}
+
+TEST(Core, MeasuredProfileYieldsSoundAdaptation)
+{
+    ProfileOptions opts;
+    opts.numLocations = 4;
+    opts.temperatures = {80.0};
+    opts.kinds = {chr::AccessKind::SingleSided};
+    auto profile = characterizeProfile(device::dieS8GbB(), opts);
+    EXPECT_TRUE(mitigation::adaptationIsSound(profile, 1000,
+                                              opts.tMros));
+    const auto cfg =
+        mitigation::adaptThreshold(profile, 1000, 636_ns);
+    EXPECT_LT(cfg.adaptedTrh, 1000u);
+    EXPECT_GE(cfg.adaptedTrh, 1u);
+}
+
+TEST(Core, UmbrellaHeaderExposesAllSubsystems)
+{
+    // Compile-time façade check: one symbol from each subsystem.
+    [[maybe_unused]] device::DieConfig die = device::dieS8GbB();
+    [[maybe_unused]] chr::DataPattern dp = chr::DataPattern::CheckerBoard;
+    [[maybe_unused]] sys::DemoConfig demo;
+    [[maybe_unused]] sim::SystemConfig sim_cfg;
+    [[maybe_unused]] mitigation::ParaConfig para;
+    [[maybe_unused]] workloads::WorkloadParams w;
+    SUCCEED();
+}
+
+} // namespace
+} // namespace rp

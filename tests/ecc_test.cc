@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ECC analysis tests (section 7.1): word grouping, bucket counts, and
+ * SECDED / Chipkill outcome classification, including parameterized
+ * sweeps over constructed error patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chr/ecc.h"
+
+namespace rp::chr {
+namespace {
+
+VictimFlip
+flipAt(int row, int bit)
+{
+    return {row, {bit, true, device::Mechanism::RowPress}};
+}
+
+TEST(Ecc, EmptyInput)
+{
+    auto stats = analyzeWordErrors({});
+    EXPECT_EQ(stats.totalErrorWords, 0u);
+    auto out = evaluateSecded({});
+    EXPECT_EQ(out.corrected + out.detected + out.silent, 0u);
+}
+
+TEST(Ecc, GroupsByWordAndRow)
+{
+    // Two flips in word 0 of row 1, one in word 1 of row 1, one in
+    // word 0 of row 2.
+    std::vector<VictimFlip> flips = {flipAt(1, 3), flipAt(1, 60),
+                                     flipAt(1, 64), flipAt(2, 5)};
+    auto stats = analyzeWordErrors(flips);
+    EXPECT_EQ(stats.totalErrorWords, 3u);
+    EXPECT_EQ(stats.words1to2, 3u);
+    EXPECT_EQ(stats.maxFlipsPerWord, 2u);
+}
+
+TEST(Ecc, BucketBoundaries)
+{
+    std::vector<VictimFlip> flips;
+    for (int i = 0; i < 2; ++i)
+        flips.push_back(flipAt(1, i));       // word 0: 2 flips
+    for (int i = 0; i < 3; ++i)
+        flips.push_back(flipAt(1, 64 + i));  // word 1: 3 flips
+    for (int i = 0; i < 8; ++i)
+        flips.push_back(flipAt(1, 128 + i)); // word 2: 8 flips
+    for (int i = 0; i < 9; ++i)
+        flips.push_back(flipAt(1, 192 + i)); // word 3: 9 flips
+    auto stats = analyzeWordErrors(flips);
+    EXPECT_EQ(stats.words1to2, 1u);
+    EXPECT_EQ(stats.words3to8, 2u);
+    EXPECT_EQ(stats.wordsOver8, 1u);
+    EXPECT_EQ(stats.maxFlipsPerWord, 9u);
+}
+
+TEST(Ecc, StatsMerge)
+{
+    WordErrorStats a, b;
+    a.words1to2 = 1;
+    a.maxFlipsPerWord = 3;
+    a.totalErrorWords = 1;
+    b.words3to8 = 2;
+    b.maxFlipsPerWord = 7;
+    b.totalErrorWords = 2;
+    a.merge(b);
+    EXPECT_EQ(a.words1to2, 1u);
+    EXPECT_EQ(a.words3to8, 2u);
+    EXPECT_EQ(a.maxFlipsPerWord, 7u);
+    EXPECT_EQ(a.totalErrorWords, 3u);
+}
+
+/** SECDED outcome as a function of flips-per-word. */
+class SecdedOutcome : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SecdedOutcome, ClassifiesByCount)
+{
+    const int n = GetParam();
+    std::vector<VictimFlip> flips;
+    for (int i = 0; i < n; ++i)
+        flips.push_back(flipAt(4, i));
+    auto out = evaluateSecded(flips);
+    EXPECT_EQ(out.corrected, n == 1 ? 1u : 0u);
+    EXPECT_EQ(out.detected, n == 2 ? 1u : 0u);
+    EXPECT_EQ(out.silent, n >= 3 ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SecdedOutcome,
+                         ::testing::Values(1, 2, 3, 8, 25));
+
+TEST(Ecc, ChipkillCorrectsOneSymbol)
+{
+    // 8 flips all inside one 8-bit symbol: corrected by Chipkill-x8,
+    // silent under SECDED.
+    std::vector<VictimFlip> flips;
+    for (int i = 0; i < 8; ++i)
+        flips.push_back(flipAt(1, 8 + i));
+    auto ck = evaluateChipkill(flips, 8);
+    EXPECT_EQ(ck.corrected, 1u);
+    EXPECT_EQ(evaluateSecded(flips).silent, 1u);
+}
+
+TEST(Ecc, ChipkillDetectsTwoSymbolsAndMissesThree)
+{
+    std::vector<VictimFlip> two = {flipAt(1, 0), flipAt(1, 9)};
+    auto ck2 = evaluateChipkill(two, 8);
+    EXPECT_EQ(ck2.detected, 1u);
+
+    std::vector<VictimFlip> three = {flipAt(1, 0), flipAt(1, 9),
+                                     flipAt(1, 17)};
+    auto ck3 = evaluateChipkill(three, 8);
+    EXPECT_EQ(ck3.silent, 1u);
+}
+
+/** Symbol width sweep (x4 / x8 / x16 devices, paper footnote 24). */
+class ChipkillWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChipkillWidth, WidthDeterminesSymbolCount)
+{
+    const int width = GetParam();
+    // 25 flips spread across the word: at least ceil(25/width)
+    // symbols are erroneous -> always >2 symbols -> silent.
+    std::vector<VictimFlip> flips;
+    for (int i = 0; i < 25; ++i)
+        flips.push_back(flipAt(1, (i * 2) % 64));
+    auto out = evaluateChipkill(flips, width);
+    EXPECT_EQ(out.silent, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChipkillWidth,
+                         ::testing::Values(4, 8, 16));
+
+} // namespace
+} // namespace rp::chr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CSV export tests: escaping, tidy-format layout, and round-trip
+ * sanity on real sweep results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chr/export.h"
+
+namespace rp::chr {
+namespace {
+
+using namespace rp::literals;
+
+TEST(CsvExport, EscapingRules)
+{
+    EXPECT_EQ(csvRow({"a", "b", "c"}), "a,b,c\n");
+    EXPECT_EQ(csvRow({"a,b"}), "\"a,b\"\n");
+    EXPECT_EQ(csvRow({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
+    EXPECT_EQ(csvRow({"line\nbreak"}), "\"line\nbreak\"\n");
+    EXPECT_EQ(csvRow({}), "\n");
+}
+
+TEST(CsvExport, AcminSweepTidyFormat)
+{
+    ModuleConfig cfg;
+    cfg.die = device::dieS8GbD();
+    cfg.numLocations = 3;
+    cfg.temperatureC = 80.0;
+    Module module(cfg);
+    auto sweep = acminSweep(module, {7800_ns, 70200_ns},
+                            AccessKind::SingleSided);
+
+    std::ostringstream os;
+    writeAcminSweepCsv(os, cfg.die.id, 80.0, AccessKind::SingleSided,
+                       DataPattern::CheckerBoard, sweep);
+    const std::string out = os.str();
+
+    // Header + 2 points x 3 locations.
+    std::size_t lines = 0;
+    for (char c : out)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 1u + 2u * 3u);
+    EXPECT_NE(out.find("die,temperature_c,kind"), std::string::npos);
+    EXPECT_NE(out.find("S-8Gb-D,80.0"), std::string::npos);
+    EXPECT_NE(out.find("7800.0"), std::string::npos);
+}
+
+TEST(CsvExport, TAggOnMinFormat)
+{
+    ModuleConfig cfg;
+    cfg.die = device::dieS8GbD();
+    cfg.numLocations = 2;
+    Module module(cfg);
+    auto point = tAggOnMinPoint(module, 100, AccessKind::SingleSided);
+
+    std::ostringstream os;
+    writeTAggOnMinCsv(os, cfg.die.id, 50.0, {point});
+    EXPECT_NE(os.str().find("taggonmin_us"), std::string::npos);
+    EXPECT_NE(os.str().find("100"), std::string::npos);
+}
+
+TEST(CsvExport, OverlapFormat)
+{
+    std::vector<OverlapResult> results = {
+        {7800_ns, 42, 0.0, 0.01},
+    };
+    std::ostringstream os;
+    writeOverlapCsv(os, "S-8Gb-B", results);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("overlap_rowhammer"), std::string::npos);
+    EXPECT_NE(out.find("S-8Gb-B,7800.0"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+} // namespace
+} // namespace rp::chr

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Mitigation tests: the section 7.4 adaptation methodology (threshold
+ * derivation, security monotonicity), Graphene tracking guarantees,
+ * and PARA's probabilistic behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/adapter.h"
+#include "mitigation/graphene.h"
+#include "mitigation/para.h"
+
+namespace rp::mitigation {
+namespace {
+
+using namespace rp::literals;
+
+TEST(Adapter, PaperTable3Reproduction)
+{
+    const auto profile = paperTable3Profile();
+    const std::uint32_t trh = 1000;
+    // The exact T'_RH row of Table 3.
+    EXPECT_EQ(adaptThreshold(profile, trh, 36_ns).adaptedTrh, 1000u);
+    EXPECT_EQ(adaptThreshold(profile, trh, 66_ns).adaptedTrh, 809u);
+    EXPECT_EQ(adaptThreshold(profile, trh, 96_ns).adaptedTrh, 724u);
+    EXPECT_EQ(adaptThreshold(profile, trh, 186_ns).adaptedTrh, 619u);
+    EXPECT_EQ(adaptThreshold(profile, trh, 336_ns).adaptedTrh, 555u);
+    EXPECT_EQ(adaptThreshold(profile, trh, 636_ns).adaptedTrh, 419u);
+}
+
+TEST(Adapter, GrapheneAndParaConfigsMatchTable3)
+{
+    // Graphene threshold = T'_RH / 3; PARA p = 34 / T'_RH.
+    EXPECT_EQ(grapheneFor(1000, 64_ms, 45_ns, 32).threshold, 333u);
+    EXPECT_EQ(grapheneFor(809, 64_ms, 45_ns, 32).threshold, 269u);
+    EXPECT_EQ(grapheneFor(419, 64_ms, 45_ns, 32).threshold, 139u);
+    EXPECT_NEAR(paraFor(1000).p, 0.034, 0.001);
+    EXPECT_NEAR(paraFor(724).p, 0.047, 0.001);
+    EXPECT_NEAR(paraFor(419).p, 0.081, 0.002);
+}
+
+TEST(Adapter, WorstRatioIsCumulativeMinimum)
+{
+    DisturbProfile p;
+    p.points = {{36_ns, 1.0}, {96_ns, 0.7}, {66_ns, 0.8},
+                {186_ns, 0.75}}; // non-monotonic sample point
+    EXPECT_DOUBLE_EQ(p.worstRatioUpTo(36_ns), 1.0);
+    EXPECT_DOUBLE_EQ(p.worstRatioUpTo(96_ns), 0.7);
+    // A later, larger ratio must not loosen the bound.
+    EXPECT_DOUBLE_EQ(p.worstRatioUpTo(186_ns), 0.7);
+    EXPECT_DOUBLE_EQ(p.worstRatioUpTo(10_ns), 1.0);
+}
+
+TEST(Adapter, AdaptationIsSound)
+{
+    EXPECT_TRUE(adaptationIsSound(paperTable3Profile(), 1000,
+                                  {36_ns, 66_ns, 96_ns, 186_ns, 336_ns,
+                                   636_ns}));
+    // A profile that would raise the threshold is rejected.
+    DisturbProfile bad;
+    bad.points = {{36_ns, 1.5}};
+    EXPECT_FALSE(adaptationIsSound(bad, 1000, {36_ns}));
+}
+
+TEST(Adapter, ThresholdNeverBelowOne)
+{
+    DisturbProfile p;
+    p.points = {{36_ns, 1e-9}};
+    EXPECT_EQ(adaptThreshold(p, 1000, 36_ns).adaptedTrh, 1u);
+}
+
+TEST(Graphene, TriggersPreventiveRefreshAtThreshold)
+{
+    GrapheneConfig cfg;
+    cfg.threshold = 100;
+    cfg.tableEntries = 16;
+    cfg.blastRadius = 2;
+    cfg.banks = 1;
+    Graphene g(cfg);
+
+    std::vector<int> victims;
+    for (int i = 0; i < 99; ++i) {
+        g.onActivate(0, 500, victims);
+        EXPECT_TRUE(victims.empty()) << "at activation " << i;
+    }
+    g.onActivate(0, 500, victims);
+    // Blast radius 2: rows 498, 499, 501, 502.
+    EXPECT_EQ(victims.size(), 4u);
+    EXPECT_EQ(g.preventiveRefreshes(), 4u);
+
+    // The next threshold-worth of activations triggers again.
+    victims.clear();
+    for (int i = 0; i < 100; ++i)
+        g.onActivate(0, 500, victims);
+    EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(Graphene, CountEstimateNeverUndercounts)
+{
+    // Space-saving guarantee: a row activated N times has estimated
+    // count >= its true count, so the preventive refresh can never be
+    // later than N = threshold (the security property Graphene needs).
+    GrapheneConfig cfg;
+    cfg.threshold = 50;
+    cfg.tableEntries = 4;
+    cfg.banks = 1;
+    Graphene g(cfg);
+
+    std::vector<int> victims;
+    // Interleave the victim's aggressor with many other rows so the
+    // table churns.
+    int aggressor_acts = 0;
+    bool refreshed = false;
+    for (int i = 0; i < 5000 && !refreshed; ++i) {
+        g.onActivate(0, i % 97 + 1000, victims); // noise rows
+        victims.clear();
+        g.onActivate(0, 7, victims); // the aggressor
+        ++aggressor_acts;
+        refreshed = !victims.empty();
+        victims.clear();
+    }
+    EXPECT_TRUE(refreshed);
+    EXPECT_LE(aggressor_acts, 50);
+}
+
+TEST(Graphene, RefreshWindowResetsCounters)
+{
+    GrapheneConfig cfg;
+    cfg.threshold = 100;
+    cfg.tableEntries = 8;
+    cfg.banks = 1;
+    Graphene g(cfg);
+    std::vector<int> victims;
+    for (int i = 0; i < 99; ++i)
+        g.onActivate(0, 5, victims);
+    g.onRefreshWindow();
+    for (int i = 0; i < 99; ++i)
+        g.onActivate(0, 5, victims);
+    EXPECT_TRUE(victims.empty());
+}
+
+TEST(Graphene, BanksAreIndependent)
+{
+    GrapheneConfig cfg;
+    cfg.threshold = 10;
+    cfg.tableEntries = 4;
+    cfg.banks = 2;
+    Graphene g(cfg);
+    std::vector<int> victims;
+    for (int i = 0; i < 9; ++i) {
+        g.onActivate(0, 5, victims);
+        g.onActivate(1, 5, victims);
+    }
+    EXPECT_TRUE(victims.empty());
+    g.onActivate(0, 5, victims);
+    EXPECT_FALSE(victims.empty());
+}
+
+TEST(Graphene, SizingCoversWorstCaseActs)
+{
+    auto cfg = grapheneFor(1000, 64_ms, 45_ns, 32);
+    const double max_acts = 64e9 / 45.0 * 1e-3;
+    EXPECT_GE(double(cfg.tableEntries) * cfg.threshold, max_acts * 0.9);
+}
+
+TEST(Para, RefreshRateMatchesP)
+{
+    ParaConfig cfg;
+    cfg.p = 0.05;
+    cfg.seed = 3;
+    Para para(cfg);
+    std::vector<int> victims;
+    const int acts = 200000;
+    for (int i = 0; i < acts; ++i)
+        para.onActivate(0, 1000, victims);
+    const double rate = double(victims.size()) / double(acts);
+    EXPECT_NEAR(rate, 0.05, 0.005);
+    EXPECT_EQ(para.preventiveRefreshes(), victims.size());
+}
+
+TEST(Para, VictimsAreAdjacentRows)
+{
+    Para para(paraFor(419));
+    std::vector<int> victims;
+    for (int i = 0; i < 5000; ++i)
+        para.onActivate(0, 1000, victims);
+    ASSERT_FALSE(victims.empty());
+    bool minus = false, plus = false;
+    for (int v : victims) {
+        EXPECT_TRUE(v == 999 || v == 1001);
+        minus = minus || v == 999;
+        plus = plus || v == 1001;
+    }
+    EXPECT_TRUE(minus);
+    EXPECT_TRUE(plus);
+}
+
+/**
+ * End-to-end security property of the adaptation (section 7.4): with
+ * t_mro enforced and T'_RH configured, an aggressor row cannot
+ * accumulate T'_RH activations within a window without its neighbors
+ * being preventively refreshed.
+ */
+class AdaptedSecurity : public ::testing::TestWithParam<Time>
+{
+};
+
+TEST_P(AdaptedSecurity, GrapheneRpRefreshesBeforeAdaptedThreshold)
+{
+    const Time t_mro = GetParam();
+    const auto a =
+        adaptThreshold(paperTable3Profile(), 1000, t_mro);
+    Graphene g(grapheneFor(a.adaptedTrh, 64_ms, 45_ns, 32));
+
+    std::vector<int> victims;
+    std::uint32_t acts_until_refresh = 0;
+    for (std::uint32_t i = 0; i < a.adaptedTrh + 1; ++i) {
+        g.onActivate(3, 42, victims);
+        ++acts_until_refresh;
+        if (!victims.empty())
+            break;
+    }
+    EXPECT_FALSE(victims.empty());
+    EXPECT_LT(acts_until_refresh, a.adaptedTrh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tmros, AdaptedSecurity,
+                         ::testing::Values(36_ns, 66_ns, 96_ns, 186_ns,
+                                           336_ns, 636_ns));
+
+} // namespace
+} // namespace rp::mitigation

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Row-mapping reverse-engineering tests (paper section 3.2): the
+ * recovery loop must identify physical neighbors through an unknown
+ * in-DRAM scrambler and classify the mapping scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chr/rowmap.h"
+
+namespace rp::chr {
+namespace {
+
+bender::TestPlatform
+makePlatform()
+{
+    bender::PlatformConfig cfg;
+    cfg.die = device::dieById("S-8Gb-D"); // strongly vulnerable die
+    cfg.org.rows = 4096;
+    cfg.temperatureC = 80.0;
+    return bender::TestPlatform(cfg);
+}
+
+TEST(RowMap, IdentityMappingYieldsAdjacentLogicalNeighbors)
+{
+    auto platform = makePlatform();
+    dram::RowScrambler identity(dram::RowScrambler::Scheme::None, 4096);
+    auto probe = probeNeighbors(platform, identity, 1, 200);
+    ASSERT_FALSE(probe.logicalNeighbors.empty());
+    for (int n : probe.logicalNeighbors)
+        EXPECT_LE(std::abs(n - 200), 2);
+    // The distance-1 neighbors must both be present.
+    EXPECT_NE(std::find(probe.logicalNeighbors.begin(),
+                        probe.logicalNeighbors.end(), 199),
+              probe.logicalNeighbors.end());
+    EXPECT_NE(std::find(probe.logicalNeighbors.begin(),
+                        probe.logicalNeighbors.end(), 201),
+              probe.logicalNeighbors.end());
+}
+
+TEST(RowMap, FoldedMappingScattersLogicalNeighbors)
+{
+    auto platform = makePlatform();
+    dram::RowScrambler folded(dram::RowScrambler::Scheme::FoldedPair,
+                              4096);
+    // Logical row 201 maps to physical 202; its physical neighbors
+    // 201 and 203 are logical 202 and 203.
+    auto probe = probeNeighbors(platform, folded, 1, 201);
+    ASSERT_FALSE(probe.logicalNeighbors.empty());
+    // Under the identity assumption the neighbors look non-adjacent.
+    bool non_adjacent = false;
+    for (int n : probe.logicalNeighbors)
+        non_adjacent = non_adjacent || std::abs(n - 201) != 1;
+    EXPECT_TRUE(non_adjacent);
+}
+
+class SchemeInference
+    : public ::testing::TestWithParam<dram::RowScrambler::Scheme>
+{
+};
+
+TEST_P(SchemeInference, RecoversTheTrueScheme)
+{
+    auto platform = makePlatform();
+    dram::RowScrambler truth(GetParam(), 4096);
+    auto inferred =
+        inferScheme(platform, truth, 1, {129, 257, 513});
+    EXPECT_EQ(inferred, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeInference,
+    ::testing::Values(dram::RowScrambler::Scheme::None,
+                      dram::RowScrambler::Scheme::FoldedPair));
+
+} // namespace
+} // namespace rp::chr
