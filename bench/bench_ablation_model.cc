@@ -11,7 +11,9 @@
  *      multi-bit words of Figs. 25/26).
  */
 
-#include "bench_common.h"
+#include <array>
+
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -21,16 +23,23 @@ using namespace rp::literals;
 namespace {
 
 void
-printAblation()
+printAblation(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Model ablations", "DESIGN.md section 5");
-
     // (b)/(c): sweep kappa and rho, watch the SS vs DS ACmin ratios
     // in the RowHammer regime (36 ns) and RowPress regime (70.2 us).
-    Table table("kappa/rho ablation: DS/SS mean-ACmin ratio");
-    table.header({"kappa", "rho", "DS/SS @36ns", "DS/SS @70.2us"});
-    for (double kappa : {0.0, 3.0, 8.0}) {
-        for (double rho : {0.0, 0.06, 1.0}) {
+    // Each (kappa, rho) cell mutates its own private module, so the
+    // grid fans out as one task set.
+    const std::vector<double> kappas = {0.0, 3.0, 8.0};
+    const std::vector<double> rhos = {0.0, 0.06, 1.0};
+
+    struct KappaRhoCell
+    {
+        std::array<double, 4> means; // ss36, ds36, ssRp, dsRp
+    };
+    auto cells = engine.map<KappaRhoCell>(
+        kappas.size() * rhos.size(), [&](const core::TaskContext &ctx) {
+            const double kappa = kappas[ctx.index / rhos.size()];
+            const double rho = rhos[ctx.index % rhos.size()];
             chr::Module module = rpb::makeModule(device::dieS8GbD(),
                                                  50.0);
             auto &params =
@@ -39,22 +48,37 @@ printAblation()
             params.rhoWeakSide = rho;
             module.platform().chip().fault().cells().invalidateCaches();
 
-            auto r36_ss = chr::acminPoint(
-                module, 36_ns, chr::AccessKind::SingleSided);
-            auto r36_ds = chr::acminPoint(
-                module, 36_ns, chr::AccessKind::DoubleSided);
-            auto rp_ss = chr::acminPoint(
-                module, 70200_ns, chr::AccessKind::SingleSided);
-            auto rp_ds = chr::acminPoint(
-                module, 70200_ns, chr::AccessKind::DoubleSided);
+            KappaRhoCell cell;
+            cell.means[0] =
+                chr::acminPoint(module, 36_ns,
+                                chr::AccessKind::SingleSided)
+                    .meanAcmin();
+            cell.means[1] =
+                chr::acminPoint(module, 36_ns,
+                                chr::AccessKind::DoubleSided)
+                    .meanAcmin();
+            cell.means[2] =
+                chr::acminPoint(module, 70200_ns,
+                                chr::AccessKind::SingleSided)
+                    .meanAcmin();
+            cell.means[3] =
+                chr::acminPoint(module, 70200_ns,
+                                chr::AccessKind::DoubleSided)
+                    .meanAcmin();
+            return cell;
+        });
 
-            auto ratio = [](double ds, double ss) -> std::string {
-                return (ds > 0 && ss > 0) ? Table::toCell(ds / ss)
-                                          : std::string("-");
-            };
-            table.row({Table::toCell(kappa), Table::toCell(rho),
-                       ratio(r36_ds.meanAcmin(), r36_ss.meanAcmin()),
-                       ratio(rp_ds.meanAcmin(), rp_ss.meanAcmin())});
+    Table table("kappa/rho ablation: DS/SS mean-ACmin ratio");
+    table.header({"kappa", "rho", "DS/SS @36ns", "DS/SS @70.2us"});
+    auto ratio = [](double ds, double ss) -> std::string {
+        return (ds > 0 && ss > 0) ? Table::toCell(ds / ss)
+                                  : std::string("-");
+    };
+    for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
+        for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+            const auto &m = cells[ki * rhos.size() + ri].means;
+            table.row({Table::toCell(kappas[ki]), Table::toCell(rhos[ri]),
+                       ratio(m[1], m[0]), ratio(m[3], m[2])});
         }
     }
     table.print();
@@ -64,46 +88,57 @@ printAblation()
                 "crossover needs both.\n\n");
 
     // (a): tauOff ablation via the ONOFF pattern.
+    const std::vector<Time> taus = {50_ns, 500_ns, 5000_ns};
+    auto tau_cells = engine.map<std::array<double, 2>>(
+        taus.size(), [&](const core::TaskContext &ctx) {
+            chr::Module module = rpb::makeModule(device::dieS8GbD(),
+                                                 50.0);
+            auto &params =
+                module.platform().chip().fault().cells().mutableParams();
+            params.tauOff = taus[ctx.index];
+            module.platform().chip().fault().cells().invalidateCaches();
+            return std::array<double, 2>{
+                chr::onOffBer(module, 0, chr::AccessKind::SingleSided,
+                              240_ns, 0.0, 1),
+                chr::onOffBer(module, 0, chr::AccessKind::SingleSided,
+                              240_ns, 1.0, 1)};
+        });
+
     Table t2("tauOff ablation: SS ONOFF BER at dtA2A=240ns, "
              "on-frac 0%% vs 100%%");
     t2.header({"tauOff", "BER @ 0%", "BER @ 100%"});
-    for (Time tau : {50_ns, 500_ns, 5000_ns}) {
-        chr::Module module = rpb::makeModule(device::dieS8GbD(), 50.0);
-        auto &params =
-            module.platform().chip().fault().cells().mutableParams();
-        params.tauOff = tau;
-        module.platform().chip().fault().cells().invalidateCaches();
-        t2.row({formatTime(tau),
-                Table::toCell(chr::onOffBer(
-                    module, 0, chr::AccessKind::SingleSided, 240_ns,
-                    0.0, 1)),
-                Table::toCell(chr::onOffBer(
-                    module, 0, chr::AccessKind::SingleSided, 240_ns,
-                    1.0, 1))});
-    }
+    for (std::size_t i = 0; i < taus.size(); ++i)
+        t2.row({formatTime(taus[i]), Table::toCell(tau_cells[i][0]),
+                Table::toCell(tau_cells[i][1])});
     t2.print();
     std::printf("Expected: larger tauOff widens the gap between "
                 "max-off and max-on BER\n(Obsv. 16's small-dtA2A "
                 "branch).\n\n");
 
     // (e): word clustering ablation via the ECC word histogram.
+    const std::vector<double> sws = {0.0, 0.3, 0.6};
+    auto word_stats = engine.map<chr::WordErrorStats>(
+        sws.size(), [&](const core::TaskContext &ctx) {
+            chr::Module module = rpb::makeModule(device::dieS8GbD(),
+                                                 80.0);
+            auto &params =
+                module.platform().chip().fault().cells().mutableParams();
+            params.sigmaWordP = sws[ctx.index];
+            module.platform().chip().fault().cells().invalidateCaches();
+            auto attempt = chr::maxActivationAttempt(
+                module, 0, chr::AccessKind::SingleSided,
+                chr::DataPattern::CheckerBoard, 7800_ns);
+            return chr::analyzeWordErrors(attempt.flips);
+        });
+
     Table t3("Word-clustering ablation: words with >2 flips @ "
              "7.8us SS 80C");
     t3.header({"sigmaWordP", "words 3-8", "words >8", "max/word"});
-    for (double sw : {0.0, 0.3, 0.6}) {
-        chr::Module module = rpb::makeModule(device::dieS8GbD(), 80.0);
-        auto &params =
-            module.platform().chip().fault().cells().mutableParams();
-        params.sigmaWordP = sw;
-        module.platform().chip().fault().cells().invalidateCaches();
-        auto attempt = chr::maxActivationAttempt(
-            module, 0, chr::AccessKind::SingleSided,
-            chr::DataPattern::CheckerBoard, 7800_ns);
-        auto stats = chr::analyzeWordErrors(attempt.flips);
-        t3.row({Table::toCell(sw), Table::toCell(stats.words3to8),
-                Table::toCell(stats.wordsOver8),
-                Table::toCell(stats.maxFlipsPerWord)});
-    }
+    for (std::size_t i = 0; i < sws.size(); ++i)
+        t3.row({Table::toCell(sws[i]),
+                Table::toCell(word_stats[i].words3to8),
+                Table::toCell(word_stats[i].wordsOver8),
+                Table::toCell(word_stats[i].maxFlipsPerWord)});
     t3.print();
     std::printf("Expected: the multi-bit words that defeat SECDED/"
                 "Chipkill require the\nword-correlated threshold "
@@ -127,6 +162,7 @@ BENCHMARK(BM_AblationPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblation();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(argc, argv,
+                           {"Model ablations", "DESIGN.md section 5"},
+                           printAblation);
 }

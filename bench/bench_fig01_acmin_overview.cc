@@ -5,7 +5,7 @@
  * 80 C, single- and double-sided, per manufacturer.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,11 +15,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig01()
+printFig01(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 1: ACmin overview, RowHammer vs RowPress",
-                     "Fig. 1 (box-and-whiskers at 80C)");
-
     const std::vector<Time> t_agg_ons = {36_ns, 7800_ns, 70200_ns, 30_ms};
 
     for (const auto &die : rpb::benchDies()) {
@@ -27,13 +24,14 @@ printFig01()
                                "/ max)");
         table.header({"tAggON", "pattern", "min", "q1", "median", "q3",
                       "max", "rows-flipped"});
-        chr::Module module = rpb::makeModule(die, 80.0);
+        const auto mc = rpb::moduleConfig(die, 80.0);
         for (auto kind : {chr::AccessKind::SingleSided,
                           chr::AccessKind::DoubleSided}) {
-            for (Time t : t_agg_ons) {
-                auto point = chr::acminPoint(module, t, kind);
+            auto points = chr::acminSweep(mc, engine, t_agg_ons, kind);
+            for (const auto &point : points) {
                 auto s = point.acminSummary();
-                table.row({formatTime(t), chr::accessKindName(kind),
+                table.row({formatTime(point.tAggOn),
+                           chr::accessKindName(kind),
                            rpb::fmtCount(s.min), rpb::fmtCount(s.q1),
                            rpb::fmtCount(s.median), rpb::fmtCount(s.q3),
                            rpb::fmtCount(s.max),
@@ -68,6 +66,9 @@ BENCHMARK(BM_AcminSearch)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig01();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 1: ACmin overview, RowHammer vs RowPress",
+         "Fig. 1 (box-and-whiskers at 80C)"},
+        printFig01);
 }

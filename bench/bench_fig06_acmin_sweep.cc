@@ -7,7 +7,7 @@
 
 #include <cmath>
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -17,21 +17,21 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig06()
+printFig06(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 6/7: ACmin vs tAggON sweep",
-                     "Fig. 6 (log-log), Fig. 7 (linear region)");
-
     for (const auto &die : rpb::benchDies()) {
-        chr::Module module = rpb::makeModule(die, 50.0);
+        const auto mc = rpb::moduleConfig(die, 50.0);
         Table table(die.name + " single-sided @ 50C");
         table.header({"tAggON", "mean ACmin", "min", "max",
                       "mean*tAggON(ms)"});
 
+        auto points = chr::acminSweep(mc, engine,
+                                      chr::standardTAggOnSweep(),
+                                      chr::AccessKind::SingleSided);
+
         std::vector<double> log_t, log_ac;
-        for (Time t : chr::standardTAggOnSweep()) {
-            auto point = chr::acminPoint(module, t,
-                                         chr::AccessKind::SingleSided);
+        for (const auto &point : points) {
+            const Time t = point.tAggOn;
             auto s = point.acminSummary();
             if (s.count == 0) {
                 table.row({formatTime(t), "No Bitflip", "-", "-", "-"});
@@ -70,6 +70,9 @@ BENCHMARK(BM_AcminSweepPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig06();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 6/7: ACmin vs tAggON sweep",
+         "Fig. 6 (log-log), Fig. 7 (linear region)"},
+        printFig06);
 }

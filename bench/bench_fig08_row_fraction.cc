@@ -5,7 +5,7 @@
  * advanced the technology node, the more rows are vulnerable.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,11 +15,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig08()
+printFig08(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 8: fraction of rows with bitflips",
-                     "Fig. 8 (single-sided @ 50C)");
-
     // Compare die revisions within Mfr. S to show the node-scaling
     // trend (B -> C -> D), plus one die per other manufacturer.
     std::vector<device::DieConfig> dies = {
@@ -35,19 +32,20 @@ printFig08()
         head.push_back(d.id);
     table.header(head);
 
-    std::vector<std::vector<double>> columns(dies.size());
-    std::vector<chr::Module> modules;
-    modules.reserve(dies.size());
+    // One engine sweep per die column.
+    const auto &sweep = chr::standardTAggOnSweep();
+    std::vector<std::vector<chr::SweepPoint>> columns;
+    columns.reserve(dies.size());
     for (const auto &d : dies)
-        modules.push_back(rpb::makeModule(d, 50.0));
+        columns.push_back(chr::acminSweep(rpb::moduleConfig(d, 50.0),
+                                          engine, sweep,
+                                          chr::AccessKind::SingleSided));
 
-    for (Time t : chr::standardTAggOnSweep()) {
-        std::vector<std::string> row = {formatTime(t)};
-        for (std::size_t i = 0; i < dies.size(); ++i) {
-            auto point = chr::acminPoint(modules[i], t,
-                                         chr::AccessKind::SingleSided);
-            row.push_back(Table::toCell(point.fractionFlipped()));
-        }
+    for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
+        std::vector<std::string> row = {formatTime(sweep[ti])};
+        for (std::size_t i = 0; i < dies.size(); ++i)
+            row.push_back(
+                Table::toCell(columns[i][ti].fractionFlipped()));
         table.row(std::move(row));
     }
     table.print();
@@ -73,6 +71,9 @@ BENCHMARK(BM_RowFractionPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig08();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 8: fraction of rows with bitflips",
+         "Fig. 8 (single-sided @ 50C)"},
+        printFig08);
 }

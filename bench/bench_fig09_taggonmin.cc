@@ -8,7 +8,7 @@
 
 #include <cmath>
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -17,22 +17,19 @@ using namespace rp;
 namespace {
 
 void
-printFig09()
+printFig09(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 9: tAggONmin vs activation count",
-                     "Fig. 9 (single-sided @ 50C)");
-
     const std::vector<std::uint64_t> acts = {1, 10, 100, 1000, 10000};
 
     for (const auto &die : rpb::benchDies()) {
-        chr::Module module = rpb::makeModule(die, 50.0);
+        const auto mc = rpb::moduleConfig(die, 50.0);
         Table table(die.name);
         table.header({"AC", "mean tAggONmin", "min", "max",
                       "AC*mean(ms)"});
         std::vector<double> lx, ly;
         for (std::uint64_t ac : acts) {
             auto point = chr::tAggOnMinPoint(
-                module, ac, chr::AccessKind::SingleSided);
+                mc, engine, ac, chr::AccessKind::SingleSided);
             auto s = point.summary();
             if (s.count == 0) {
                 table.row({Table::toCell(ac), "No Bitflip", "-", "-",
@@ -73,6 +70,9 @@ BENCHMARK(BM_TAggOnMinSearch)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig09();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 9: tAggONmin vs activation count",
+         "Fig. 9 (single-sided @ 50C)"},
+        printFig09);
 }

@@ -7,7 +7,7 @@
  * retention < 0.34 %.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -20,14 +20,15 @@ const std::vector<Time> kSweep = {66_ns,    636_ns, 7800_ns,
                                   70200_ns, 1_ms,   30_ms};
 
 void
-printOverlap(const char *title, bool at_max)
+printOverlap(core::ExperimentEngine &engine, const char *title,
+             bool at_max)
 {
     for (const auto &die : rpb::benchDies()) {
-        chr::Module module = rpb::makeModule(die, 50.0);
+        const auto mc = rpb::moduleConfig(die, 50.0);
         auto results =
-            at_max ? chr::overlapAtMaxAc(module, kSweep,
+            at_max ? chr::overlapAtMaxAc(mc, engine, kSweep,
                                          chr::AccessKind::SingleSided)
-                   : chr::overlapAtAcmin(module, kSweep,
+                   : chr::overlapAtAcmin(mc, engine, kSweep,
                                          chr::AccessKind::SingleSided);
         Table table(std::string(title) + " - " + die.name);
         table.header({"tAggON", "RP cells", "overlap w/ RowHammer",
@@ -43,13 +44,10 @@ printOverlap(const char *title, bool at_max)
 }
 
 void
-printFig10()
+printFig10(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 10/11: RowPress vs RowHammer/retention "
-                     "cell overlap",
-                     "Fig. 10 (@ACmin), Fig. 11 (@ACmax)");
-    printOverlap("Fig. 10 overlap @ ACmin", /*at_max=*/false);
-    printOverlap("Fig. 11 overlap @ ACmax", /*at_max=*/true);
+    printOverlap(engine, "Fig. 10 overlap @ ACmin", /*at_max=*/false);
+    printOverlap(engine, "Fig. 11 overlap @ ACmax", /*at_max=*/true);
     std::printf("Paper shape (Obsv. 7): overlap with RowHammer and "
                 "retention failures is\nnear zero for tAggON >= tREFI "
                 "- different failure mechanisms.\n\n");
@@ -72,6 +70,9 @@ BENCHMARK(BM_OverlapAnalysis)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig10();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 10/11: RowPress vs RowHammer/retention cell overlap",
+         "Fig. 10 (@ACmin), Fig. 11 (@ACmax)"},
+        printFig10);
 }

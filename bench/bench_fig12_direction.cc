@@ -5,7 +5,7 @@
  * Mfr. M 16Gb E-die inverts the trend (anti-cell layout).
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,11 +15,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig12()
+printFig12(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 12: bitflip direction",
-                     "Fig. 12 (fraction of 1->0 flips, checkerboard)");
-
     std::vector<device::DieConfig> dies = {
         device::dieById("S-8Gb-D"), device::dieById("H-16Gb-A"),
         device::dieById("M-16Gb-F"), device::dieById("M-16Gb-E")};
@@ -32,16 +29,19 @@ printFig12()
         head.push_back(d.id);
     table.header(head);
 
-    std::vector<chr::Module> modules;
+    const std::vector<Time> sweep = {36_ns,    186_ns, 1536_ns,
+                                     7800_ns, 70200_ns, 3_ms, 30_ms};
+    std::vector<std::vector<chr::SweepPoint>> columns;
+    columns.reserve(dies.size());
     for (const auto &d : dies)
-        modules.push_back(rpb::makeModule(d, 50.0));
+        columns.push_back(chr::acminSweep(rpb::moduleConfig(d, 50.0),
+                                          engine, sweep,
+                                          chr::AccessKind::SingleSided));
 
-    for (Time t : {36_ns, 186_ns, 1536_ns, 7800_ns, 70200_ns, 3_ms,
-                   30_ms}) {
-        std::vector<std::string> row = {formatTime(t)};
-        for (auto &m : modules) {
-            auto point =
-                chr::acminPoint(m, t, chr::AccessKind::SingleSided);
+    for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
+        std::vector<std::string> row = {formatTime(sweep[ti])};
+        for (const auto &column : columns) {
+            const auto &point = column[ti];
             row.push_back(point.acminSummary().count
                               ? Table::toCell(point.fractionOneToZero())
                               : "No Bitflip");
@@ -73,6 +73,9 @@ BENCHMARK(BM_DirectionPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig12();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 12: bitflip direction",
+         "Fig. 12 (fraction of 1->0 flips, checkerboard)"},
+        printFig12);
 }

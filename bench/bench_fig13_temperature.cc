@@ -5,7 +5,7 @@
  * fraction of rows with bitflips at 80 C (Obsv. 10).
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,35 +15,32 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig13()
+printFig13(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 13/14: temperature sensitivity",
-                     "Fig. 13 (ACmin@80C / ACmin@50C), Fig. 14 "
-                     "(row fraction @80C)");
-
     const std::vector<Time> sweep = {36_ns,    636_ns,   7800_ns,
                                      70200_ns, 1_ms,     30_ms};
 
     for (const auto &die : rpb::benchDies()) {
-        chr::Module m50 = rpb::makeModule(die, 50.0);
-        chr::Module m80 = rpb::makeModule(die, 80.0);
+        auto p50s = chr::acminSweep(rpb::moduleConfig(die, 50.0),
+                                    engine, sweep,
+                                    chr::AccessKind::SingleSided);
+        auto p80s = chr::acminSweep(rpb::moduleConfig(die, 80.0),
+                                    engine, sweep,
+                                    chr::AccessKind::SingleSided);
+
         Table table(die.name);
         table.header({"tAggON", "ACmin@50C", "ACmin@80C",
                       "80C/50C ratio", "rows@80C"});
-        for (Time t : sweep) {
-            auto p50 =
-                chr::acminPoint(m50, t, chr::AccessKind::SingleSided);
-            auto p80 =
-                chr::acminPoint(m80, t, chr::AccessKind::SingleSided);
-            const double a50 = p50.meanAcmin();
-            const double a80 = p80.meanAcmin();
-            table.row({formatTime(t),
+        for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
+            const double a50 = p50s[ti].meanAcmin();
+            const double a80 = p80s[ti].meanAcmin();
+            table.row({formatTime(sweep[ti]),
                        a50 > 0 ? rpb::fmtCount(a50) : "No Bitflip",
                        a80 > 0 ? rpb::fmtCount(a80) : "No Bitflip",
                        (a50 > 0 && a80 > 0)
                            ? Table::toCell(a80 / a50)
                            : std::string("-"),
-                       Table::toCell(p80.fractionFlipped())});
+                       Table::toCell(p80s[ti].fractionFlipped())});
         }
         table.print();
         std::printf("\n");
@@ -71,6 +68,10 @@ BENCHMARK(BM_TemperaturePoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig13();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 13/14: temperature sensitivity",
+         "Fig. 13 (ACmin@80C / ACmin@50C), Fig. 14 (row fraction "
+         "@80C)"},
+        printFig13);
 }

@@ -5,7 +5,7 @@
  * tAggONmin decreases significantly with temperature.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -14,20 +14,17 @@ using namespace rp;
 namespace {
 
 void
-printFig15()
+printFig15(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 15: tAggONmin @ AC=1 vs temperature",
-                     "Fig. 15 (50-80C, 5C steps, single-sided)");
-
     const int step = rpb::envInt("ROWPRESS_TEMP_STEP", 5);
 
     for (const auto &die : rpb::benchDies()) {
         Table table(die.name + " (tAggONmin in ms, AC = 1)");
         table.header({"temp(C)", "mean", "min", "max", "flipped-frac"});
         for (int temp = 50; temp <= 80; temp += step) {
-            chr::Module module = rpb::makeModule(die, double(temp));
             auto point = chr::tAggOnMinPoint(
-                module, 1, chr::AccessKind::SingleSided);
+                rpb::moduleConfig(die, double(temp)), engine, 1,
+                chr::AccessKind::SingleSided);
             auto s = point.summary();
             std::size_t flipped = 0;
             for (const auto &[row, res] : point.locations) {
@@ -71,6 +68,9 @@ BENCHMARK(BM_TempSweepPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig15();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 15: tAggONmin @ AC=1 vs temperature",
+         "Fig. 15 (50-80C, 5C steps, single-sided)"},
+        printFig15);
 }

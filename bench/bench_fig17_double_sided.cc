@@ -6,7 +6,7 @@
  * than double-sided (unlike RowHammer).
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -19,27 +19,24 @@ const std::vector<Time> kSweep = {36_ns,   186_ns,  636_ns,  1536_ns,
                                   7800_ns, 70200_ns, 1_ms,   10_ms};
 
 void
-printFig17()
+printFig17(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 17/18: single- vs double-sided RowPress",
-                     "Fig. 17 (DS ACmin @50C), Fig. 18 (SS - DS "
-                     "difference @50C/80C)");
-
     for (const auto &die : rpb::benchDies()) {
         for (double temp : {50.0, 80.0}) {
-            chr::Module module = rpb::makeModule(die, temp);
+            const auto mc = rpb::moduleConfig(die, temp);
+            auto ss_points = chr::acminSweep(
+                mc, engine, kSweep, chr::AccessKind::SingleSided);
+            auto ds_points = chr::acminSweep(
+                mc, engine, kSweep, chr::AccessKind::DoubleSided);
+
             Table table(die.name + " @ " + Table::toCell(temp) + "C");
             table.header({"tAggON", "SS mean ACmin", "DS mean ACmin",
                           "SS - DS", "more effective"});
-            for (Time t : kSweep) {
-                auto ss = chr::acminPoint(module, t,
-                                          chr::AccessKind::SingleSided);
-                auto ds = chr::acminPoint(module, t,
-                                          chr::AccessKind::DoubleSided);
-                const double a_ss = ss.meanAcmin();
-                const double a_ds = ds.meanAcmin();
+            for (std::size_t ti = 0; ti < kSweep.size(); ++ti) {
+                const double a_ss = ss_points[ti].meanAcmin();
+                const double a_ds = ds_points[ti].meanAcmin();
                 if (a_ss <= 0 && a_ds <= 0) {
-                    table.row({formatTime(t), "No Bitflip",
+                    table.row({formatTime(kSweep[ti]), "No Bitflip",
                                "No Bitflip", "-", "-"});
                     continue;
                 }
@@ -48,7 +45,7 @@ printFig17()
                     winner = a_ss < a_ds ? "single" : "double";
                 else
                     winner = a_ss > 0 ? "single" : "double";
-                table.row({formatTime(t),
+                table.row({formatTime(kSweep[ti]),
                            a_ss > 0 ? rpb::fmtCount(a_ss)
                                     : std::string("No Bitflip"),
                            a_ds > 0 ? rpb::fmtCount(a_ds)
@@ -88,6 +85,10 @@ BENCHMARK(BM_DoubleSidedSearch)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig17();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 17/18: single- vs double-sided RowPress",
+         "Fig. 17 (DS ACmin @50C), Fig. 18 (SS - DS difference "
+         "@50C/80C)"},
+        printFig17);
 }

@@ -8,7 +8,7 @@
  * bitflip at long tAggON.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -17,39 +17,38 @@ using namespace rp;
 namespace {
 
 void
-printPatternTable(const device::DieConfig &die, chr::AccessKind kind,
+printPatternTable(core::ExperimentEngine &engine,
+                  const device::DieConfig &die, chr::AccessKind kind,
                   double temp)
 {
-    chr::Module module = rpb::makeModule(die, temp);
+    const auto mc = rpb::moduleConfig(die, temp);
+    const auto &sweep = chr::dataPatternTAggOnSweep();
 
     Table table(die.name + " " + chr::accessKindName(kind) + " @ " +
                 Table::toCell(temp) + "C (ACmin normalized to CB)");
     std::vector<std::string> head = {"pattern"};
-    for (Time t : chr::dataPatternTAggOnSweep())
+    for (Time t : sweep)
         head.push_back(formatTime(t));
     table.header(head);
 
     // Baseline: checkerboard means per tAggON.
+    auto cb_points = chr::acminSweep(mc, engine, sweep, kind,
+                                     chr::DataPattern::CheckerBoard);
     std::vector<double> cb_means;
-    for (Time t : chr::dataPatternTAggOnSweep()) {
-        auto p = chr::acminPoint(module, t, kind,
-                                 chr::DataPattern::CheckerBoard);
+    for (const auto &p : cb_points)
         cb_means.push_back(p.meanAcmin());
-    }
 
     for (auto pattern : chr::allDataPatterns()) {
+        auto points = chr::acminSweep(mc, engine, sweep, kind, pattern);
         std::vector<std::string> row = {chr::dataPatternName(pattern)};
-        std::size_t i = 0;
-        for (Time t : chr::dataPatternTAggOnSweep()) {
-            auto p = chr::acminPoint(module, t, kind, pattern);
-            const double mean = p.meanAcmin();
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const double mean = points[i].meanAcmin();
             if (mean <= 0)
                 row.push_back("NoFlip");
             else if (cb_means[i] <= 0)
                 row.push_back("CB-NoFlip");
             else
                 row.push_back(Table::toCell(mean / cb_means[i]));
-            ++i;
         }
         table.row(std::move(row));
     }
@@ -58,12 +57,8 @@ printPatternTable(const device::DieConfig &die, chr::AccessKind kind,
 }
 
 void
-printFig19()
+printFig19(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 19/20: data-pattern sensitivity",
-                     "Fig. 19 (single-sided), Fig. 20 (double-sided, "
-                     "S 8Gb B)");
-
     // Default: the paper's three representative dies at 50C plus the
     // S 8Gb B-die's 80C and double-sided variants; ROWPRESS_ALL_DIES=1
     // adds the 80C column for all dies.
@@ -72,13 +67,15 @@ printFig19()
                                            device::dieH16GbA(),
                                            device::dieM16GbF()};
     for (const auto &die : dies) {
-        printPatternTable(die, chr::AccessKind::SingleSided, 50.0);
+        printPatternTable(engine, die, chr::AccessKind::SingleSided,
+                          50.0);
         if (all || die.id == "S-8Gb-B")
-            printPatternTable(die, chr::AccessKind::SingleSided, 80.0);
+            printPatternTable(engine, die, chr::AccessKind::SingleSided,
+                              80.0);
     }
     // Fig. 20: double-sided for the S 8Gb B-die.
-    printPatternTable(device::dieS8GbB(), chr::AccessKind::DoubleSided,
-                      50.0);
+    printPatternTable(engine, device::dieS8GbB(),
+                      chr::AccessKind::DoubleSided, 50.0);
 
     std::printf("Paper shape: RS/RSI (victim rows all-0/all-1) stop "
                 "flipping at long tAggON\n(RowPress can only drain "
@@ -104,6 +101,9 @@ BENCHMARK(BM_DataPatternPoint)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig19();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 19/20: data-pattern sensitivity",
+         "Fig. 19 (single-sided), Fig. 20 (double-sided, S 8Gb B)"},
+        printFig19);
 }

@@ -6,7 +6,7 @@
  * at 50 C and 80 C.  Obsv. 16-18.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -16,7 +16,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printOnOff(const device::DieConfig &die)
+printOnOff(core::ExperimentEngine &engine,
+           const device::DieConfig &die)
 {
     const std::vector<Time> deltas = {240_ns, 600_ns, 1200_ns, 2400_ns,
                                       6000_ns};
@@ -25,7 +26,19 @@ printOnOff(const device::DieConfig &die)
     for (auto kind : {chr::AccessKind::SingleSided,
                       chr::AccessKind::DoubleSided}) {
         for (double temp : {50.0, 80.0}) {
-            chr::Module module = rpb::makeModule(die, temp);
+            const auto mc = rpb::moduleConfig(die, temp);
+
+            // Flattened (delta x on-fraction) BER grid; each cell runs
+            // on its own module.
+            auto bers = engine.map<double>(
+                deltas.size() * fracs.size(),
+                [&](const core::TaskContext &ctx) {
+                    const Time d = deltas[ctx.index / fracs.size()];
+                    const double f = fracs[ctx.index % fracs.size()];
+                    chr::Module local(mc);
+                    return chr::onOffBer(local, 0, kind, d, f, 2);
+                });
+
             Table table(die.name + " " + chr::accessKindName(kind) +
                         " @ " + Table::toCell(temp) +
                         "C (max BER over victims)");
@@ -33,11 +46,11 @@ printOnOff(const device::DieConfig &die)
             for (double f : fracs)
                 head.push_back(Table::toCell(f * 100.0) + "%");
             table.header(head);
-            for (Time d : deltas) {
-                std::vector<std::string> row = {formatTime(d)};
-                for (double f : fracs)
+            for (std::size_t di = 0; di < deltas.size(); ++di) {
+                std::vector<std::string> row = {formatTime(deltas[di])};
+                for (std::size_t fi = 0; fi < fracs.size(); ++fi)
                     row.push_back(Table::toCell(
-                        chr::onOffBer(module, 0, kind, d, f, 2)));
+                        bers[di * fracs.size() + fi]));
                 table.row(std::move(row));
             }
             table.print();
@@ -47,17 +60,13 @@ printOnOff(const device::DieConfig &die)
 }
 
 void
-printFig22()
+printFig22(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 22: RowPress-ONOFF pattern BER",
-                     "Fig. 22 (S 8Gb D-die; Figs. 27-37 for the rest "
-                     "with ROWPRESS_ALL_DIES=1)");
-
     if (rpb::envInt("ROWPRESS_ALL_DIES", 0)) {
         for (const auto &die : device::allDies())
-            printOnOff(die);
+            printOnOff(engine, die);
     } else {
-        printOnOff(device::dieS8GbD());
+        printOnOff(engine, device::dieS8GbD());
     }
 
     std::printf("Paper shape (Obsv. 16-18): single-sided BER falls "
@@ -85,6 +94,10 @@ BENCHMARK(BM_OnOffBer)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig22();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 22: RowPress-ONOFF pattern BER",
+         "Fig. 22 (S 8Gb D-die; Figs. 27-37 for the rest with "
+         "ROWPRESS_ALL_DIES=1)"},
+        printFig22);
 }

@@ -7,7 +7,7 @@
  * TRR-protected DDR4 system model.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -16,10 +16,24 @@ using namespace rp;
 namespace {
 
 void
-printGrid(bool interleaved)
+printGrid(core::ExperimentEngine &engine, bool interleaved)
 {
     const std::vector<int> reads = {1, 4, 16, 32, 48, 64};
     const std::vector<int> acts = {2, 3, 4};
+
+    // Every (NUM_AGGR_ACTS, NUM_READS) cell is one independent demo
+    // run; fan the grid out through the engine.
+    auto results = engine.map<sys::DemoResult>(
+        acts.size() * reads.size(), [&](const core::TaskContext &ctx) {
+            sys::DemoConfig cfg;
+            cfg.numAggrActs = acts[ctx.index / reads.size()];
+            cfg.numReads = reads[ctx.index % reads.size()];
+            cfg.interleavedFlush = interleaved;
+            cfg.numVictims = std::max(4, int(10 * rpb::benchScale()));
+            cfg.numIters = std::max(4000, int(16000 * rpb::benchScale()));
+            cfg.seed = 3;
+            return sys::runDemo(cfg);
+        });
 
     Table table(interleaved
                     ? std::string("Algorithm 2 (interleaved flush, "
@@ -28,19 +42,10 @@ printGrid(bool interleaved)
     table.header({"NUM_AGGR_ACTS", "NUM_READS", "bitflips",
                   "rows w/ bitflips", "avg tAggON (ns)"});
 
-    for (int a : acts) {
-        for (int r : reads) {
-            sys::DemoConfig cfg;
-            cfg.numAggrActs = a;
-            cfg.numReads = r;
-            cfg.interleavedFlush = interleaved;
-            cfg.numVictims =
-                std::max(4, int(10 * rpb::benchScale()));
-            cfg.numIters =
-                std::max(4000, int(16000 * rpb::benchScale()));
-            cfg.seed = 3;
-            auto res = sys::runDemo(cfg);
-            table.row({Table::toCell(a), Table::toCell(r),
+    for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+        for (std::size_t ri = 0; ri < reads.size(); ++ri) {
+            const auto &res = results[ai * reads.size() + ri];
+            table.row({Table::toCell(acts[ai]), Table::toCell(reads[ri]),
                        Table::toCell(res.totalBitflips),
                        Table::toCell(res.rowsWithBitflips),
                        Table::toCell(res.avgTAggOnNs)});
@@ -51,14 +56,10 @@ printGrid(bool interleaved)
 }
 
 void
-printFig23()
+printFig23(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 23/49: real-system RowPress demonstration",
-                     "Fig. 23 (Algorithm 1), Fig. 49 (Algorithm 2); "
-                     "paper: 1500 victims, 800K iters - scaled here");
-
-    printGrid(/*interleaved=*/false);
-    printGrid(/*interleaved=*/true);
+    printGrid(engine, /*interleaved=*/false);
+    printGrid(engine, /*interleaved=*/true);
 
     std::printf("Paper shape (Obsv. 19-21, 23): NUM_READS = 1 "
                 "(RowHammer) cannot flip; flips\nrise with NUM_READS, "
@@ -87,6 +88,10 @@ BENCHMARK(BM_DemoIterationBatch)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig23();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 23/49: real-system RowPress demonstration",
+         "Fig. 23 (Algorithm 1), Fig. 49 (Algorithm 2); paper: 1500 "
+         "victims, 800K iters - scaled here"},
+        printFig23);
 }

@@ -6,18 +6,15 @@
  * median gap on the i5-10400 system).
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printFig24()
+printFig24(core::ExperimentEngine &)
 {
-    rpb::printHeader("Fig. 24: row-open-time verification probe",
-                     "Fig. 24 (latency histogram, 100K trials)");
-
     const int trials =
         std::max(2000, int(50000 * rpb::benchScale()));
     auto probe = sys::rowOpenLatencyProbe(trials);
@@ -50,6 +47,9 @@ BENCHMARK(BM_LatencyProbe)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig24();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 24: row-open-time verification probe",
+         "Fig. 24 (latency histogram, 100K trials)"},
+        printFig24);
 }

@@ -6,7 +6,7 @@
  * correction outcomes (section 7.1).
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -16,12 +16,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig25()
+printFig25(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 25/26: bitflips per 64-bit word vs ECC",
-                     "Fig. 25 (tAggON = 7.8us), Fig. 26 (70.2us) @ "
-                     "80C, max activation count");
-
     for (Time t : {7800_ns, 70200_ns}) {
         Table table("tAggON = " + formatTime(t) +
                     " (words with 1-2 / 3-8 / >8 flips; SECDED & "
@@ -29,19 +25,26 @@ printFig25()
         table.header({"die", "pattern", "1-2", "3-8", ">8", "max/word",
                       "SECDED silent", "Chipkill silent"});
         for (const auto &die : rpb::benchDies()) {
-            chr::Module module = rpb::makeModule(die, 80.0);
+            const auto mc = rpb::moduleConfig(die, 80.0);
+            const auto rows = chr::baseRowsOf(mc);
+            const std::size_t locs = std::min<std::size_t>(4, rows.size());
             for (auto kind : {chr::AccessKind::SingleSided,
                               chr::AccessKind::DoubleSided}) {
+                // Max-activation attempts over the tested locations,
+                // one engine task per location.
+                auto attempts = engine.map<chr::AttemptResult>(
+                    locs, [&](const core::TaskContext &ctx) {
+                        chr::Module local(chr::locationConfig(
+                            mc, rows[ctx.index]));
+                        return chr::maxActivationAttempt(
+                            local, 0, kind,
+                            chr::DataPattern::CheckerBoard, t);
+                    });
+
                 std::vector<chr::VictimFlip> flips;
-                const int locs =
-                    std::min<int>(4, int(module.baseRows().size()));
-                for (int i = 0; i < locs; ++i) {
-                    auto attempt = chr::maxActivationAttempt(
-                        module, i, kind,
-                        chr::DataPattern::CheckerBoard, t);
+                for (auto &attempt : attempts)
                     flips.insert(flips.end(), attempt.flips.begin(),
                                  attempt.flips.end());
-                }
                 auto stats = chr::analyzeWordErrors(flips);
                 auto secded = chr::evaluateSecded(flips);
                 auto chipkill = chr::evaluateChipkill(flips, 8);
@@ -82,6 +85,10 @@ BENCHMARK(BM_EccAnalysis)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig25();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 25/26: bitflips per 64-bit word vs ECC",
+         "Fig. 25 (tAggON = 7.8us), Fig. 26 (70.2us) @ 80C, max "
+         "activation count"},
+        printFig25);
 }

@@ -6,7 +6,7 @@
  * to the open-row baseline.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -16,12 +16,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig38()
+printFig38(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 38/39: minimally-open-row policy",
-                     "Fig. 38 (max per-row ACT increase), Fig. 39 "
-                     "(normalized IPC)");
-
     const std::uint64_t instrs = std::max<std::uint64_t>(
         50000, std::uint64_t(150000 * rpb::benchScale()));
 
@@ -31,29 +27,35 @@ printFig38()
         "483.xalancbmk", "510.parest", "h264_encode",
         "wc_8443",   "ycsb_bserver",  "tpch17"};
 
+    // Two configs per workload (open-row, minimally-open-row), all
+    // run concurrently as one batch.
+    std::vector<sim::SystemConfig> cfgs;
+    for (const auto &name : names) {
+        sim::SystemConfig open_cfg;
+        open_cfg.core.instrLimit = instrs;
+        open_cfg.workloads = {workloads::workloadByName(name)};
+        cfgs.push_back(open_cfg);
+
+        sim::SystemConfig min_cfg = open_cfg;
+        min_cfg.mem.tMro = min_cfg.mem.timing.tRAS;
+        cfgs.push_back(min_cfg);
+    }
+    auto results = sim::runSystems(cfgs, engine);
+
     Table table("Minimally-open-row (t_mro = tRAS) vs open-row");
     table.header({"workload", "IPC open", "IPC min-open",
                   "normalized IPC", "maxRowActs open",
                   "maxRowActs min-open", "ACT increase"});
 
-    for (const auto &name : names) {
-        const auto w = workloads::workloadByName(name);
-
-        sim::SystemConfig open_cfg;
-        open_cfg.core.instrLimit = instrs;
-        open_cfg.workloads = {w};
-        auto open_res = sim::runSystem(open_cfg);
-
-        sim::SystemConfig min_cfg = open_cfg;
-        min_cfg.mem.tMro = min_cfg.mem.timing.tRAS;
-        auto min_res = sim::runSystem(min_cfg);
-
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &open_res = results[2 * i];
+        const auto &min_res = results[2 * i + 1];
         const double incr =
             open_res.mem.maxRowActs
                 ? double(min_res.mem.maxRowActs) /
                       double(open_res.mem.maxRowActs)
                 : 0.0;
-        table.row({name, Table::toCell(open_res.ipcOf(0)),
+        table.row({names[i], Table::toCell(open_res.ipcOf(0)),
                    Table::toCell(min_res.ipcOf(0)),
                    Table::toCell(min_res.ipcOf(0) / open_res.ipcOf(0)),
                    Table::toCell(open_res.mem.maxRowActs),
@@ -87,6 +89,10 @@ BENCHMARK(BM_MinOpenRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig38();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 38/39: minimally-open-row policy",
+         "Fig. 38 (max per-row ACT increase), Fig. 39 (normalized "
+         "IPC)"},
+        printFig38);
 }

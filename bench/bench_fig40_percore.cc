@@ -5,7 +5,7 @@
  * t_mro configurations.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,11 +15,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig40()
+printFig40(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 40: per-workload normalized IPC",
-                     "Fig. 40 (single-core, LLC-MPKI > 5 subset)");
-
     const std::vector<Time> tmros = {36_ns, 96_ns, 336_ns, 636_ns};
     const std::uint64_t instrs = std::max<std::uint64_t>(
         40000, std::uint64_t(100000 * rpb::benchScale()));
@@ -30,6 +27,33 @@ printFig40()
         "510.parest", "483.xalancbmk", "h264_decode", "tpch17"};
 
     for (bool use_para : {false, true}) {
+        // One job per workload x (baseline + t_mro configs), each with
+        // its own freshly built mitigation instance.
+        std::vector<sim::SystemJob> jobs;
+        for (const auto &name : names) {
+            const auto w = workloads::workloadByName(name);
+
+            sim::SystemJob base;
+            base.cfg.core.instrLimit = instrs;
+            base.cfg.workloads = {w};
+            base.mitigationFactory = rpb::mitigationFactory(use_para,
+                                                            1000);
+            jobs.push_back(base);
+
+            for (Time t : tmros) {
+                const auto a =
+                    mitigation::adaptThreshold(profile, 1000, t);
+                sim::SystemJob job;
+                job.cfg.core.instrLimit = instrs;
+                job.cfg.workloads = {w};
+                job.cfg.mem.tMro = t;
+                job.mitigationFactory =
+                    rpb::mitigationFactory(use_para, a.adaptedTrh);
+                jobs.push_back(job);
+            }
+        }
+        auto results = sim::runSystems(jobs, engine);
+
         Table table(use_para ? "PARA-RP IPC normalized to PARA"
                              : "Graphene-RP IPC normalized to Graphene");
         std::vector<std::string> head = {"workload"};
@@ -37,45 +61,13 @@ printFig40()
             head.push_back("t_mro=" + formatTime(t));
         table.header(head);
 
-        for (const auto &name : names) {
-            const auto w = workloads::workloadByName(name);
-
-            // Baseline: the unadapted mechanism, open-row policy.
-            double base_ipc;
-            {
-                sim::SystemConfig cfg;
-                cfg.core.instrLimit = instrs;
-                cfg.workloads = {w};
-                std::unique_ptr<mitigation::Mitigation> mit;
-                if (use_para)
-                    mit = std::make_unique<mitigation::Para>(
-                        mitigation::paraFor(1000));
-                else
-                    mit = std::make_unique<mitigation::Graphene>(
-                        mitigation::grapheneFor(1000, 64_ms, 45_ns,
-                                                32));
-                cfg.mem.mitigation = mit.get();
-                base_ipc = sim::runSystem(cfg).ipcOf(0);
-            }
-
-            std::vector<std::string> row = {name};
-            for (Time t : tmros) {
-                const auto a =
-                    mitigation::adaptThreshold(profile, 1000, t);
-                sim::SystemConfig cfg;
-                cfg.core.instrLimit = instrs;
-                cfg.workloads = {w};
-                cfg.mem.tMro = t;
-                std::unique_ptr<mitigation::Mitigation> mit;
-                if (use_para)
-                    mit = std::make_unique<mitigation::Para>(
-                        mitigation::paraFor(a.adaptedTrh));
-                else
-                    mit = std::make_unique<mitigation::Graphene>(
-                        mitigation::grapheneFor(a.adaptedTrh, 64_ms,
-                                                45_ns, 32));
-                cfg.mem.mitigation = mit.get();
-                const double ipc = sim::runSystem(cfg).ipcOf(0);
+        const std::size_t stride = 1 + tmros.size();
+        for (std::size_t wi = 0; wi < names.size(); ++wi) {
+            const double base_ipc = results[wi * stride].ipcOf(0);
+            std::vector<std::string> row = {names[wi]};
+            for (std::size_t ti = 0; ti < tmros.size(); ++ti) {
+                const double ipc =
+                    results[wi * stride + 1 + ti].ipcOf(0);
                 row.push_back(Table::toCell(ipc / base_ipc));
             }
             table.row(std::move(row));
@@ -112,6 +104,9 @@ BENCHMARK(BM_MitigatedRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig40();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 40: per-workload normalized IPC",
+         "Fig. 40 (single-core, LLC-MPKI > 5 subset)"},
+        printFig40);
 }

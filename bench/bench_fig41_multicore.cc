@@ -7,7 +7,7 @@
 
 #include <memory>
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -16,36 +16,21 @@ using namespace rp::literals;
 
 namespace {
 
-std::unique_ptr<mitigation::Mitigation>
-makeMitigation(bool use_para, std::uint32_t trh)
+sim::SystemJob
+mixJob(const std::vector<workloads::WorkloadParams> &mix, Time t_mro,
+       bool use_para, std::uint32_t trh, std::uint64_t instrs)
 {
-    if (use_para)
-        return std::make_unique<mitigation::Para>(
-            mitigation::paraFor(trh));
-    return std::make_unique<mitigation::Graphene>(
-        mitigation::grapheneFor(trh, 64_ms, 45_ns, 32));
-}
-
-double
-runMixWs(const std::vector<workloads::WorkloadParams> &mix, Time t_mro,
-         bool use_para, std::uint32_t trh, std::uint64_t instrs,
-         const std::vector<double> &alone)
-{
-    sim::SystemConfig cfg;
-    cfg.core.instrLimit = instrs;
-    cfg.workloads = mix;
-    cfg.mem.tMro = t_mro;
-    auto mit = makeMitigation(use_para, trh);
-    cfg.mem.mitigation = mit.get();
-    return sim::runSystem(cfg).weightedSpeedup(alone);
+    sim::SystemJob job;
+    job.cfg.core.instrLimit = instrs;
+    job.cfg.workloads = mix;
+    job.cfg.mem.tMro = t_mro;
+    job.mitigationFactory = rpb::mitigationFactory(use_para, trh);
+    return job;
 }
 
 void
-printFig41()
+printFig41(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Fig. 41: four-core weighted speedups",
-                     "Fig. 41 (homogeneous + HHHH..LLLL mixes)");
-
     const std::uint64_t instrs = std::max<std::uint64_t>(
         25000, std::uint64_t(60000 * rpb::benchScale()));
     const auto profile = mitigation::paperTable3Profile();
@@ -67,7 +52,31 @@ printFig41()
                            workloads::makeMix(comp,
                                               std::uint64_t(mix_seed++)));
 
+    // Alone-IPC baselines: one engine task per (mix, core slot).
+    std::vector<workloads::WorkloadParams> all_alone;
+    for (const auto &[label, mix] : mixes) {
+        (void)label;
+        all_alone.insert(all_alone.end(), mix.begin(), mix.end());
+    }
+    auto alone_flat = sim::aloneIpcs(all_alone, sim::ControllerConfig{},
+                                     sim::CoreConfig{128, 4, instrs},
+                                     engine);
+
     for (bool use_para : {false, true}) {
+        // One job per mix x (baseline + t_mro configs).
+        std::vector<sim::SystemJob> jobs;
+        for (const auto &[label, mix] : mixes) {
+            (void)label;
+            jobs.push_back(mixJob(mix, 0, use_para, 1000, instrs));
+            for (Time t : tmros) {
+                const auto a =
+                    mitigation::adaptThreshold(profile, 1000, t);
+                jobs.push_back(
+                    mixJob(mix, t, use_para, a.adaptedTrh, instrs));
+            }
+        }
+        auto results = sim::runSystems(jobs, engine);
+
         Table table(use_para
                         ? std::string("PARA-RP WS normalized to PARA")
                         : std::string(
@@ -77,23 +86,21 @@ printFig41()
             head.push_back("t_mro=" + formatTime(t));
         table.header(head);
 
-        for (const auto &[label, mix] : mixes) {
-            // Alone IPCs (baseline memory config).
-            std::vector<double> alone;
-            for (const auto &w : mix) {
-                alone.push_back(sim::aloneIpc(w, sim::ControllerConfig{},
-                                              sim::CoreConfig{
-                                                  128, 4, instrs}));
-            }
-            const double base_ws =
-                runMixWs(mix, 0, use_para, 1000, instrs, alone);
+        const std::size_t stride = 1 + tmros.size();
+        std::size_t alone_off = 0;
+        for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+            const auto &mix = mixes[mi].second;
+            const std::vector<double> alone(
+                alone_flat.begin() + long(alone_off),
+                alone_flat.begin() + long(alone_off + mix.size()));
+            alone_off += mix.size();
 
-            std::vector<std::string> row = {label};
-            for (Time t : tmros) {
-                const auto a =
-                    mitigation::adaptThreshold(profile, 1000, t);
-                const double ws = runMixWs(mix, t, use_para,
-                                           a.adaptedTrh, instrs, alone);
+            const double base_ws =
+                results[mi * stride].weightedSpeedup(alone);
+            std::vector<std::string> row = {mixes[mi].first};
+            for (std::size_t ti = 0; ti < tmros.size(); ++ti) {
+                const double ws =
+                    results[mi * stride + 1 + ti].weightedSpeedup(alone);
                 row.push_back(Table::toCell(ws / base_ws));
             }
             table.row(std::move(row));
@@ -125,6 +132,9 @@ BENCHMARK(BM_FourCoreRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig41();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Fig. 41: four-core weighted speedups",
+         "Fig. 41 (homogeneous + HHHH..LLLL mixes)"},
+        printFig41);
 }

@@ -8,7 +8,7 @@
 
 #include <map>
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -18,44 +18,65 @@ using namespace rp::literals;
 namespace {
 
 void
-printRepeatability(chr::AccessKind kind, double temp)
+printRepeatability(core::ExperimentEngine &engine, chr::AccessKind kind,
+                   double temp)
 {
     std::printf("--- %s @ %.0fC ---\n", chr::accessKindName(kind),
                 temp);
-    chr::Module module = rpb::makeModule(device::dieS8GbD(), temp);
-    auto &platform = module.platform();
+    const auto mc = rpb::moduleConfig(device::dieS8GbD(), temp);
+    const auto rows = chr::baseRowsOf(mc);
 
     Table table("Bitflip occurrence count across 5 iterations (%)");
     table.header({"tAggON", "1", "2", "3", "4", "5", "total flips"});
 
-    for (Time t : {36_ns, 336_ns, 1536_ns, 7800_ns, 70200_ns, 10_ms}) {
-        std::map<std::uint64_t, int> occurrence;
-        for (int iter = 0; iter < 5; ++iter) {
-            for (int row : module.baseRows()) {
-                auto layout =
-                    chr::makeLayout(kind, module.config().bank, row);
-                // Run at ~1.3x the budget-limited count's ACmin-scale
-                // dose: use the max count within a reduced budget so
-                // near-threshold and solid flips both appear.
-                const std::uint64_t acts = chr::maxActsWithinBudget(
-                    t, platform.timing(), platform.cmdGap(),
-                    20_ms);
-                if (acts == 0)
-                    continue;
+    const std::vector<Time> sweep = {36_ns,   336_ns,   1536_ns,
+                                     7800_ns, 70200_ns, 10_ms};
+
+    // One task per (tAggON, location): the five iterations run
+    // back-to-back on the task's module (repeatability is about
+    // re-running on the *same* device state), but different locations
+    // and sweep points are independent.
+    using Occurrence = std::map<std::uint64_t, int>;
+    auto occurrences = engine.map<Occurrence>(
+        sweep.size() * rows.size(), [&](const core::TaskContext &ctx) {
+            const Time t = sweep[ctx.index / rows.size()];
+            const int row = rows[ctx.index % rows.size()];
+            Occurrence occurrence;
+
+            chr::Module local(chr::locationConfig(mc, row));
+            auto &platform = local.platform();
+            const auto layout = chr::makeLayout(kind, mc.bank, row);
+            // Run at ~1.3x the budget-limited count's ACmin-scale
+            // dose: use the max count within a reduced budget so
+            // near-threshold and solid flips both appear.
+            const std::uint64_t acts = chr::maxActsWithinBudget(
+                t, platform.timing(), platform.cmdGap(), 20_ms);
+            if (acts == 0)
+                return occurrence;
+            for (int iter = 0; iter < 5; ++iter) {
                 auto attempt = chr::runPressAttempt(
                     platform, layout, chr::DataPattern::CheckerBoard,
                     t, acts);
                 for (const auto &f : attempt.flips)
                     ++occurrence[f.id()];
             }
+            return occurrence;
+        });
+
+    for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
+        Occurrence merged;
+        for (std::size_t ri = 0; ri < rows.size(); ++ri) {
+            for (const auto &[id, n] :
+                 occurrences[ti * rows.size() + ri])
+                merged[id] += n;
         }
         int histo[6] = {0, 0, 0, 0, 0, 0};
-        for (const auto &[id, n] : occurrence) {
+        for (const auto &[id, n] : merged) {
             (void)id;
             ++histo[std::min(5, n)];
         }
-        const double total = double(occurrence.size());
-        std::vector<std::string> row = {formatTime(t)};
+        const double total = double(merged.size());
+        std::vector<std::string> row = {formatTime(sweep[ti])};
         for (int i = 1; i <= 5; ++i)
             row.push_back(total > 0
                               ? Table::toCell(100.0 * histo[i] / total)
@@ -68,13 +89,11 @@ printRepeatability(chr::AccessKind kind, double temp)
 }
 
 void
-printFig42()
+printFig42(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 42-45: repeatability of RowPress bitflips",
-                     "Appendix E (5-iteration occurrence histograms)");
-    printRepeatability(chr::AccessKind::SingleSided, 50.0);
-    printRepeatability(chr::AccessKind::SingleSided, 80.0);
-    printRepeatability(chr::AccessKind::DoubleSided, 50.0);
+    printRepeatability(engine, chr::AccessKind::SingleSided, 50.0);
+    printRepeatability(engine, chr::AccessKind::SingleSided, 80.0);
+    printRepeatability(engine, chr::AccessKind::DoubleSided, 50.0);
     std::printf("Paper shape (Obsv. 22): the majority (>50-60%%) of "
                 "bitflips occur in all\nfive iterations - RowPress "
                 "bitflips are repeatable.\n\n");
@@ -99,6 +118,9 @@ BENCHMARK(BM_RepeatAttempt)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig42();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 42-45: repeatability of RowPress bitflips",
+         "Appendix E (5-iteration occurrence histograms)"},
+        printFig42);
 }

@@ -5,7 +5,7 @@
  * double-sided difference across all three temperatures.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -18,39 +18,37 @@ const std::vector<Time> kSweep = {36_ns, 636_ns, 7800_ns, 70200_ns,
                                   1_ms, 30_ms};
 
 void
-printFig46()
+printFig46(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Figs. 46-48: 65C temperature step",
-                     "Appendix F (normalized ACmin at 65C and 80C)");
-
     for (const auto &die : rpb::benchDies()) {
-        chr::Module m50 = rpb::makeModule(die, 50.0);
-        chr::Module m65 = rpb::makeModule(die, 65.0);
-        chr::Module m80 = rpb::makeModule(die, 80.0);
+        auto p50s = chr::acminSweep(rpb::moduleConfig(die, 50.0),
+                                    engine, kSweep,
+                                    chr::AccessKind::SingleSided);
+        auto p65s = chr::acminSweep(rpb::moduleConfig(die, 65.0),
+                                    engine, kSweep,
+                                    chr::AccessKind::SingleSided);
+        auto p80s = chr::acminSweep(rpb::moduleConfig(die, 80.0),
+                                    engine, kSweep,
+                                    chr::AccessKind::SingleSided);
+        auto d65s = chr::acminSweep(rpb::moduleConfig(die, 65.0),
+                                    engine, kSweep,
+                                    chr::AccessKind::DoubleSided);
 
         Table table(die.name + " (single-sided mean ACmin ratios)");
         table.header({"tAggON", "65C/50C", "80C/65C", "SS-DS@65C"});
-        for (Time t : kSweep) {
-            auto p50 =
-                chr::acminPoint(m50, t, chr::AccessKind::SingleSided);
-            auto p65 =
-                chr::acminPoint(m65, t, chr::AccessKind::SingleSided);
-            auto p80 =
-                chr::acminPoint(m80, t, chr::AccessKind::SingleSided);
-            auto d65 =
-                chr::acminPoint(m65, t, chr::AccessKind::DoubleSided);
-
+        for (std::size_t ti = 0; ti < kSweep.size(); ++ti) {
             auto ratio = [](double num, double den) -> std::string {
                 return (num > 0 && den > 0) ? Table::toCell(num / den)
                                             : std::string("-");
             };
             std::string diff = "-";
-            if (p65.meanAcmin() > 0 && d65.meanAcmin() > 0)
-                diff = Table::toCell(p65.meanAcmin() -
-                                     d65.meanAcmin());
-            table.row({formatTime(t),
-                       ratio(p65.meanAcmin(), p50.meanAcmin()),
-                       ratio(p80.meanAcmin(), p65.meanAcmin()), diff});
+            if (p65s[ti].meanAcmin() > 0 && d65s[ti].meanAcmin() > 0)
+                diff = Table::toCell(p65s[ti].meanAcmin() -
+                                     d65s[ti].meanAcmin());
+            table.row({formatTime(kSweep[ti]),
+                       ratio(p65s[ti].meanAcmin(), p50s[ti].meanAcmin()),
+                       ratio(p80s[ti].meanAcmin(), p65s[ti].meanAcmin()),
+                       diff});
         }
         table.print();
         std::printf("\n");
@@ -78,6 +76,9 @@ BENCHMARK(BM_Temp65Point)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig46();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Figs. 46-48: 65C temperature step",
+         "Appendix F (normalized ACmin at 65C and 80C)"},
+        printFig46);
 }

@@ -1,0 +1,124 @@
+#include "bench_runner.h"
+
+#include <chrono>
+
+namespace rpb {
+
+int
+envInt(const char *name, int def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atoi(v) : def;
+}
+
+int
+benchLocations()
+{
+    return envInt("ROWPRESS_BENCH_LOCATIONS", 10);
+}
+
+double
+benchScale()
+{
+    const char *v = std::getenv("ROWPRESS_BENCH_SCALE");
+    return v ? std::atof(v) : 1.0;
+}
+
+std::vector<rp::device::DieConfig>
+benchDies()
+{
+    if (envInt("ROWPRESS_ALL_DIES", 0))
+        return rp::device::allDies();
+    return {rp::device::dieS8GbB(), rp::device::dieH16GbA(),
+            rp::device::dieM16GbF()};
+}
+
+rp::chr::ModuleConfig
+moduleConfig(const rp::device::DieConfig &die, double temp_c,
+             std::uint64_t seed)
+{
+    rp::chr::ModuleConfig cfg;
+    cfg.die = die;
+    cfg.numLocations = benchLocations();
+    cfg.temperatureC = temp_c;
+    cfg.seed = seed;
+    return cfg;
+}
+
+rp::chr::Module
+makeModule(const rp::device::DieConfig &die, double temp_c,
+           std::uint64_t seed)
+{
+    return rp::chr::Module(moduleConfig(die, temp_c, seed));
+}
+
+std::function<std::unique_ptr<rp::mitigation::Mitigation>()>
+mitigationFactory(bool use_para, std::uint32_t trh)
+{
+    using namespace rp::literals;
+    return [use_para,
+            trh]() -> std::unique_ptr<rp::mitigation::Mitigation> {
+        if (use_para)
+            return std::make_unique<rp::mitigation::Para>(
+                rp::mitigation::paraFor(trh));
+        return std::make_unique<rp::mitigation::Graphene>(
+            rp::mitigation::grapheneFor(trh, 64_ms, 45_ns, 32));
+    };
+}
+
+std::string
+fmtCount(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+void
+printHeader(const char *experiment, const char *paper_ref)
+{
+    std::printf("================================================="
+                "==============\n");
+    std::printf("RowPress reproduction - %s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("================================================="
+                "==============\n");
+}
+
+int
+runBenchmarkMain(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+int
+figureMain(int argc, char **argv, const FigureSpec &spec,
+           const std::function<void(rp::core::ExperimentEngine &)> &emit)
+{
+    printHeader(spec.title, spec.paperRef);
+
+    auto &engine = rp::core::defaultEngine();
+    const auto start = std::chrono::steady_clock::now();
+    emit(engine);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("[bench_runner] data series completed in %.2f s on %d "
+                "engine thread(s)\n\n",
+                secs, engine.numThreads());
+
+    return runBenchmarkMain(argc, argv);
+}
+
+} // namespace rpb

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared runner for the per-figure/table bench binaries.
+ *
+ * Every binary describes its data series as a function that runs a
+ * task set on the shared rp::core::ExperimentEngine; the runner prints
+ * the banner, times the series (reporting wall-clock and the thread
+ * count, so `RP_THREADS=1` vs `RP_THREADS=N` gives a direct speedup
+ * measurement), then hands over to the google-benchmark
+ * micro-measurements.
+ *
+ * Scaled-down defaults; set ROWPRESS_BENCH_LOCATIONS /
+ * ROWPRESS_ALL_DIES / ROWPRESS_BENCH_SCALE to enlarge, RP_THREADS to
+ * choose the engine's worker count.
+ */
+
+#ifndef ROWPRESS_BENCH_RUNNER_H
+#define ROWPRESS_BENCH_RUNNER_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rowpress.h"
+
+namespace rpb {
+
+int envInt(const char *name, int def);
+
+/** Tested locations per module (paper: 3072 rows; default: 10). */
+int benchLocations();
+
+/** Global effort multiplier for the heavier benches. */
+double benchScale();
+
+/** Die set: one representative per manufacturer, or all twelve. */
+std::vector<rp::device::DieConfig> benchDies();
+
+/** ModuleConfig for a bench module (the engine drivers' task input). */
+rp::chr::ModuleConfig moduleConfig(const rp::device::DieConfig &die,
+                                   double temp_c,
+                                   std::uint64_t seed = 1);
+
+/** A live Module (serial paths and micro-benchmarks). */
+rp::chr::Module makeModule(const rp::device::DieConfig &die,
+                           double temp_c, std::uint64_t seed = 1);
+
+std::string fmtCount(double v);
+
+/**
+ * SystemJob mitigation factory building a fresh PARA (or Graphene,
+ * with the paper's 64 ms window / 45 ns CAS / 32-entry table) instance
+ * per run at threshold @p trh.
+ */
+std::function<std::unique_ptr<rp::mitigation::Mitigation>()>
+mitigationFactory(bool use_para, std::uint32_t trh);
+
+void printHeader(const char *experiment, const char *paper_ref);
+
+int runBenchmarkMain(int argc, char **argv);
+
+/** Banner of a figure/table binary. */
+struct FigureSpec
+{
+    const char *title;
+    const char *paperRef;
+};
+
+/**
+ * Entry point of a bench binary: print the banner, run the figure's
+ * task set on the shared engine (timed), then run the registered
+ * google-benchmark measurements.
+ */
+int figureMain(
+    int argc, char **argv, const FigureSpec &spec,
+    const std::function<void(rp::core::ExperimentEngine &)> &emit);
+
+} // namespace rpb
+
+#endif // ROWPRESS_BENCH_RUNNER_H

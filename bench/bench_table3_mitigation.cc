@@ -6,9 +6,10 @@
  * with a base T_RH of 1000.
  */
 
+#include <cmath>
 #include <memory>
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -19,12 +20,6 @@ namespace {
 
 const std::vector<Time> kTmros = {36_ns, 66_ns, 96_ns,
                                   186_ns, 336_ns, 636_ns};
-
-struct RunSet
-{
-    std::vector<workloads::WorkloadParams> workloads;
-    std::uint64_t instrs;
-};
 
 double
 geomean(const std::vector<double> &v)
@@ -37,30 +32,9 @@ geomean(const std::vector<double> &v)
     return std::exp(s / double(v.size()));
 }
 
-/** Mean IPC-normalized performance across workloads for a config. */
-std::vector<double>
-runAll(const RunSet &set, Time t_mro, mitigation::Mitigation *mit)
-{
-    std::vector<double> ipcs;
-    for (const auto &w : set.workloads) {
-        sim::SystemConfig cfg;
-        cfg.mem.tMro = t_mro;
-        cfg.mem.mitigation = mit;
-        cfg.core.instrLimit = set.instrs;
-        cfg.workloads = {w};
-        ipcs.push_back(sim::runSystem(cfg).ipcOf(0));
-    }
-    return ipcs;
-}
-
 void
-printTable3()
+printTable3(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Table 3: Graphene-RP / PARA-RP configuration "
-                     "and overhead",
-                     "Table 3 / Tables 8, 9 (T_RH = 1000, S 8Gb B-die "
-                     "profile)");
-
     const auto profile = mitigation::paperTable3Profile();
     const std::uint32_t base_trh = 1000;
 
@@ -82,46 +56,69 @@ printTable3()
                 ".054 .061 .079)\n\n");
 
     // Performance overheads on a workload subset.
-    RunSet set;
-    set.instrs =
+    const std::uint64_t instrs =
         std::max<std::uint64_t>(50000,
                                 std::uint64_t(150000 * rpb::benchScale()));
+    std::vector<workloads::WorkloadParams> set;
     for (const char *name :
          {"429.mcf", "462.libquantum", "510.parest", "h264_encode",
           "470.lbm", "483.xalancbmk", "tpch17", "ycsb_bserver"})
-        set.workloads.push_back(workloads::workloadByName(name));
+        set.push_back(workloads::workloadByName(name));
 
-    // Baselines: Graphene / PARA with the original T_RH, open row.
-    auto g_base_cfg = mitigation::grapheneFor(base_trh, 64_ms, 45_ns, 32);
-    mitigation::Graphene g_base(g_base_cfg);
-    auto g_base_ipcs = runAll(set, 0, &g_base);
+    // One job per (mechanism, t_mro step incl. baseline, workload);
+    // every run gets a freshly built mitigation instance so no state
+    // leaks between workloads or across concurrent tasks.
+    auto jobs_for = [&](bool use_para) {
+        std::vector<sim::SystemJob> jobs;
+        auto add = [&](Time t_mro, std::uint32_t trh) {
+            for (const auto &w : set) {
+                sim::SystemJob job;
+                job.cfg.mem.tMro = t_mro;
+                job.cfg.core.instrLimit = instrs;
+                job.cfg.workloads = {w};
+                job.mitigationFactory =
+                    rpb::mitigationFactory(use_para, trh);
+                jobs.push_back(job);
+            }
+        };
+        add(0, base_trh); // baseline: open row, unadapted T_RH
+        for (Time t : kTmros)
+            add(t, mitigation::adaptThreshold(profile, base_trh, t)
+                       .adaptedTrh);
+        return jobs;
+    };
 
-    mitigation::Para p_base(mitigation::paraFor(base_trh));
-    auto p_base_ipcs = runAll(set, 0, &p_base);
+    auto g_results = sim::runSystems(jobs_for(false), engine);
+    auto p_results = sim::runSystems(jobs_for(true), engine);
+
+    auto ipcs_at = [&](const std::vector<sim::SystemResult> &results,
+                       std::size_t step) {
+        std::vector<double> ipcs;
+        for (std::size_t i = 0; i < set.size(); ++i)
+            ipcs.push_back(results[step * set.size() + i].ipcOf(0));
+        return ipcs;
+    };
+
+    auto g_base_ipcs = ipcs_at(g_results, 0);
+    auto p_base_ipcs = ipcs_at(p_results, 0);
 
     Table perf("Average / max additional slowdown vs the RowHammer-"
                "only baseline (single-core)");
     perf.header({"t_mro", "Graphene-RP avg", "Graphene-RP max",
                  "PARA-RP avg", "PARA-RP max"});
-    for (Time t : kTmros) {
-        const auto a = mitigation::adaptThreshold(profile, base_trh, t);
-
-        mitigation::Graphene g_rp(
-            mitigation::grapheneFor(a.adaptedTrh, 64_ms, 45_ns, 32));
-        auto g_ipcs = runAll(set, t, &g_rp);
-
-        mitigation::Para p_rp(mitigation::paraFor(a.adaptedTrh));
-        auto p_ipcs = runAll(set, t, &p_rp);
+    for (std::size_t ti = 0; ti < kTmros.size(); ++ti) {
+        auto g_ipcs = ipcs_at(g_results, ti + 1);
+        auto p_ipcs = ipcs_at(p_results, ti + 1);
 
         std::vector<double> g_ratio, p_ratio;
         double g_max = 0.0, p_max = 0.0;
-        for (std::size_t i = 0; i < set.workloads.size(); ++i) {
+        for (std::size_t i = 0; i < set.size(); ++i) {
             g_ratio.push_back(g_ipcs[i] / g_base_ipcs[i]);
             p_ratio.push_back(p_ipcs[i] / p_base_ipcs[i]);
             g_max = std::max(g_max, 1.0 - g_ratio.back());
             p_max = std::max(p_max, 1.0 - p_ratio.back());
         }
-        perf.row({formatTime(t),
+        perf.row({formatTime(kTmros[ti]),
                   Table::toCell((1.0 - geomean(g_ratio)) * 100.0) + "%",
                   Table::toCell(g_max * 100.0) + "%",
                   Table::toCell((1.0 - geomean(p_ratio)) * 100.0) + "%",
@@ -152,6 +149,9 @@ BENCHMARK(BM_SingleCoreRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable3();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Table 3: Graphene-RP / PARA-RP configuration and overhead",
+         "Table 3 / Tables 8, 9 (T_RH = 1000, S 8Gb B-die profile)"},
+        printTable3);
 }

@@ -5,7 +5,7 @@
  * at AC = 1 and AC = 10K, and maximum BER - at 50 C and 80 C.
  */
 
-#include "bench_common.h"
+#include "bench_runner.h"
 
 #include "common/table.h"
 
@@ -15,12 +15,8 @@ using namespace rp::literals;
 namespace {
 
 void
-printTable5()
+printTable5(core::ExperimentEngine &engine)
 {
-    rpb::printHeader("Tables 5/6: module summary",
-                     "Table 5 (ACmin / tAggONmin), Table 6 (max BER); "
-                     "all 12 dies with ROWPRESS_ALL_DIES=1");
-
     auto dies = rpb::benchDies();
 
     Table t5("Table 5 analogue: ACmin (mean) and tAggONmin (mean)");
@@ -32,15 +28,16 @@ printTable5()
                "BER@7.8us 80C"});
 
     for (const auto &die : dies) {
-        chr::Module m50 = rpb::makeModule(die, 50.0);
-        chr::Module m80 = rpb::makeModule(die, 80.0);
+        const auto mc50 = rpb::moduleConfig(die, 50.0);
+        const auto mc80 = rpb::moduleConfig(die, 80.0);
 
-        auto cell = [&](chr::Module &m, Time t) -> std::string {
+        auto cell = [&](const chr::ModuleConfig &mc,
+                        Time t) -> std::string {
             // Table 5 reports the stronger of SS and DS.
-            auto ss =
-                chr::acminPoint(m, t, chr::AccessKind::SingleSided);
-            auto ds =
-                chr::acminPoint(m, t, chr::AccessKind::DoubleSided);
+            auto ss = chr::acminPoint(mc, engine, t,
+                                      chr::AccessKind::SingleSided);
+            auto ds = chr::acminPoint(mc, engine, t,
+                                      chr::AccessKind::DoubleSided);
             double best = 0.0;
             if (ss.meanAcmin() > 0)
                 best = ss.meanAcmin();
@@ -50,28 +47,29 @@ printTable5()
             return best > 0 ? rpb::fmtCount(best)
                             : std::string("No Bitflip");
         };
-        auto ton = [&](chr::Module &m) -> std::string {
-            auto p =
-                chr::tAggOnMinPoint(m, 1, chr::AccessKind::SingleSided);
+        auto ton = [&](const chr::ModuleConfig &mc) -> std::string {
+            auto p = chr::tAggOnMinPoint(mc, engine, 1,
+                                         chr::AccessKind::SingleSided);
             auto s = p.summary();
             return s.count
                        ? formatTime(Time(s.mean * double(units::US)))
                        : std::string("No Bitflip");
         };
 
-        t5.row({die.id, cell(m50, 36_ns), cell(m50, 7800_ns),
-                cell(m50, 70200_ns), cell(m80, 7800_ns), ton(m50),
-                ton(m80)});
+        t5.row({die.id, cell(mc50, 36_ns), cell(mc50, 7800_ns),
+                cell(mc50, 70200_ns), cell(mc80, 7800_ns), ton(mc50),
+                ton(mc80)});
 
-        auto ber = [&](chr::Module &m, Time t) {
+        auto ber = [&](const chr::ModuleConfig &mc, Time t) {
+            chr::Module m(mc);
             auto attempt = chr::maxActivationAttempt(
                 m, 0, chr::AccessKind::SingleSided,
                 chr::DataPattern::CheckerBoard, t);
             return Table::toCell(double(attempt.flips.size()) /
                                  double(chr::bitsPerRow(m)));
         };
-        t6.row({die.id, ber(m50, 36_ns), ber(m50, 7800_ns),
-                ber(m80, 7800_ns)});
+        t6.row({die.id, ber(mc50, 36_ns), ber(mc50, 7800_ns),
+                ber(mc80, 7800_ns)});
     }
     t5.print();
     std::printf("\n");
@@ -98,6 +96,10 @@ BENCHMARK(BM_SummaryDie)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable5();
-    return rpb::runBenchmarkMain(argc, argv);
+    return rpb::figureMain(
+        argc, argv,
+        {"Tables 5/6: module summary",
+         "Table 5 (ACmin / tAggONmin), Table 6 (max BER); all 12 dies "
+         "with ROWPRESS_ALL_DIES=1"},
+        printTable5);
 }

@@ -9,6 +9,25 @@ namespace rp::chr {
 
 using namespace rp::literals;
 
+std::vector<int>
+baseRowsOf(const ModuleConfig &cfg)
+{
+    std::vector<int> rows;
+    rows.reserve(std::size_t(cfg.numLocations));
+    for (int i = 0; i < cfg.numLocations; ++i)
+        rows.push_back(cfg.firstRow + i * cfg.rowStride);
+    return rows;
+}
+
+ModuleConfig
+locationConfig(const ModuleConfig &cfg, int row)
+{
+    ModuleConfig loc = cfg;
+    loc.numLocations = 1;
+    loc.firstRow = row;
+    return loc;
+}
+
 Module::Module(const ModuleConfig &cfg) : cfg_(cfg)
 {
     bender::PlatformConfig pc;
@@ -18,9 +37,7 @@ Module::Module(const ModuleConfig &cfg) : cfg_(cfg)
     pc.temperatureC = cfg_.temperatureC;
     platform_ = std::make_unique<bender::TestPlatform>(pc);
 
-    baseRows_.reserve(std::size_t(cfg_.numLocations));
-    for (int i = 0; i < cfg_.numLocations; ++i)
-        baseRows_.push_back(cfg_.firstRow + i * cfg_.rowStride);
+    baseRows_ = baseRowsOf(cfg_);
 }
 
 const std::vector<Time> &
@@ -95,24 +112,40 @@ SweepPoint::meanAcmin() const
     return n ? sum / double(n) : 0.0;
 }
 
+LocationResult
+acminAtLocation(Module &module, int row, Time t_agg_on, AccessKind kind,
+                DataPattern pattern, const SearchConfig &cfg)
+{
+    RowLayout layout = makeLayout(kind, module.config().bank, row);
+    AcminResult res = findAcmin(module.platform(), layout, pattern,
+                                t_agg_on, cfg);
+    LocationResult loc;
+    loc.row = row;
+    loc.flipped = res.flipped;
+    loc.acmin = res.acmin;
+    loc.flips = std::move(res.flips);
+    return loc;
+}
+
 SweepPoint
 acminPoint(Module &module, Time t_agg_on, AccessKind kind,
            DataPattern pattern, const SearchConfig &cfg)
 {
     SweepPoint point;
     point.tAggOn = t_agg_on;
-    for (int row : module.baseRows()) {
-        RowLayout layout = makeLayout(kind, module.config().bank, row);
-        AcminResult res = findAcmin(module.platform(), layout, pattern,
-                                    t_agg_on, cfg);
-        LocationResult loc;
-        loc.row = row;
-        loc.flipped = res.flipped;
-        loc.acmin = res.acmin;
-        loc.flips = std::move(res.flips);
-        point.locations.push_back(std::move(loc));
-    }
+    for (int row : module.baseRows())
+        point.locations.push_back(
+            acminAtLocation(module, row, t_agg_on, kind, pattern, cfg));
     return point;
+}
+
+SweepPoint
+acminPoint(const ModuleConfig &mc, core::ExperimentEngine &engine,
+           Time t_agg_on, AccessKind kind, DataPattern pattern,
+           const SearchConfig &cfg)
+{
+    auto points = acminSweep(mc, engine, {t_agg_on}, kind, pattern, cfg);
+    return std::move(points.front());
 }
 
 std::vector<SweepPoint>
@@ -123,6 +156,37 @@ acminSweep(Module &module, const std::vector<Time> &t_agg_ons,
     points.reserve(t_agg_ons.size());
     for (Time t : t_agg_ons)
         points.push_back(acminPoint(module, t, kind, pattern, cfg));
+    return points;
+}
+
+std::vector<SweepPoint>
+acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,
+           const std::vector<Time> &t_agg_ons, AccessKind kind,
+           DataPattern pattern, const SearchConfig &cfg)
+{
+    const std::vector<int> rows = baseRowsOf(mc);
+    const std::size_t n_rows = rows.size();
+
+    // Flatten the (tAggON x location) grid into one task set; task
+    // index i covers sweep step i / n_rows at location i % n_rows.
+    auto results = engine.map<LocationResult>(
+        t_agg_ons.size() * n_rows, [&](const core::TaskContext &ctx) {
+            const Time t = t_agg_ons[ctx.index / n_rows];
+            const int row = rows[ctx.index % n_rows];
+            Module local(locationConfig(mc, row));
+            return acminAtLocation(local, row, t, kind, pattern, cfg);
+        });
+
+    std::vector<SweepPoint> points;
+    points.reserve(t_agg_ons.size());
+    for (std::size_t ti = 0; ti < t_agg_ons.size(); ++ti) {
+        SweepPoint point;
+        point.tAggOn = t_agg_ons[ti];
+        for (std::size_t ri = 0; ri < n_rows; ++ri)
+            point.locations.push_back(
+                std::move(results[ti * n_rows + ri]));
+        points.push_back(std::move(point));
+    }
     return points;
 }
 
@@ -150,6 +214,28 @@ tAggOnMinPoint(Module &module, std::uint64_t acts, AccessKind kind,
             row, findTAggOnMin(module.platform(), layout, pattern, acts,
                                cfg));
     }
+    return point;
+}
+
+TAggOnMinPoint
+tAggOnMinPoint(const ModuleConfig &mc, core::ExperimentEngine &engine,
+               std::uint64_t acts, AccessKind kind, DataPattern pattern,
+               const SearchConfig &cfg)
+{
+    const std::vector<int> rows = baseRowsOf(mc);
+    auto results = engine.map<std::pair<int, TAggOnMinResult>>(
+        rows.size(), [&](const core::TaskContext &ctx) {
+            const int row = rows[ctx.index];
+            Module local(locationConfig(mc, row));
+            RowLayout layout = makeLayout(kind, mc.bank, row);
+            return std::make_pair(
+                row, findTAggOnMin(local.platform(), layout, pattern,
+                                   acts, cfg));
+        });
+
+    TAggOnMinPoint point;
+    point.acts = acts;
+    point.locations = std::move(results);
     return point;
 }
 

@@ -17,6 +17,7 @@
 #include "chr/acmin.h"
 #include "chr/patterns.h"
 #include "common/stats.h"
+#include "core/engine.h"
 
 namespace rp::chr {
 
@@ -31,6 +32,18 @@ struct ModuleConfig
     int rowStride = 16;         ///< Spacing between tested locations.
     int firstRow = 64;
 };
+
+/** Tested base rows implied by a module configuration. */
+std::vector<int> baseRowsOf(const ModuleConfig &cfg);
+
+/**
+ * Copy of @p cfg that tests only the single location @p row.  The
+ * engine-parallel drivers below run every location task on a private
+ * Module built from such a config, so each task is a pure function of
+ * (config, row, experiment parameters) — independent of scheduling
+ * and thread count.
+ */
+ModuleConfig locationConfig(const ModuleConfig &cfg, int row);
 
 /** One simulated DIMM under characterization. */
 class Module
@@ -85,8 +98,23 @@ struct SweepPoint
     double meanAcmin() const;
 };
 
+/** ACmin search for one location (the per-location task body). */
+LocationResult acminAtLocation(Module &module, int row, Time t_agg_on,
+                               AccessKind kind, DataPattern pattern,
+                               const SearchConfig &cfg);
+
 /** ACmin at one tAggON for every tested location. */
 SweepPoint acminPoint(Module &module, Time t_agg_on, AccessKind kind,
+                      DataPattern pattern = DataPattern::CheckerBoard,
+                      const SearchConfig &cfg = {});
+
+/**
+ * Engine-parallel form: one task per tested location, each on a
+ * private single-location Module (see locationConfig).
+ */
+SweepPoint acminPoint(const ModuleConfig &mc,
+                      core::ExperimentEngine &engine, Time t_agg_on,
+                      AccessKind kind,
                       DataPattern pattern = DataPattern::CheckerBoard,
                       const SearchConfig &cfg = {});
 
@@ -94,6 +122,17 @@ SweepPoint acminPoint(Module &module, Time t_agg_on, AccessKind kind,
 std::vector<SweepPoint>
 acminSweep(Module &module, const std::vector<Time> &t_agg_ons,
            AccessKind kind,
+           DataPattern pattern = DataPattern::CheckerBoard,
+           const SearchConfig &cfg = {});
+
+/**
+ * Engine-parallel sweep: the (tAggON x location) grid is flattened
+ * into one task set so every point of every sweep step runs
+ * concurrently.
+ */
+std::vector<SweepPoint>
+acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,
+           const std::vector<Time> &t_agg_ons, AccessKind kind,
            DataPattern pattern = DataPattern::CheckerBoard,
            const SearchConfig &cfg = {});
 
@@ -108,6 +147,14 @@ struct TAggOnMinPoint
 
 TAggOnMinPoint tAggOnMinPoint(Module &module, std::uint64_t acts,
                               AccessKind kind,
+                              DataPattern pattern =
+                                  DataPattern::CheckerBoard,
+                              const SearchConfig &cfg = {});
+
+/** Engine-parallel form: one task per tested location. */
+TAggOnMinPoint tAggOnMinPoint(const ModuleConfig &mc,
+                              core::ExperimentEngine &engine,
+                              std::uint64_t acts, AccessKind kind,
                               DataPattern pattern =
                                   DataPattern::CheckerBoard,
                               const SearchConfig &cfg = {});

@@ -39,12 +39,26 @@ overlapAtAcmin(Module &module, const std::vector<Time> &t_agg_ons,
                AccessKind kind, const SearchConfig &cfg = {});
 
 /**
+ * Engine-parallel form: reference sets and every (tAggON, location)
+ * point run as engine tasks on private per-location modules.
+ */
+std::vector<OverlapResult>
+overlapAtAcmin(const ModuleConfig &mc, core::ExperimentEngine &engine,
+               const std::vector<Time> &t_agg_ons, AccessKind kind,
+               const SearchConfig &cfg = {});
+
+/**
  * Overlap at maximum activation count (Fig. 11): same comparison with
  * all patterns driven as hard as the 60 ms budget allows.
  */
 std::vector<OverlapResult>
 overlapAtMaxAc(Module &module, const std::vector<Time> &t_agg_ons,
                AccessKind kind);
+
+/** Engine-parallel form of overlapAtMaxAc. */
+std::vector<OverlapResult>
+overlapAtMaxAc(const ModuleConfig &mc, core::ExperimentEngine &engine,
+               const std::vector<Time> &t_agg_ons, AccessKind kind);
 
 } // namespace rp::chr
 

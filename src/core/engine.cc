@@ -1,0 +1,206 @@
+#include "core/engine.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace rp::core {
+
+int
+ExperimentEngine::defaultThreadCount()
+{
+    if (const char *env = std::getenv("RP_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("RP_THREADS=%s is not a positive integer; ignoring", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? int(hw) : 1;
+}
+
+ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options()) {}
+
+ExperimentEngine::ExperimentEngine(Options opts)
+    : rootSeed_(opts.rootSeed)
+{
+    const int n =
+        opts.numThreads > 0 ? opts.numThreads : defaultThreadCount();
+    queues_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ExperimentEngine::run(std::vector<Task> tasks)
+{
+    run(std::move(tasks), RunOptions());
+}
+
+void
+ExperimentEngine::run(std::vector<Task> tasks, const RunOptions &opts)
+{
+    if (tasks.empty())
+        return;
+
+    // A task calling back into its own engine would deadlock on
+    // runMutex_; nested grids must be flattened into one task set.
+    const auto self = std::this_thread::get_id();
+    for (const auto &w : workers_) {
+        if (w.get_id() == self)
+            panic("ExperimentEngine::run called from one of its own "
+                  "workers; flatten nested task sets instead");
+    }
+
+    // One task set at a time; concurrent callers queue up here.
+    std::lock_guard<std::mutex> run_lock(runMutex_);
+
+    RunState state;
+    state.tasks = std::move(tasks);
+    state.rootSeed = opts.rootSeed ? opts.rootSeed : rootSeed_;
+    state.progress = opts.progress;
+
+    // Deal tasks round-robin into the per-worker deques.
+    const std::size_t n_workers = queues_.size();
+    for (std::size_t i = 0; i < state.tasks.size(); ++i) {
+        WorkerQueue &q = *queues_[i % n_workers];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(i);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        run_ = &state;
+        activeWorkers_ = int(n_workers);
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return activeWorkers_ == 0; });
+        run_ = nullptr;
+    }
+
+    if (state.firstError)
+        std::rethrow_exception(state.firstError);
+}
+
+bool
+ExperimentEngine::claimTask(int id, std::size_t *out)
+{
+    // Own queue first (front: cache-friendly submission order) ...
+    {
+        WorkerQueue &own = *queues_[std::size_t(id)];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            *out = own.tasks.front();
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    // ... then steal from the back of the other workers' queues.
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        WorkerQueue &victim = *queues_[(std::size_t(id) + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            *out = victim.tasks.back();
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ExperimentEngine::execute(int id, std::size_t task_index)
+{
+    RunState &state = *run_;
+
+    bool skip;
+    {
+        std::lock_guard<std::mutex> lock(state.doneMutex);
+        skip = state.cancelled;
+    }
+
+    if (!skip) {
+        TaskContext ctx;
+        ctx.index = task_index;
+        ctx.seed = taskSeed(state.rootSeed, task_index);
+        ctx.worker = id;
+        try {
+            state.tasks[task_index](ctx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state.doneMutex);
+            if (!state.firstError)
+                state.firstError = std::current_exception();
+            state.cancelled = true;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(state.doneMutex);
+    ++state.done;
+    if (state.progress && !state.cancelled) {
+        // A throwing progress callback is treated like a failing task:
+        // captured and rethrown at the run() call site, never allowed
+        // to escape the worker thread (std::terminate).
+        try {
+            state.progress(state.done, state.tasks.size());
+        } catch (...) {
+            if (!state.firstError)
+                state.firstError = std::current_exception();
+            state.cancelled = true;
+        }
+    }
+}
+
+void
+ExperimentEngine::workerLoop(int id)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+        }
+
+        std::size_t task_index = 0;
+        while (claimTask(id, &task_index))
+            execute(id, task_index);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--activeWorkers_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+ExperimentEngine &
+defaultEngine()
+{
+    static ExperimentEngine engine;
+    return engine;
+}
+
+} // namespace rp::core

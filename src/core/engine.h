@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ExperimentEngine: the shared parallel execution layer of the
+ * characterization + simulation stack.
+ *
+ * Every sweep in the repo — ACmin / tAggONmin searches over locations,
+ * temperatures and patterns, `characterizeProfile` grids, multicore
+ * simulator runs, bench figure series — is dozens-to-thousands of
+ * *independent* experiments.  The engine runs such a task set on a
+ * work-stealing thread pool while keeping the results bit-identical to
+ * a serial run:
+ *
+ *  - results are collected into a caller-indexed vector, so the
+ *    completion order never reorders output;
+ *  - every task receives a deterministic seed derived as
+ *    `hashU64(rootSeed, taskIndex)` — independent of which worker runs
+ *    the task, of the thread count, and of scheduling;
+ *  - tasks must be *closed*: they may only touch their own state (e.g.
+ *    a per-task platform/Module built from the task description) and
+ *    their slot of the result vector.  Given that contract, the engine
+ *    guarantees run(tasks, 1 thread) == run(tasks, N threads) bit for
+ *    bit.
+ *
+ * Scheduling: tasks are dealt round-robin into per-worker deques;
+ * a worker pops from the front of its own deque and steals from the
+ * back of the others when it runs dry.  The pool is persistent — one
+ * engine can serve many successive task sets.
+ *
+ * The default thread count honours the `RP_THREADS` environment
+ * variable and falls back to the hardware concurrency.
+ */
+
+#ifndef ROWPRESS_CORE_ENGINE_H
+#define ROWPRESS_CORE_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rp::core {
+
+/** Per-task execution context handed to every task. */
+struct TaskContext
+{
+    std::size_t index = 0;    ///< Index within the submitted task set.
+    std::uint64_t seed = 0;   ///< hashU64(rootSeed, index).
+    int worker = -1;          ///< Executing worker (diagnostics only).
+};
+
+/** Work-stealing thread-pool runner for independent experiment tasks. */
+class ExperimentEngine
+{
+  public:
+    using Task = std::function<void(const TaskContext &)>;
+
+    struct Options
+    {
+        /** Worker threads; 0 selects defaultThreadCount(). */
+        int numThreads = 0;
+        /** Root of the per-task seed derivation. */
+        std::uint64_t rootSeed = 1;
+    };
+
+    /** Per-run options. */
+    struct RunOptions
+    {
+        /** Override the engine root seed for this run (0 = engine's). */
+        std::uint64_t rootSeed = 0;
+        /** Progress callback, invoked serially as (done, total). */
+        std::function<void(std::size_t, std::size_t)> progress;
+    };
+
+    ExperimentEngine();
+    explicit ExperimentEngine(Options opts);
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    int numThreads() const { return int(workers_.size()); }
+    std::uint64_t rootSeed() const { return rootSeed_; }
+
+    /** `RP_THREADS` if set (clamped to >= 1), else hardware threads. */
+    static int defaultThreadCount();
+
+    /** The seed a task at @p index receives under @p root_seed. */
+    static std::uint64_t
+    taskSeed(std::uint64_t root_seed, std::size_t index)
+    {
+        return hashU64(root_seed, index, 0x45474e45ULL /* "EGNE" */);
+    }
+
+    /**
+     * Execute all tasks; blocks until the set is complete.  The first
+     * exception thrown by a task is rethrown here (remaining tasks are
+     * skipped).  An empty task set returns immediately.
+     */
+    void run(std::vector<Task> tasks);
+    void run(std::vector<Task> tasks, const RunOptions &opts);
+
+    /**
+     * Ordered parallel map: invoke `fn(ctx) -> R` for indices
+     * [0, n) and return the results in index order.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t n, Fn &&fn)
+    {
+        return map<R>(n, std::forward<Fn>(fn), RunOptions());
+    }
+
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t n, Fn &&fn, const RunOptions &opts)
+    {
+        std::vector<R> out(n);
+        std::vector<Task> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            tasks.push_back([&out, &fn, i](const TaskContext &ctx) {
+                out[i] = fn(ctx);
+            });
+        }
+        run(std::move(tasks), opts);
+        return out;
+    }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks; ///< Indices into run_->tasks.
+    };
+
+    struct RunState
+    {
+        std::vector<Task> tasks;
+        std::uint64_t rootSeed = 0;
+        std::function<void(std::size_t, std::size_t)> progress;
+
+        std::size_t done = 0;             ///< Guarded by doneMutex.
+        bool cancelled = false;           ///< Guarded by doneMutex.
+        std::exception_ptr firstError;    ///< Guarded by doneMutex.
+        std::mutex doneMutex;
+    };
+
+    void workerLoop(int id);
+    bool claimTask(int id, std::size_t *out);
+    void execute(int id, std::size_t task_index);
+
+    std::uint64_t rootSeed_;
+
+    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+    std::mutex mutex_;                 ///< Pool coordination.
+    std::condition_variable wake_;     ///< Signals a new epoch / stop.
+    std::condition_variable idle_;     ///< Signals all workers idle.
+    std::uint64_t epoch_ = 0;          ///< Incremented per run().
+    int activeWorkers_ = 0;
+    bool stop_ = false;
+    RunState *run_ = nullptr;          ///< Valid during a run.
+
+    std::mutex runMutex_;              ///< Serializes run() callers.
+};
+
+/**
+ * Process-wide engine with default options (RP_THREADS workers, root
+ * seed 1), for callers that do not manage their own pool.
+ */
+ExperimentEngine &defaultEngine();
+
+} // namespace rp::core
+
+#endif // ROWPRESS_CORE_ENGINE_H

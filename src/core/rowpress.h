@@ -24,6 +24,7 @@
 #include "chr/experiments.h"
 #include "chr/overlap.h"
 #include "chr/patterns.h"
+#include "core/engine.h"
 #include "device/chip.h"
 #include "device/die_config.h"
 #include "mitigation/adapter.h"
@@ -52,7 +53,18 @@ struct ProfileOptions
  * Measure the worst-case ACmin-reduction profile of a die
  * (section 7.4: worst case across temperatures and access patterns),
  * suitable for mitigation::adaptThreshold.
+ *
+ * The (tMro x temperature x AccessKind) grid fans out through
+ * @p engine as one flat task set; every task measures its cell of the
+ * grid on a private Module, so the profile is bit-identical for any
+ * thread count.
  */
+mitigation::DisturbProfile
+characterizeProfile(const device::DieConfig &die,
+                    core::ExperimentEngine &engine,
+                    const ProfileOptions &opts = {});
+
+/** Same, on the process-wide core::defaultEngine(). */
 mitigation::DisturbProfile
 characterizeProfile(const device::DieConfig &die,
                     const ProfileOptions &opts = {});

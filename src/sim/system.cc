@@ -70,6 +70,34 @@ runSystem(const SystemConfig &cfg)
     return result;
 }
 
+std::vector<SystemResult>
+runSystems(const std::vector<SystemJob> &jobs,
+           core::ExperimentEngine &engine)
+{
+    return engine.map<SystemResult>(
+        jobs.size(), [&](const core::TaskContext &ctx) {
+            const SystemJob &job = jobs[ctx.index];
+            SystemConfig cfg = job.cfg;
+            std::unique_ptr<mitigation::Mitigation> mit;
+            if (job.mitigationFactory) {
+                mit = job.mitigationFactory();
+                cfg.mem.mitigation = mit.get();
+            }
+            return runSystem(cfg);
+        });
+}
+
+std::vector<SystemResult>
+runSystems(const std::vector<SystemConfig> &cfgs,
+           core::ExperimentEngine &engine)
+{
+    std::vector<SystemJob> jobs;
+    jobs.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        jobs.push_back({cfg, nullptr});
+    return runSystems(jobs, engine);
+}
+
 double
 aloneIpc(const workloads::WorkloadParams &workload,
          const ControllerConfig &mem, const CoreConfig &core,
@@ -82,6 +110,17 @@ aloneIpc(const workloads::WorkloadParams &workload,
     cfg.workloads = {workload};
     cfg.seed = seed;
     return runSystem(cfg).ipcOf(0);
+}
+
+std::vector<double>
+aloneIpcs(const std::vector<workloads::WorkloadParams> &ws,
+          const ControllerConfig &mem, const CoreConfig &core,
+          core::ExperimentEngine &engine, std::uint64_t seed)
+{
+    return engine.map<double>(
+        ws.size(), [&](const core::TaskContext &ctx) {
+            return aloneIpc(ws[ctx.index], mem, core, seed);
+        });
 }
 
 } // namespace rp::sim

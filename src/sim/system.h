@@ -9,9 +9,12 @@
 #ifndef ROWPRESS_SIM_SYSTEM_H
 #define ROWPRESS_SIM_SYSTEM_H
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "sim/controller.h"
 #include "sim/core.h"
 #include "workloads/presets.h"
@@ -56,12 +59,49 @@ struct SystemResult
 SystemResult runSystem(const SystemConfig &cfg);
 
 /**
+ * One simulator job of a parallel batch: a system configuration plus
+ * an optional factory that builds the job's private mitigation
+ * instance.  Mitigations are stateful and referenced by raw pointer
+ * from ControllerConfig, so concurrent jobs must not share one — the
+ * factory runs inside the task and the built instance lives exactly
+ * as long as the run.
+ */
+struct SystemJob
+{
+    SystemConfig cfg;
+    std::function<std::unique_ptr<mitigation::Mitigation>()>
+        mitigationFactory;
+};
+
+/**
+ * Run independent jobs concurrently on @p engine (the per-core /
+ * multicore figure sweeps).  Results are returned in job order and are
+ * bit-identical for any thread count.
+ */
+std::vector<SystemResult> runSystems(const std::vector<SystemJob> &jobs,
+                                     core::ExperimentEngine &engine);
+
+/**
+ * Convenience batch form for configs without mitigation state; every
+ * config's `mem.mitigation` must be null or uniquely owned.
+ */
+std::vector<SystemResult>
+runSystems(const std::vector<SystemConfig> &cfgs,
+           core::ExperimentEngine &engine);
+
+/**
  * Convenience: run one workload alone on the given memory config and
  * return its IPC (the weighted-speedup baseline).
  */
 double aloneIpc(const workloads::WorkloadParams &workload,
                 const ControllerConfig &mem, const CoreConfig &core,
                 std::uint64_t seed = 1);
+
+/** Batch of alone-IPC baselines, one engine task per workload. */
+std::vector<double>
+aloneIpcs(const std::vector<workloads::WorkloadParams> &ws,
+          const ControllerConfig &mem, const CoreConfig &core,
+          core::ExperimentEngine &engine, std::uint64_t seed = 1);
 
 } // namespace rp::sim
 

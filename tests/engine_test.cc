@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ExperimentEngine tests: deterministic seed derivation, bit-identical
+ * results at 1 vs N threads, ordered result collection, exception
+ * propagation, and the empty-task-set edge case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/engine.h"
+
+namespace rp::core {
+namespace {
+
+ExperimentEngine::Options
+withThreads(int n, std::uint64_t root_seed = 1)
+{
+    ExperimentEngine::Options opts;
+    opts.numThreads = n;
+    opts.rootSeed = root_seed;
+    return opts;
+}
+
+TEST(Engine, ThreadCountHonoursOptions)
+{
+    ExperimentEngine one(withThreads(1));
+    EXPECT_EQ(one.numThreads(), 1);
+    ExperimentEngine four(withThreads(4));
+    EXPECT_EQ(four.numThreads(), 4);
+}
+
+TEST(Engine, TaskSeedIsPureFunctionOfRootSeedAndIndex)
+{
+    const std::uint64_t s0 = ExperimentEngine::taskSeed(1, 0);
+    EXPECT_EQ(s0, ExperimentEngine::taskSeed(1, 0));
+    EXPECT_NE(s0, ExperimentEngine::taskSeed(1, 1));
+    EXPECT_NE(s0, ExperimentEngine::taskSeed(2, 0));
+}
+
+TEST(Engine, MapReturnsResultsInIndexOrder)
+{
+    ExperimentEngine engine(withThreads(4));
+    // Earlier tasks sleep longer, so completion order is reversed;
+    // results must still come back in index order.
+    auto out = engine.map<std::size_t>(16, [](const TaskContext &ctx) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(200 * (16 - ctx.index)));
+        return ctx.index * 10;
+    });
+    ASSERT_EQ(out.size(), 16u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * 10);
+}
+
+TEST(Engine, SameRootSeedIsBitIdenticalAcrossThreadCounts)
+{
+    auto job = [](const TaskContext &ctx) {
+        // Derive a chaotic but deterministic value from the task seed.
+        Rng rng(ctx.seed);
+        double acc = 0.0;
+        for (int i = 0; i < 100; ++i)
+            acc += rng.normal();
+        return acc;
+    };
+
+    ExperimentEngine serial(withThreads(1, 42));
+    ExperimentEngine parallel(withThreads(4, 42));
+    auto a = serial.map<double>(64, job);
+    auto b = parallel.map<double>(64, job);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "diverged at task " << i;
+
+    // A different root seed must change the stream.
+    ExperimentEngine other(withThreads(4, 43));
+    auto c = other.map<double>(64, job);
+    EXPECT_NE(a.front(), c.front());
+}
+
+TEST(Engine, RunOptionsRootSeedOverridesEngineSeed)
+{
+    auto job = [](const TaskContext &ctx) { return ctx.seed; };
+
+    ExperimentEngine engine(withThreads(2, 1));
+    ExperimentEngine::RunOptions opts;
+    opts.rootSeed = 7;
+    auto seeds = engine.map<std::uint64_t>(4, job, opts);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        EXPECT_EQ(seeds[i], ExperimentEngine::taskSeed(7, i));
+}
+
+TEST(Engine, ExceptionPropagatesToCaller)
+{
+    ExperimentEngine engine(withThreads(4));
+    std::vector<ExperimentEngine::Task> tasks;
+    for (int i = 0; i < 32; ++i) {
+        tasks.push_back([](const TaskContext &ctx) {
+            if (ctx.index == 13)
+                throw std::runtime_error("task 13 failed");
+        });
+    }
+    EXPECT_THROW(engine.run(std::move(tasks)), std::runtime_error);
+
+    // The engine stays usable after a failed run.
+    auto out = engine.map<int>(8, [](const TaskContext &ctx) {
+        return int(ctx.index);
+    });
+    ASSERT_EQ(out.size(), 8u);
+    EXPECT_EQ(out[7], 7);
+}
+
+TEST(Engine, EmptyTaskSetReturnsImmediately)
+{
+    ExperimentEngine engine(withThreads(2));
+    engine.run({});
+    auto out = engine.map<int>(0, [](const TaskContext &) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Engine, ProgressReportsEveryTask)
+{
+    ExperimentEngine engine(withThreads(4));
+    std::atomic<std::size_t> calls{0};
+    std::size_t last_done = 0;
+    std::size_t last_total = 0;
+
+    std::vector<ExperimentEngine::Task> tasks;
+    for (int i = 0; i < 20; ++i)
+        tasks.push_back([](const TaskContext &) {});
+
+    ExperimentEngine::RunOptions opts;
+    opts.progress = [&](std::size_t done, std::size_t total) {
+        ++calls;
+        last_done = done;
+        last_total = total;
+    };
+    engine.run(std::move(tasks), opts);
+
+    EXPECT_EQ(calls.load(), 20u);
+    EXPECT_EQ(last_done, 20u);
+    EXPECT_EQ(last_total, 20u);
+}
+
+TEST(Engine, ManyMoreTasksThanWorkersCompletes)
+{
+    ExperimentEngine engine(withThreads(3));
+    std::atomic<int> count{0};
+    std::vector<ExperimentEngine::Task> tasks;
+    for (int i = 0; i < 500; ++i)
+        tasks.push_back([&](const TaskContext &) { ++count; });
+    engine.run(std::move(tasks));
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Engine, DefaultThreadCountHonoursEnv)
+{
+    setenv("RP_THREADS", "3", 1);
+    EXPECT_EQ(ExperimentEngine::defaultThreadCount(), 3);
+    unsetenv("RP_THREADS");
+    EXPECT_GE(ExperimentEngine::defaultThreadCount(), 1);
+}
+
+} // namespace
+} // namespace rp::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Determinism regression tests for the engine-parallel experiment
+ * drivers: running the same sweep at 1 and at 4 threads must produce
+ * bit-identical results, because every task is a pure function of the
+ * task description plus its derived seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rowpress.h"
+
+namespace rp {
+namespace {
+
+using namespace rp::literals;
+
+core::ExperimentEngine::Options
+withThreads(int n)
+{
+    core::ExperimentEngine::Options opts;
+    opts.numThreads = n;
+    return opts;
+}
+
+ProfileOptions
+smallProfileOptions()
+{
+    ProfileOptions opts;
+    opts.numLocations = 2;
+    opts.temperatures = {80.0};
+    opts.kinds = {chr::AccessKind::SingleSided};
+    opts.tMros = {36_ns, 96_ns, 636_ns};
+    return opts;
+}
+
+TEST(ParallelDeterminism, CharacterizeProfileSerialVsParallel)
+{
+    const auto opts = smallProfileOptions();
+    const auto die = device::dieS8GbB();
+
+    core::ExperimentEngine serial(withThreads(1));
+    core::ExperimentEngine parallel(withThreads(4));
+    auto p1 = characterizeProfile(die, serial, opts);
+    auto p4 = characterizeProfile(die, parallel, opts);
+
+    ASSERT_EQ(p1.points.size(), p4.points.size());
+    for (std::size_t i = 0; i < p1.points.size(); ++i) {
+        EXPECT_EQ(p1.points[i].tAggOn, p4.points[i].tAggOn);
+        // Bit-identical, not just approximately equal.
+        EXPECT_EQ(p1.points[i].acminRatio, p4.points[i].acminRatio)
+            << "profile diverged at point " << i;
+    }
+}
+
+TEST(ParallelDeterminism, AcminSweepSerialVsParallel)
+{
+    chr::ModuleConfig mc;
+    mc.die = device::dieS8GbB();
+    mc.numLocations = 3;
+    mc.temperatureC = 80.0;
+
+    const std::vector<Time> sweep = {36_ns, 7800_ns, 70200_ns};
+
+    core::ExperimentEngine serial(withThreads(1));
+    core::ExperimentEngine parallel(withThreads(4));
+    auto a = chr::acminSweep(mc, serial, sweep,
+                             chr::AccessKind::SingleSided);
+    auto b = chr::acminSweep(mc, parallel, sweep,
+                             chr::AccessKind::SingleSided);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t ti = 0; ti < a.size(); ++ti) {
+        ASSERT_EQ(a[ti].locations.size(), b[ti].locations.size());
+        for (std::size_t li = 0; li < a[ti].locations.size(); ++li) {
+            const auto &x = a[ti].locations[li];
+            const auto &y = b[ti].locations[li];
+            EXPECT_EQ(x.row, y.row);
+            EXPECT_EQ(x.flipped, y.flipped);
+            EXPECT_EQ(x.acmin, y.acmin);
+            ASSERT_EQ(x.flips.size(), y.flips.size());
+            for (std::size_t fi = 0; fi < x.flips.size(); ++fi)
+                EXPECT_EQ(x.flips[fi].id(), y.flips[fi].id());
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RunSystemsSerialVsParallel)
+{
+    std::vector<sim::SystemConfig> cfgs;
+    for (const char *name : {"429.mcf", "462.libquantum", "470.lbm"}) {
+        sim::SystemConfig cfg;
+        cfg.core.instrLimit = 5000;
+        cfg.workloads = {workloads::workloadByName(name)};
+        cfgs.push_back(cfg);
+    }
+
+    core::ExperimentEngine serial(withThreads(1));
+    core::ExperimentEngine parallel(withThreads(4));
+    auto a = sim::runSystems(cfgs, serial);
+    auto b = sim::runSystems(cfgs, parallel);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cores.at(0).instrs, b[i].cores.at(0).instrs);
+        EXPECT_EQ(a[i].cores.at(0).cycles, b[i].cores.at(0).cycles);
+        EXPECT_EQ(a[i].cores.at(0).ipc, b[i].cores.at(0).ipc);
+        EXPECT_EQ(a[i].mem.acts, b[i].mem.acts);
+        EXPECT_EQ(a[i].mem.rowHits, b[i].mem.rowHits);
+    }
+}
+
+} // namespace
+} // namespace rp
