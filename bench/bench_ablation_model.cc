@@ -13,9 +13,9 @@
 
 #include <array>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -23,7 +23,7 @@ using namespace rp::literals;
 namespace {
 
 void
-printAblation(core::ExperimentEngine &engine)
+runAblation(api::ExperimentContext &ctx)
 {
     // (b)/(c): sweep kappa and rho, watch the SS vs DS ACmin ratios
     // in the RowHammer regime (36 ns) and RowPress regime (70.2 us).
@@ -31,17 +31,27 @@ printAblation(core::ExperimentEngine &engine)
     // grid fans out as one task set.
     const std::vector<double> kappas = {0.0, 3.0, 8.0};
     const std::vector<double> rhos = {0.0, 0.06, 1.0};
+    const int locations = ctx.locations();
+    const std::uint64_t seed = ctx.seed();
+
+    auto module_for = [&](const device::DieConfig &die, double temp) {
+        chr::ModuleConfig cfg;
+        cfg.die = die;
+        cfg.numLocations = locations;
+        cfg.temperatureC = temp;
+        cfg.seed = seed;
+        return chr::Module(cfg);
+    };
 
     struct KappaRhoCell
     {
         std::array<double, 4> means; // ss36, ds36, ssRp, dsRp
     };
-    auto cells = engine.map<KappaRhoCell>(
-        kappas.size() * rhos.size(), [&](const core::TaskContext &ctx) {
-            const double kappa = kappas[ctx.index / rhos.size()];
-            const double rho = rhos[ctx.index % rhos.size()];
-            chr::Module module = rpb::makeModule(device::dieS8GbD(),
-                                                 50.0);
+    auto cells = ctx.engine().map<KappaRhoCell>(
+        kappas.size() * rhos.size(), [&](const core::TaskContext &tc) {
+            const double kappa = kappas[tc.index / rhos.size()];
+            const double rho = rhos[tc.index % rhos.size()];
+            chr::Module module = module_for(device::dieS8GbD(), 50.0);
             auto &params =
                 module.platform().chip().fault().cells().mutableParams();
             params.kappaDs = kappa;
@@ -68,34 +78,33 @@ printAblation(core::ExperimentEngine &engine)
             return cell;
         });
 
-    Table table("kappa/rho ablation: DS/SS mean-ACmin ratio");
+    api::Dataset table("kappa/rho ablation: DS/SS mean-ACmin ratio");
     table.header({"kappa", "rho", "DS/SS @36ns", "DS/SS @70.2us"});
     auto ratio = [](double ds, double ss) -> std::string {
-        return (ds > 0 && ss > 0) ? Table::toCell(ds / ss)
+        return (ds > 0 && ss > 0) ? api::cell(ds / ss)
                                   : std::string("-");
     };
     for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
         for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
             const auto &m = cells[ki * rhos.size() + ri].means;
-            table.row({Table::toCell(kappas[ki]), Table::toCell(rhos[ri]),
+            table.row({api::cell(kappas[ki]), api::cell(rhos[ri]),
                        ratio(m[1], m[0]), ratio(m[3], m[2])});
         }
     }
-    table.print();
-    std::printf("Expected: kappa > 0 makes DS RowHammer stronger "
-                "(ratio < 1 at 36 ns); rho < 1\nmakes DS RowPress "
-                "weaker (ratio > 1 at 70.2 us) - the Obsv. 13 "
-                "crossover needs both.\n\n");
+    ctx.emit(table);
+    ctx.note("Expected: kappa > 0 makes DS RowHammer stronger "
+             "(ratio < 1 at 36 ns); rho < 1\nmakes DS RowPress "
+             "weaker (ratio > 1 at 70.2 us) - the Obsv. 13 "
+             "crossover needs both.\n\n");
 
     // (a): tauOff ablation via the ONOFF pattern.
     const std::vector<Time> taus = {50_ns, 500_ns, 5000_ns};
-    auto tau_cells = engine.map<std::array<double, 2>>(
-        taus.size(), [&](const core::TaskContext &ctx) {
-            chr::Module module = rpb::makeModule(device::dieS8GbD(),
-                                                 50.0);
+    auto tau_cells = ctx.engine().map<std::array<double, 2>>(
+        taus.size(), [&](const core::TaskContext &tc) {
+            chr::Module module = module_for(device::dieS8GbD(), 50.0);
             auto &params =
                 module.platform().chip().fault().cells().mutableParams();
-            params.tauOff = taus[ctx.index];
+            params.tauOff = taus[tc.index];
             module.platform().chip().fault().cells().invalidateCaches();
             return std::array<double, 2>{
                 chr::onOffBer(module, 0, chr::AccessKind::SingleSided,
@@ -104,26 +113,25 @@ printAblation(core::ExperimentEngine &engine)
                               240_ns, 1.0, 1)};
         });
 
-    Table t2("tauOff ablation: SS ONOFF BER at dtA2A=240ns, "
-             "on-frac 0%% vs 100%%");
+    api::Dataset t2("tauOff ablation: SS ONOFF BER at dtA2A=240ns, "
+                    "on-frac 0% vs 100%");
     t2.header({"tauOff", "BER @ 0%", "BER @ 100%"});
     for (std::size_t i = 0; i < taus.size(); ++i)
-        t2.row({formatTime(taus[i]), Table::toCell(tau_cells[i][0]),
-                Table::toCell(tau_cells[i][1])});
-    t2.print();
-    std::printf("Expected: larger tauOff widens the gap between "
-                "max-off and max-on BER\n(Obsv. 16's small-dtA2A "
-                "branch).\n\n");
+        t2.row({formatTime(taus[i]), api::cell(tau_cells[i][0]),
+                api::cell(tau_cells[i][1])});
+    ctx.emit(t2);
+    ctx.note("Expected: larger tauOff widens the gap between "
+             "max-off and max-on BER\n(Obsv. 16's small-dtA2A "
+             "branch).\n\n");
 
     // (e): word clustering ablation via the ECC word histogram.
     const std::vector<double> sws = {0.0, 0.3, 0.6};
-    auto word_stats = engine.map<chr::WordErrorStats>(
-        sws.size(), [&](const core::TaskContext &ctx) {
-            chr::Module module = rpb::makeModule(device::dieS8GbD(),
-                                                 80.0);
+    auto word_stats = ctx.engine().map<chr::WordErrorStats>(
+        sws.size(), [&](const core::TaskContext &tc) {
+            chr::Module module = module_for(device::dieS8GbD(), 80.0);
             auto &params =
                 module.platform().chip().fault().cells().mutableParams();
-            params.sigmaWordP = sws[ctx.index];
+            params.sigmaWordP = sws[tc.index];
             module.platform().chip().fault().cells().invalidateCaches();
             auto attempt = chr::maxActivationAttempt(
                 module, 0, chr::AccessKind::SingleSided,
@@ -131,19 +139,22 @@ printAblation(core::ExperimentEngine &engine)
             return chr::analyzeWordErrors(attempt.flips);
         });
 
-    Table t3("Word-clustering ablation: words with >2 flips @ "
-             "7.8us SS 80C");
+    api::Dataset t3("Word-clustering ablation: words with >2 flips @ "
+                    "7.8us SS 80C");
     t3.header({"sigmaWordP", "words 3-8", "words >8", "max/word"});
     for (std::size_t i = 0; i < sws.size(); ++i)
-        t3.row({Table::toCell(sws[i]),
-                Table::toCell(word_stats[i].words3to8),
-                Table::toCell(word_stats[i].wordsOver8),
-                Table::toCell(word_stats[i].maxFlipsPerWord)});
-    t3.print();
-    std::printf("Expected: the multi-bit words that defeat SECDED/"
-                "Chipkill require the\nword-correlated threshold "
-                "component.\n\n");
+        t3.row({api::cell(sws[i]),
+                api::cell(word_stats[i].words3to8),
+                api::cell(word_stats[i].wordsOver8),
+                api::cell(word_stats[i].maxFlipsPerWord)});
+    ctx.emit(t3);
+    ctx.note("Expected: the multi-bit words that defeat SECDED/"
+             "Chipkill require the\nword-correlated threshold "
+             "component.\n\n");
 }
+
+REGISTER_EXPERIMENT(ablation, "Model ablations", "DESIGN.md section 5",
+                    "ablation", runAblation);
 
 void
 BM_AblationPoint(benchmark::State &state)
@@ -158,11 +169,3 @@ BM_AblationPoint(benchmark::State &state)
 BENCHMARK(BM_AblationPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(argc, argv,
-                           {"Model ablations", "DESIGN.md section 5"},
-                           printAblation);
-}

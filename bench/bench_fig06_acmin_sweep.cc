@@ -7,9 +7,9 @@
 
 #include <cmath>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -17,15 +17,17 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig06(core::ExperimentEngine &engine)
+runFig06(api::ExperimentContext &ctx)
 {
-    for (const auto &die : rpb::benchDies()) {
-        const auto mc = rpb::moduleConfig(die, 50.0);
-        Table table(die.name + " single-sided @ 50C");
+    const double temp = ctx.config().getDouble("temp");
+    for (const auto &die : ctx.dies()) {
+        const auto mc = ctx.moduleConfig(die, temp);
+        api::Dataset table(die.name + " single-sided @ " +
+                           api::cell(temp) + "C");
         table.header({"tAggON", "mean ACmin", "min", "max",
                       "mean*tAggON(ms)"});
 
-        auto points = chr::acminSweep(mc, engine,
+        auto points = chr::acminSweep(mc, ctx.engine(),
                                       chr::standardTAggOnSweep(),
                                       chr::AccessKind::SingleSided);
 
@@ -37,21 +39,33 @@ printFig06(core::ExperimentEngine &engine)
                 table.row({formatTime(t), "No Bitflip", "-", "-", "-"});
                 continue;
             }
-            table.row({formatTime(t), rpb::fmtCount(s.mean),
-                       rpb::fmtCount(s.min), rpb::fmtCount(s.max),
-                       Table::toCell(s.mean * toMs(t))});
+            table.row({formatTime(t), api::fmtCount(s.mean),
+                       api::fmtCount(s.min), api::fmtCount(s.max),
+                       api::cell(s.mean * toMs(t))});
             if (t >= 7800_ns) {
                 log_t.push_back(std::log10(toUs(t)));
                 log_ac.push_back(std::log10(s.mean));
             }
         }
-        table.print();
+        ctx.emit(table);
+        ctx.emitAcminSweepRaw("raw_acmin_sweep_ss_" + die.id, die.id,
+                              temp, chr::AccessKind::SingleSided,
+                              chr::DataPattern::CheckerBoard, points);
         const double slope = linearSlope(log_t, log_ac);
-        std::printf("log-log slope for tAggON >= tREFI: %.3f "
-                    "(paper: ~-1.01 to -1.02)\n\n",
-                    slope);
+        ctx.notef("log-log slope for tAggON >= tREFI: %.3f "
+                  "(paper: ~-1.01 to -1.02)\n\n",
+                  slope);
     }
 }
+
+REGISTER_EXPERIMENT_OPTS(
+    fig06, "Figs. 6/7: ACmin vs tAggON sweep",
+    "Fig. 6 (log-log), Fig. 7 (linear region)", "characterization",
+    [](api::ConfigSchema &schema) {
+        schema.add({"temp", api::OptionType::Double, "50", "",
+                    "module temperature (C)", 0.0, true});
+    },
+    runFig06);
 
 void
 BM_AcminSweepPoint(benchmark::State &state)
@@ -66,13 +80,3 @@ BM_AcminSweepPoint(benchmark::State &state)
 BENCHMARK(BM_AcminSweepPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 6/7: ACmin vs tAggON sweep",
-         "Fig. 6 (log-log), Fig. 7 (linear region)"},
-        printFig06);
-}

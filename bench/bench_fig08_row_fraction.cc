@@ -5,9 +5,9 @@
  * advanced the technology node, the more rows are vulnerable.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -15,18 +15,17 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig08(core::ExperimentEngine &engine)
+runFig08(api::ExperimentContext &ctx)
 {
     // Compare die revisions within Mfr. S to show the node-scaling
     // trend (B -> C -> D), plus one die per other manufacturer.
-    std::vector<device::DieConfig> dies = {
-        device::dieById("S-8Gb-B"), device::dieById("S-8Gb-C"),
-        device::dieById("S-8Gb-D"), device::dieH16GbA(),
-        device::dieM16GbF()};
-    if (rpb::envInt("ROWPRESS_ALL_DIES", 0))
-        dies = device::allDies();
+    const auto dies = ctx.dies({device::dieById("S-8Gb-B"),
+                                device::dieById("S-8Gb-C"),
+                                device::dieById("S-8Gb-D"),
+                                device::dieH16GbA(),
+                                device::dieM16GbF()});
 
-    Table table("Fraction of rows with >=1 bitflip");
+    api::Dataset table("Fraction of rows with >=1 bitflip");
     std::vector<std::string> head = {"tAggON"};
     for (const auto &d : dies)
         head.push_back(d.id);
@@ -37,22 +36,26 @@ printFig08(core::ExperimentEngine &engine)
     std::vector<std::vector<chr::SweepPoint>> columns;
     columns.reserve(dies.size());
     for (const auto &d : dies)
-        columns.push_back(chr::acminSweep(rpb::moduleConfig(d, 50.0),
-                                          engine, sweep,
+        columns.push_back(chr::acminSweep(ctx.moduleConfig(d, 50.0),
+                                          ctx.engine(), sweep,
                                           chr::AccessKind::SingleSided));
 
     for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
         std::vector<std::string> row = {formatTime(sweep[ti])};
         for (std::size_t i = 0; i < dies.size(); ++i)
             row.push_back(
-                Table::toCell(columns[i][ti].fractionFlipped()));
+                api::cell(columns[i][ti].fractionFlipped()));
         table.row(std::move(row));
     }
-    table.print();
-    std::printf("\nPaper shape (Obsv. 4): later die revisions (more "
-                "advanced nodes) have\nhigher vulnerable-row fractions; "
-                "S 8Gb D > C > B.\n\n");
+    ctx.emit(table);
+    ctx.note("\nPaper shape (Obsv. 4): later die revisions (more "
+             "advanced nodes) have\nhigher vulnerable-row fractions; "
+             "S 8Gb D > C > B.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig08, "Fig. 8: fraction of rows with bitflips",
+                    "Fig. 8 (single-sided @ 50C)", "characterization",
+                    runFig08);
 
 void
 BM_RowFractionPoint(benchmark::State &state)
@@ -67,13 +70,3 @@ BM_RowFractionPoint(benchmark::State &state)
 BENCHMARK(BM_RowFractionPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 8: fraction of rows with bitflips",
-         "Fig. 8 (single-sided @ 50C)"},
-        printFig08);
-}

@@ -8,47 +8,61 @@
 
 #include <cmath>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printFig09(core::ExperimentEngine &engine)
+runFig09(api::ExperimentContext &ctx)
 {
     const std::vector<std::uint64_t> acts = {1, 10, 100, 1000, 10000};
+    const double temp = ctx.config().getDouble("temp");
 
-    for (const auto &die : rpb::benchDies()) {
-        const auto mc = rpb::moduleConfig(die, 50.0);
-        Table table(die.name);
+    for (const auto &die : ctx.dies()) {
+        const auto mc = ctx.moduleConfig(die, temp);
+        api::Dataset table(die.name);
         table.header({"AC", "mean tAggONmin", "min", "max",
                       "AC*mean(ms)"});
         std::vector<double> lx, ly;
+        std::vector<chr::TAggOnMinPoint> points;
         for (std::uint64_t ac : acts) {
             auto point = chr::tAggOnMinPoint(
-                mc, engine, ac, chr::AccessKind::SingleSided);
+                mc, ctx.engine(), ac, chr::AccessKind::SingleSided);
             auto s = point.summary();
+            points.push_back(std::move(point));
             if (s.count == 0) {
-                table.row({Table::toCell(ac), "No Bitflip", "-", "-",
+                table.row({api::cell(ac), "No Bitflip", "-", "-",
                            "-"});
                 continue;
             }
-            table.row({Table::toCell(ac),
+            table.row({api::cell(ac),
                        formatTime(Time(s.mean * double(units::US))),
                        formatTime(Time(s.min * double(units::US))),
                        formatTime(Time(s.max * double(units::US))),
-                       Table::toCell(double(ac) * s.mean / 1000.0)});
+                       api::cell(double(ac) * s.mean / 1000.0)});
             lx.push_back(std::log10(double(ac)));
             ly.push_back(std::log10(s.mean));
         }
-        table.print();
-        std::printf("log-log slope: %.3f (paper: -0.999 to -1.000)\n\n",
-                    linearSlope(lx, ly));
+        ctx.emit(table);
+        ctx.emitTAggOnMinRaw("raw_taggonmin_ss_" + die.id, die.id,
+                             temp, points);
+        ctx.notef("log-log slope: %.3f (paper: -0.999 to -1.000)\n\n",
+                  linearSlope(lx, ly));
     }
 }
+
+REGISTER_EXPERIMENT_OPTS(
+    fig09, "Fig. 9: tAggONmin vs activation count",
+    "Fig. 9 (single-sided @ 50C)", "characterization",
+    [](api::ConfigSchema &schema) {
+        schema.add({"temp", api::OptionType::Double, "50", "",
+                    "module temperature (C)", 0.0, true});
+    },
+    runFig09);
 
 void
 BM_TAggOnMinSearch(benchmark::State &state)
@@ -66,13 +80,3 @@ BM_TAggOnMinSearch(benchmark::State &state)
 BENCHMARK(BM_TAggOnMinSearch)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 9: tAggONmin vs activation count",
-         "Fig. 9 (single-sided @ 50C)"},
-        printFig09);
-}

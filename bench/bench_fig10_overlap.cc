@@ -7,9 +7,9 @@
  * retention < 0.34 %.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -20,38 +20,46 @@ const std::vector<Time> kSweep = {66_ns,    636_ns, 7800_ns,
                                   70200_ns, 1_ms,   30_ms};
 
 void
-printOverlap(core::ExperimentEngine &engine, const char *title,
-             bool at_max)
+emitOverlap(api::ExperimentContext &ctx, const char *title,
+            bool at_max)
 {
-    for (const auto &die : rpb::benchDies()) {
-        const auto mc = rpb::moduleConfig(die, 50.0);
+    for (const auto &die : ctx.dies()) {
+        const auto mc = ctx.moduleConfig(die, 50.0);
         auto results =
-            at_max ? chr::overlapAtMaxAc(mc, engine, kSweep,
+            at_max ? chr::overlapAtMaxAc(mc, ctx.engine(), kSweep,
                                          chr::AccessKind::SingleSided)
-                   : chr::overlapAtAcmin(mc, engine, kSweep,
+                   : chr::overlapAtAcmin(mc, ctx.engine(), kSweep,
                                          chr::AccessKind::SingleSided);
-        Table table(std::string(title) + " - " + die.name);
+        api::Dataset table(std::string(title) + " - " + die.name);
         table.header({"tAggON", "RP cells", "overlap w/ RowHammer",
                       "overlap w/ retention"});
         for (const auto &r : results) {
-            table.row({formatTime(r.tAggOn), Table::toCell(r.rpCells),
-                       Table::toCell(r.withRowHammer),
-                       Table::toCell(r.withRetention)});
+            table.row({formatTime(r.tAggOn), api::cell(r.rpCells),
+                       api::cell(r.withRowHammer),
+                       api::cell(r.withRetention)});
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.emitOverlapRaw(std::string("raw_overlap_") +
+                               (at_max ? "acmax_" : "acmin_") + die.id,
+                           die.id, results);
+        ctx.note("\n");
     }
 }
 
 void
-printFig10(core::ExperimentEngine &engine)
+runFig10(api::ExperimentContext &ctx)
 {
-    printOverlap(engine, "Fig. 10 overlap @ ACmin", /*at_max=*/false);
-    printOverlap(engine, "Fig. 11 overlap @ ACmax", /*at_max=*/true);
-    std::printf("Paper shape (Obsv. 7): overlap with RowHammer and "
-                "retention failures is\nnear zero for tAggON >= tREFI "
-                "- different failure mechanisms.\n\n");
+    emitOverlap(ctx, "Fig. 10 overlap @ ACmin", /*at_max=*/false);
+    emitOverlap(ctx, "Fig. 11 overlap @ ACmax", /*at_max=*/true);
+    ctx.note("Paper shape (Obsv. 7): overlap with RowHammer and "
+             "retention failures is\nnear zero for tAggON >= tREFI "
+             "- different failure mechanisms.\n\n");
 }
+
+REGISTER_EXPERIMENT(
+    fig10, "Figs. 10/11: RowPress vs RowHammer/retention cell overlap",
+    "Fig. 10 (@ACmin), Fig. 11 (@ACmax)", "characterization",
+    runFig10);
 
 void
 BM_OverlapAnalysis(benchmark::State &state)
@@ -66,13 +74,3 @@ BM_OverlapAnalysis(benchmark::State &state)
 BENCHMARK(BM_OverlapAnalysis)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 10/11: RowPress vs RowHammer/retention cell overlap",
-         "Fig. 10 (@ACmin), Fig. 11 (@ACmax)"},
-        printFig10);
-}

@@ -5,9 +5,9 @@
  * Mfr. M 16Gb E-die inverts the trend (anti-cell layout).
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -15,15 +15,14 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig12(core::ExperimentEngine &engine)
+runFig12(api::ExperimentContext &ctx)
 {
-    std::vector<device::DieConfig> dies = {
-        device::dieById("S-8Gb-D"), device::dieById("H-16Gb-A"),
-        device::dieById("M-16Gb-F"), device::dieById("M-16Gb-E")};
-    if (rpb::envInt("ROWPRESS_ALL_DIES", 0))
-        dies = device::allDies();
+    const auto dies = ctx.dies({device::dieById("S-8Gb-D"),
+                                device::dieById("H-16Gb-A"),
+                                device::dieById("M-16Gb-F"),
+                                device::dieById("M-16Gb-E")});
 
-    Table table("Fraction of 1->0 bitflips (single-sided @ 50C)");
+    api::Dataset table("Fraction of 1->0 bitflips (single-sided @ 50C)");
     std::vector<std::string> head = {"tAggON"};
     for (const auto &d : dies)
         head.push_back(d.id);
@@ -34,8 +33,8 @@ printFig12(core::ExperimentEngine &engine)
     std::vector<std::vector<chr::SweepPoint>> columns;
     columns.reserve(dies.size());
     for (const auto &d : dies)
-        columns.push_back(chr::acminSweep(rpb::moduleConfig(d, 50.0),
-                                          engine, sweep,
+        columns.push_back(chr::acminSweep(ctx.moduleConfig(d, 50.0),
+                                          ctx.engine(), sweep,
                                           chr::AccessKind::SingleSided));
 
     for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
@@ -43,17 +42,21 @@ printFig12(core::ExperimentEngine &engine)
         for (const auto &column : columns) {
             const auto &point = column[ti];
             row.push_back(point.acminSummary().count
-                              ? Table::toCell(point.fractionOneToZero())
+                              ? api::cell(point.fractionOneToZero())
                               : "No Bitflip");
         }
         table.row(std::move(row));
     }
-    table.print();
-    std::printf("\nPaper shape: RowHammer (36 ns) flips are dominantly "
-                "0->1, RowPress flips\nreach ~100%% 1->0 for S/H dies, "
-                "~75%% for M B/F dies; the M 16Gb E-die trend\nis "
-                "inverted (true-/anti-cell layout).\n\n");
+    ctx.emit(table);
+    ctx.note("\nPaper shape: RowHammer (36 ns) flips are dominantly "
+             "0->1, RowPress flips\nreach ~100% 1->0 for S/H dies, "
+             "~75% for M B/F dies; the M 16Gb E-die trend\nis "
+             "inverted (true-/anti-cell layout).\n\n");
 }
+
+REGISTER_EXPERIMENT(fig12, "Fig. 12: bitflip direction",
+                    "Fig. 12 (fraction of 1->0 flips, checkerboard)",
+                    "characterization", runFig12);
 
 void
 BM_DirectionPoint(benchmark::State &state)
@@ -69,13 +72,3 @@ BM_DirectionPoint(benchmark::State &state)
 BENCHMARK(BM_DirectionPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 12: bitflip direction",
-         "Fig. 12 (fraction of 1->0 flips, checkerboard)"},
-        printFig12);
-}

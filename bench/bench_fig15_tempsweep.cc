@@ -5,25 +5,25 @@
  * tAggONmin decreases significantly with temperature.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printFig15(core::ExperimentEngine &engine)
+runFig15(api::ExperimentContext &ctx)
 {
-    const int step = rpb::envInt("ROWPRESS_TEMP_STEP", 5);
+    const int step = ctx.config().getInt("temp-step");
 
-    for (const auto &die : rpb::benchDies()) {
-        Table table(die.name + " (tAggONmin in ms, AC = 1)");
+    for (const auto &die : ctx.dies()) {
+        api::Dataset table(die.name + " (tAggONmin in ms, AC = 1)");
         table.header({"temp(C)", "mean", "min", "max", "flipped-frac"});
         for (int temp = 50; temp <= 80; temp += step) {
             auto point = chr::tAggOnMinPoint(
-                rpb::moduleConfig(die, double(temp)), engine, 1,
+                ctx.moduleConfig(die, double(temp)), ctx.engine(), 1,
                 chr::AccessKind::SingleSided);
             auto s = point.summary();
             std::size_t flipped = 0;
@@ -34,22 +34,32 @@ printFig15(core::ExperimentEngine &engine)
             const double frac =
                 double(flipped) / double(point.locations.size());
             if (s.count == 0) {
-                table.row({Table::toCell(temp), "No Bitflip", "-", "-",
-                           Table::toCell(frac)});
+                table.row({api::cell(temp), "No Bitflip", "-", "-",
+                           api::cell(frac)});
                 continue;
             }
-            table.row({Table::toCell(temp),
-                       Table::toCell(s.mean / 1000.0),
-                       Table::toCell(s.min / 1000.0),
-                       Table::toCell(s.max / 1000.0),
-                       Table::toCell(frac)});
+            table.row({api::cell(temp),
+                       api::cell(s.mean / 1000.0),
+                       api::cell(s.min / 1000.0),
+                       api::cell(s.max / 1000.0),
+                       api::cell(frac)});
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.note("\n");
     }
-    std::printf("Paper shape (Obsv. 11): mean tAggONmin shrinks by "
-                "1.6x-2.8x from 50C to 80C\n(largest for Mfr. H).\n\n");
+    ctx.note("Paper shape (Obsv. 11): mean tAggONmin shrinks by "
+             "1.6x-2.8x from 50C to 80C\n(largest for Mfr. H).\n\n");
 }
+
+REGISTER_EXPERIMENT_OPTS(
+    fig15, "Fig. 15: tAggONmin @ AC=1 vs temperature",
+    "Fig. 15 (50-80C, 5C steps, single-sided)", "characterization",
+    [](api::ConfigSchema &schema) {
+        schema.add({"temp-step", api::OptionType::Int, "5",
+                    "ROWPRESS_TEMP_STEP",
+                    "temperature sweep step (C)", 1.0, true});
+    },
+    runFig15);
 
 void
 BM_TempSweepPoint(benchmark::State &state)
@@ -64,13 +74,3 @@ BM_TempSweepPoint(benchmark::State &state)
 BENCHMARK(BM_TempSweepPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 15: tAggONmin @ AC=1 vs temperature",
-         "Fig. 15 (50-80C, 5C steps, single-sided)"},
-        printFig15);
-}

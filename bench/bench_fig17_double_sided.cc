@@ -6,9 +6,9 @@
  * than double-sided (unlike RowHammer).
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -19,17 +19,18 @@ const std::vector<Time> kSweep = {36_ns,   186_ns,  636_ns,  1536_ns,
                                   7800_ns, 70200_ns, 1_ms,   10_ms};
 
 void
-printFig17(core::ExperimentEngine &engine)
+runFig17(api::ExperimentContext &ctx)
 {
-    for (const auto &die : rpb::benchDies()) {
+    for (const auto &die : ctx.dies()) {
         for (double temp : {50.0, 80.0}) {
-            const auto mc = rpb::moduleConfig(die, temp);
+            const auto mc = ctx.moduleConfig(die, temp);
             auto ss_points = chr::acminSweep(
-                mc, engine, kSweep, chr::AccessKind::SingleSided);
+                mc, ctx.engine(), kSweep, chr::AccessKind::SingleSided);
             auto ds_points = chr::acminSweep(
-                mc, engine, kSweep, chr::AccessKind::DoubleSided);
+                mc, ctx.engine(), kSweep, chr::AccessKind::DoubleSided);
 
-            Table table(die.name + " @ " + Table::toCell(temp) + "C");
+            api::Dataset table(die.name + " @ " + api::cell(temp) +
+                               "C");
             table.header({"tAggON", "SS mean ACmin", "DS mean ACmin",
                           "SS - DS", "more effective"});
             for (std::size_t ti = 0; ti < kSweep.size(); ++ti) {
@@ -46,24 +47,29 @@ printFig17(core::ExperimentEngine &engine)
                 else
                     winner = a_ss > 0 ? "single" : "double";
                 table.row({formatTime(kSweep[ti]),
-                           a_ss > 0 ? rpb::fmtCount(a_ss)
+                           a_ss > 0 ? api::fmtCount(a_ss)
                                     : std::string("No Bitflip"),
-                           a_ds > 0 ? rpb::fmtCount(a_ds)
+                           a_ds > 0 ? api::fmtCount(a_ds)
                                     : std::string("No Bitflip"),
                            (a_ss > 0 && a_ds > 0)
-                               ? Table::toCell(a_ss - a_ds)
+                               ? api::cell(a_ss - a_ds)
                                : std::string("-"),
                            winner});
             }
-            table.print();
-            std::printf("\n");
+            ctx.emit(table);
+            ctx.note("\n");
         }
     }
-    std::printf("Paper shape (Obsv. 13): double-sided wins at small "
-                "tAggON (RowHammer regime);\nsingle-sided needs fewer "
-                "total activations once tAggON grows past the\n"
-                "crossover (~1.5 us at 50C, earlier at 80C).\n\n");
+    ctx.note("Paper shape (Obsv. 13): double-sided wins at small "
+             "tAggON (RowHammer regime);\nsingle-sided needs fewer "
+             "total activations once tAggON grows past the\n"
+             "crossover (~1.5 us at 50C, earlier at 80C).\n\n");
 }
+
+REGISTER_EXPERIMENT(fig17, "Figs. 17/18: single- vs double-sided RowPress",
+                    "Fig. 17 (DS ACmin @50C), Fig. 18 (SS - DS "
+                    "difference @50C/80C)",
+                    "characterization", runFig17);
 
 void
 BM_DoubleSidedSearch(benchmark::State &state)
@@ -81,14 +87,3 @@ BM_DoubleSidedSearch(benchmark::State &state)
 BENCHMARK(BM_DoubleSidedSearch)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 17/18: single- vs double-sided RowPress",
-         "Fig. 17 (DS ACmin @50C), Fig. 18 (SS - DS difference "
-         "@50C/80C)"},
-        printFig17);
-}

@@ -8,38 +8,40 @@
  * bitflip at long tAggON.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printPatternTable(core::ExperimentEngine &engine,
-                  const device::DieConfig &die, chr::AccessKind kind,
-                  double temp)
+emitPatternTable(api::ExperimentContext &ctx,
+                 const device::DieConfig &die, chr::AccessKind kind,
+                 double temp)
 {
-    const auto mc = rpb::moduleConfig(die, temp);
+    const auto mc = ctx.moduleConfig(die, temp);
     const auto &sweep = chr::dataPatternTAggOnSweep();
 
-    Table table(die.name + " " + chr::accessKindName(kind) + " @ " +
-                Table::toCell(temp) + "C (ACmin normalized to CB)");
+    api::Dataset table(die.name + " " + chr::accessKindName(kind) +
+                       " @ " + api::cell(temp) +
+                       "C (ACmin normalized to CB)");
     std::vector<std::string> head = {"pattern"};
     for (Time t : sweep)
         head.push_back(formatTime(t));
     table.header(head);
 
     // Baseline: checkerboard means per tAggON.
-    auto cb_points = chr::acminSweep(mc, engine, sweep, kind,
+    auto cb_points = chr::acminSweep(mc, ctx.engine(), sweep, kind,
                                      chr::DataPattern::CheckerBoard);
     std::vector<double> cb_means;
     for (const auto &p : cb_points)
         cb_means.push_back(p.meanAcmin());
 
     for (auto pattern : chr::allDataPatterns()) {
-        auto points = chr::acminSweep(mc, engine, sweep, kind, pattern);
+        auto points =
+            chr::acminSweep(mc, ctx.engine(), sweep, kind, pattern);
         std::vector<std::string> row = {chr::dataPatternName(pattern)};
         for (std::size_t i = 0; i < sweep.size(); ++i) {
             const double mean = points[i].meanAcmin();
@@ -48,40 +50,42 @@ printPatternTable(core::ExperimentEngine &engine,
             else if (cb_means[i] <= 0)
                 row.push_back("CB-NoFlip");
             else
-                row.push_back(Table::toCell(mean / cb_means[i]));
+                row.push_back(api::cell(mean / cb_means[i]));
         }
         table.row(std::move(row));
     }
-    table.print();
-    std::printf("\n");
+    ctx.emit(table);
+    ctx.note("\n");
 }
 
 void
-printFig19(core::ExperimentEngine &engine)
+runFig19(api::ExperimentContext &ctx)
 {
     // Default: the paper's three representative dies at 50C plus the
-    // S 8Gb B-die's 80C and double-sided variants; ROWPRESS_ALL_DIES=1
-    // adds the 80C column for all dies.
-    const bool all = rpb::envInt("ROWPRESS_ALL_DIES", 0);
-    std::vector<device::DieConfig> dies = {device::dieS8GbB(),
-                                           device::dieH16GbA(),
-                                           device::dieM16GbF()};
+    // S 8Gb B-die's 80C and double-sided variants; --dies all (or
+    // ROWPRESS_ALL_DIES=1) adds the 80C column for all dies.
+    const auto dies = ctx.dies();
+    const bool all = ctx.allDiesSelected();
     for (const auto &die : dies) {
-        printPatternTable(engine, die, chr::AccessKind::SingleSided,
-                          50.0);
+        emitPatternTable(ctx, die, chr::AccessKind::SingleSided, 50.0);
         if (all || die.id == "S-8Gb-B")
-            printPatternTable(engine, die, chr::AccessKind::SingleSided,
-                              80.0);
+            emitPatternTable(ctx, die, chr::AccessKind::SingleSided,
+                             80.0);
     }
     // Fig. 20: double-sided for the S 8Gb B-die.
-    printPatternTable(engine, device::dieS8GbB(),
-                      chr::AccessKind::DoubleSided, 50.0);
+    emitPatternTable(ctx, device::dieS8GbB(),
+                     chr::AccessKind::DoubleSided, 50.0);
 
-    std::printf("Paper shape: RS/RSI (victim rows all-0/all-1) stop "
-                "flipping at long tAggON\n(RowPress can only drain "
-                "charged victim cells); CB always flips; values\nnear "
-                "1.00 elsewhere with modest pattern effects.\n\n");
+    ctx.note("Paper shape: RS/RSI (victim rows all-0/all-1) stop "
+             "flipping at long tAggON\n(RowPress can only drain "
+             "charged victim cells); CB always flips; values\nnear "
+             "1.00 elsewhere with modest pattern effects.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig19, "Figs. 19/20: data-pattern sensitivity",
+                    "Fig. 19 (single-sided), Fig. 20 (double-sided, "
+                    "S 8Gb B)",
+                    "characterization", runFig19);
 
 void
 BM_DataPatternPoint(benchmark::State &state)
@@ -97,13 +101,3 @@ BM_DataPatternPoint(benchmark::State &state)
 BENCHMARK(BM_DataPatternPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 19/20: data-pattern sensitivity",
-         "Fig. 19 (single-sided), Fig. 20 (double-sided, S 8Gb B)"},
-        printFig19);
-}

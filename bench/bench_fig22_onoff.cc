@@ -6,9 +6,9 @@
  * at 50 C and 80 C.  Obsv. 16-18.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -16,8 +16,7 @@ using namespace rp::literals;
 namespace {
 
 void
-printOnOff(core::ExperimentEngine &engine,
-           const device::DieConfig &die)
+emitOnOff(api::ExperimentContext &ctx, const device::DieConfig &die)
 {
     const std::vector<Time> deltas = {240_ns, 600_ns, 1200_ns, 2400_ns,
                                       6000_ns};
@@ -26,55 +25,57 @@ printOnOff(core::ExperimentEngine &engine,
     for (auto kind : {chr::AccessKind::SingleSided,
                       chr::AccessKind::DoubleSided}) {
         for (double temp : {50.0, 80.0}) {
-            const auto mc = rpb::moduleConfig(die, temp);
+            const auto mc = ctx.moduleConfig(die, temp);
 
             // Flattened (delta x on-fraction) BER grid; each cell runs
             // on its own module.
-            auto bers = engine.map<double>(
+            auto bers = ctx.engine().map<double>(
                 deltas.size() * fracs.size(),
-                [&](const core::TaskContext &ctx) {
-                    const Time d = deltas[ctx.index / fracs.size()];
-                    const double f = fracs[ctx.index % fracs.size()];
+                [&](const core::TaskContext &tc) {
+                    const Time d = deltas[tc.index / fracs.size()];
+                    const double f = fracs[tc.index % fracs.size()];
                     chr::Module local(mc);
                     return chr::onOffBer(local, 0, kind, d, f, 2);
                 });
 
-            Table table(die.name + " " + chr::accessKindName(kind) +
-                        " @ " + Table::toCell(temp) +
-                        "C (max BER over victims)");
+            api::Dataset table(die.name + " " +
+                               chr::accessKindName(kind) + " @ " +
+                               api::cell(temp) +
+                               "C (max BER over victims)");
             std::vector<std::string> head = {"dtA2A \\ on-frac"};
             for (double f : fracs)
-                head.push_back(Table::toCell(f * 100.0) + "%");
+                head.push_back(api::cell(f * 100.0) + "%");
             table.header(head);
             for (std::size_t di = 0; di < deltas.size(); ++di) {
                 std::vector<std::string> row = {formatTime(deltas[di])};
                 for (std::size_t fi = 0; fi < fracs.size(); ++fi)
-                    row.push_back(Table::toCell(
+                    row.push_back(api::cell(
                         bers[di * fracs.size() + fi]));
                 table.row(std::move(row));
             }
-            table.print();
-            std::printf("\n");
+            ctx.emit(table);
+            ctx.note("\n");
         }
     }
 }
 
 void
-printFig22(core::ExperimentEngine &engine)
+runFig22(api::ExperimentContext &ctx)
 {
-    if (rpb::envInt("ROWPRESS_ALL_DIES", 0)) {
-        for (const auto &die : device::allDies())
-            printOnOff(engine, die);
-    } else {
-        printOnOff(engine, device::dieS8GbD());
-    }
+    for (const auto &die : ctx.dies({device::dieS8GbD()}))
+        emitOnOff(ctx, die);
 
-    std::printf("Paper shape (Obsv. 16-18): single-sided BER falls "
-                "with on-fraction at small\ndtA2A but rises at large "
-                "dtA2A; temperature amplifies the large-dtA2A, "
-                "high-on\ncorner; double-sided BER rises with "
-                "on-fraction for every dtA2A.\n\n");
+    ctx.note("Paper shape (Obsv. 16-18): single-sided BER falls "
+             "with on-fraction at small\ndtA2A but rises at large "
+             "dtA2A; temperature amplifies the large-dtA2A, "
+             "high-on\ncorner; double-sided BER rises with "
+             "on-fraction for every dtA2A.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig22, "Fig. 22: RowPress-ONOFF pattern BER",
+                    "Fig. 22 (S 8Gb D-die; Figs. 27-37 for the rest "
+                    "with --dies all)",
+                    "characterization", runFig22);
 
 void
 BM_OnOffBer(benchmark::State &state)
@@ -90,14 +91,3 @@ BM_OnOffBer(benchmark::State &state)
 BENCHMARK(BM_OnOffBer)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 22: RowPress-ONOFF pattern BER",
-         "Fig. 22 (S 8Gb D-die; Figs. 27-37 for the rest with "
-         "ROWPRESS_ALL_DIES=1)"},
-        printFig22);
-}

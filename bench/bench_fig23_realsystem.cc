@@ -7,67 +7,75 @@
  * TRR-protected DDR4 system model.
  */
 
-#include "bench_runner.h"
+#include <algorithm>
 
-#include "common/table.h"
+#include "api/context.h"
+
+#include "bench_support.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printGrid(core::ExperimentEngine &engine, bool interleaved)
+emitGrid(api::ExperimentContext &ctx, bool interleaved)
 {
     const std::vector<int> reads = {1, 4, 16, 32, 48, 64};
     const std::vector<int> acts = {2, 3, 4};
+    const double scale = ctx.scale();
 
     // Every (NUM_AGGR_ACTS, NUM_READS) cell is one independent demo
     // run; fan the grid out through the engine.
-    auto results = engine.map<sys::DemoResult>(
-        acts.size() * reads.size(), [&](const core::TaskContext &ctx) {
+    auto results = ctx.engine().map<sys::DemoResult>(
+        acts.size() * reads.size(), [&](const core::TaskContext &tc) {
             sys::DemoConfig cfg;
-            cfg.numAggrActs = acts[ctx.index / reads.size()];
-            cfg.numReads = reads[ctx.index % reads.size()];
+            cfg.numAggrActs = acts[tc.index / reads.size()];
+            cfg.numReads = reads[tc.index % reads.size()];
             cfg.interleavedFlush = interleaved;
-            cfg.numVictims = std::max(4, int(10 * rpb::benchScale()));
-            cfg.numIters = std::max(4000, int(16000 * rpb::benchScale()));
+            cfg.numVictims = std::max(4, int(10 * scale));
+            cfg.numIters = std::max(4000, int(16000 * scale));
             cfg.seed = 3;
             return sys::runDemo(cfg);
         });
 
-    Table table(interleaved
-                    ? std::string("Algorithm 2 (interleaved flush, "
-                                  "Fig. 49)")
-                    : std::string("Algorithm 1 (Fig. 23)"));
+    api::Dataset table(interleaved
+                           ? std::string("Algorithm 2 (interleaved "
+                                         "flush, Fig. 49)")
+                           : std::string("Algorithm 1 (Fig. 23)"));
     table.header({"NUM_AGGR_ACTS", "NUM_READS", "bitflips",
                   "rows w/ bitflips", "avg tAggON (ns)"});
 
     for (std::size_t ai = 0; ai < acts.size(); ++ai) {
         for (std::size_t ri = 0; ri < reads.size(); ++ri) {
             const auto &res = results[ai * reads.size() + ri];
-            table.row({Table::toCell(acts[ai]), Table::toCell(reads[ri]),
-                       Table::toCell(res.totalBitflips),
-                       Table::toCell(res.rowsWithBitflips),
-                       Table::toCell(res.avgTAggOnNs)});
+            table.row({api::cell(acts[ai]), api::cell(reads[ri]),
+                       api::cell(res.totalBitflips),
+                       api::cell(res.rowsWithBitflips),
+                       api::cell(res.avgTAggOnNs)});
         }
     }
-    table.print();
-    std::printf("\n");
+    ctx.emit(table);
+    ctx.note("\n");
 }
 
 void
-printFig23(core::ExperimentEngine &engine)
+runFig23(api::ExperimentContext &ctx)
 {
-    printGrid(engine, /*interleaved=*/false);
-    printGrid(engine, /*interleaved=*/true);
+    emitGrid(ctx, /*interleaved=*/false);
+    emitGrid(ctx, /*interleaved=*/true);
 
-    std::printf("Paper shape (Obsv. 19-21, 23): NUM_READS = 1 "
-                "(RowHammer) cannot flip; flips\nrise with NUM_READS, "
-                "peak around 16-32, then collapse once the aggressor\n"
-                "phase outgrows the tREFI slot and TRR catches the "
-                "aggressors; Algorithm 2\ninduces more bitflips than "
-                "Algorithm 1.\n\n");
+    ctx.note("Paper shape (Obsv. 19-21, 23): NUM_READS = 1 "
+             "(RowHammer) cannot flip; flips\nrise with NUM_READS, "
+             "peak around 16-32, then collapse once the aggressor\n"
+             "phase outgrows the tREFI slot and TRR catches the "
+             "aggressors; Algorithm 2\ninduces more bitflips than "
+             "Algorithm 1.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig23, "Figs. 23/49: real-system RowPress demonstration",
+                    "Fig. 23 (Algorithm 1), Fig. 49 (Algorithm 2); "
+                    "paper: 1500 victims, 800K iters - scaled here",
+                    "system", runFig23);
 
 void
 BM_DemoIterationBatch(benchmark::State &state)
@@ -84,14 +92,3 @@ BM_DemoIterationBatch(benchmark::State &state)
 BENCHMARK(BM_DemoIterationBatch)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 23/49: real-system RowPress demonstration",
-         "Fig. 23 (Algorithm 1), Fig. 49 (Algorithm 2); paper: 1500 "
-         "victims, 800K iters - scaled here"},
-        printFig23);
-}

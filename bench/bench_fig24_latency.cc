@@ -6,31 +6,43 @@
  * median gap on the i5-10400 system).
  */
 
-#include "bench_runner.h"
+#include <algorithm>
+
+#include "api/context.h"
+
+#include "bench_support.h"
 
 using namespace rp;
 
 namespace {
 
 void
-printFig24(core::ExperimentEngine &)
+runFig24(api::ExperimentContext &ctx)
 {
-    const int trials =
-        std::max(2000, int(50000 * rpb::benchScale()));
+    const int trials = std::max(2000, int(50000 * ctx.scale()));
     auto probe = sys::rowOpenLatencyProbe(trials);
 
-    std::printf("Access to FIRST cache block (row must be "
-                "activated):\n%s\n",
-                probe.first.render(46).c_str());
-    std::printf("Subsequent accesses to remaining cache blocks (row "
-                "open):\n%s\n",
-                probe.rest.render(46).c_str());
-    std::printf("median first  = %.1f cycles\n",
-                probe.medianFirstCycles);
-    std::printf("median rest   = %.1f cycles\n", probe.medianRestCycles);
-    std::printf("median gap    = %.1f cycles (paper: ~30 cycles)\n\n",
-                probe.medianFirstCycles - probe.medianRestCycles);
+    ctx.notef("Access to FIRST cache block (row must be "
+              "activated):\n%s\n",
+              probe.first.render(46).c_str());
+    ctx.notef("Subsequent accesses to remaining cache blocks (row "
+              "open):\n%s\n",
+              probe.rest.render(46).c_str());
+
+    api::Dataset table("Row-open latency medians (cycles)");
+    table.header({"metric", "cycles"});
+    table.row({"median first", api::cell(probe.medianFirstCycles)});
+    table.row({"median rest", api::cell(probe.medianRestCycles)});
+    table.row({"median gap", api::cell(probe.medianFirstCycles -
+                                       probe.medianRestCycles)});
+    ctx.emit(table);
+    ctx.notef("median gap    = %.1f cycles (paper: ~30 cycles)\n\n",
+              probe.medianFirstCycles - probe.medianRestCycles);
 }
+
+REGISTER_EXPERIMENT(fig24, "Fig. 24: row-open-time verification probe",
+                    "Fig. 24 (latency histogram, 100K trials)",
+                    "system", runFig24);
 
 void
 BM_LatencyProbe(benchmark::State &state)
@@ -43,13 +55,3 @@ BM_LatencyProbe(benchmark::State &state)
 BENCHMARK(BM_LatencyProbe)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 24: row-open-time verification probe",
-         "Fig. 24 (latency histogram, 100K trials)"},
-        printFig24);
-}

@@ -6,9 +6,11 @@
  * correction outcomes (section 7.1).
  */
 
-#include "bench_runner.h"
+#include <algorithm>
 
-#include "common/table.h"
+#include "api/context.h"
+
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -16,26 +18,27 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig25(core::ExperimentEngine &engine)
+runFig25(api::ExperimentContext &ctx)
 {
     for (Time t : {7800_ns, 70200_ns}) {
-        Table table("tAggON = " + formatTime(t) +
-                    " (words with 1-2 / 3-8 / >8 flips; SECDED & "
-                    "Chipkill-x8 outcomes)");
+        api::Dataset table("tAggON = " + formatTime(t) +
+                           " (words with 1-2 / 3-8 / >8 flips; SECDED "
+                           "& Chipkill-x8 outcomes)");
         table.header({"die", "pattern", "1-2", "3-8", ">8", "max/word",
                       "SECDED silent", "Chipkill silent"});
-        for (const auto &die : rpb::benchDies()) {
-            const auto mc = rpb::moduleConfig(die, 80.0);
+        for (const auto &die : ctx.dies()) {
+            const auto mc = ctx.moduleConfig(die, 80.0);
             const auto rows = chr::baseRowsOf(mc);
-            const std::size_t locs = std::min<std::size_t>(4, rows.size());
+            const std::size_t locs =
+                std::min<std::size_t>(4, rows.size());
             for (auto kind : {chr::AccessKind::SingleSided,
                               chr::AccessKind::DoubleSided}) {
                 // Max-activation attempts over the tested locations,
                 // one engine task per location.
-                auto attempts = engine.map<chr::AttemptResult>(
-                    locs, [&](const core::TaskContext &ctx) {
+                auto attempts = ctx.engine().map<chr::AttemptResult>(
+                    locs, [&](const core::TaskContext &tc) {
                         chr::Module local(chr::locationConfig(
-                            mc, rows[ctx.index]));
+                            mc, rows[tc.index]));
                         return chr::maxActivationAttempt(
                             local, 0, kind,
                             chr::DataPattern::CheckerBoard, t);
@@ -49,22 +52,27 @@ printFig25(core::ExperimentEngine &engine)
                 auto secded = chr::evaluateSecded(flips);
                 auto chipkill = chr::evaluateChipkill(flips, 8);
                 table.row({die.id, chr::accessKindName(kind),
-                           Table::toCell(stats.words1to2),
-                           Table::toCell(stats.words3to8),
-                           Table::toCell(stats.wordsOver8),
-                           Table::toCell(stats.maxFlipsPerWord),
-                           Table::toCell(secded.silent),
-                           Table::toCell(chipkill.silent)});
+                           api::cell(stats.words1to2),
+                           api::cell(stats.words3to8),
+                           api::cell(stats.wordsOver8),
+                           api::cell(stats.maxFlipsPerWord),
+                           api::cell(secded.silent),
+                           api::cell(chipkill.silent)});
             }
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.note("\n");
     }
-    std::printf("Paper shape: a significant fraction of erroneous "
-                "words carries >2 flips\n(up to 25 per 64-bit word), "
-                "beyond SECDED and Chipkill guarantees ->\nsilent data "
-                "corruption risk.\n\n");
+    ctx.note("Paper shape: a significant fraction of erroneous "
+             "words carries >2 flips\n(up to 25 per 64-bit word), "
+             "beyond SECDED and Chipkill guarantees ->\nsilent data "
+             "corruption risk.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig25, "Figs. 25/26: bitflips per 64-bit word vs ECC",
+                    "Fig. 25 (tAggON = 7.8us), Fig. 26 (70.2us) @ "
+                    "80C, max activation count",
+                    "characterization", runFig25);
 
 void
 BM_EccAnalysis(benchmark::State &state)
@@ -81,14 +89,3 @@ BM_EccAnalysis(benchmark::State &state)
 BENCHMARK(BM_EccAnalysis)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 25/26: bitflips per 64-bit word vs ECC",
-         "Fig. 25 (tAggON = 7.8us), Fig. 26 (70.2us) @ 80C, max "
-         "activation count"},
-        printFig25);
-}

@@ -6,9 +6,11 @@
  * to the open-row baseline.
  */
 
-#include "bench_runner.h"
+#include <algorithm>
 
-#include "common/table.h"
+#include "api/context.h"
+
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -16,10 +18,10 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig38(core::ExperimentEngine &engine)
+runFig38(api::ExperimentContext &ctx)
 {
     const std::uint64_t instrs = std::max<std::uint64_t>(
-        50000, std::uint64_t(150000 * rpb::benchScale()));
+        50000, std::uint64_t(150000 * ctx.scale()));
 
     std::vector<std::string> names = {
         "429.mcf",   "433.milc",      "436.cactusADM",
@@ -40,9 +42,9 @@ printFig38(core::ExperimentEngine &engine)
         min_cfg.mem.tMro = min_cfg.mem.timing.tRAS;
         cfgs.push_back(min_cfg);
     }
-    auto results = sim::runSystems(cfgs, engine);
+    auto results = sim::runSystems(cfgs, ctx.engine());
 
-    Table table("Minimally-open-row (t_mro = tRAS) vs open-row");
+    api::Dataset table("Minimally-open-row (t_mro = tRAS) vs open-row");
     table.header({"workload", "IPC open", "IPC min-open",
                   "normalized IPC", "maxRowActs open",
                   "maxRowActs min-open", "ACT increase"});
@@ -55,19 +57,24 @@ printFig38(core::ExperimentEngine &engine)
                 ? double(min_res.mem.maxRowActs) /
                       double(open_res.mem.maxRowActs)
                 : 0.0;
-        table.row({names[i], Table::toCell(open_res.ipcOf(0)),
-                   Table::toCell(min_res.ipcOf(0)),
-                   Table::toCell(min_res.ipcOf(0) / open_res.ipcOf(0)),
-                   Table::toCell(open_res.mem.maxRowActs),
-                   Table::toCell(min_res.mem.maxRowActs),
-                   Table::toCell(incr) + "x"});
+        table.row({names[i], api::cell(open_res.ipcOf(0)),
+                   api::cell(min_res.ipcOf(0)),
+                   api::cell(min_res.ipcOf(0) / open_res.ipcOf(0)),
+                   api::cell(open_res.mem.maxRowActs),
+                   api::cell(min_res.mem.maxRowActs),
+                   api::cell(incr) + "x"});
     }
-    table.print();
-    std::printf("\nPaper shape: row-activation counts to single rows "
-                "grow by up to ~370x\n(benign workloads become "
-                "hammer-like) and high-row-locality workloads\n(e.g., "
-                "462.libquantum) lose up to ~34%% IPC.\n\n");
+    ctx.emit(table);
+    ctx.note("\nPaper shape: row-activation counts to single rows "
+             "grow by up to ~370x\n(benign workloads become "
+             "hammer-like) and high-row-locality workloads\n(e.g., "
+             "462.libquantum) lose up to ~34% IPC.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig38, "Figs. 38/39: minimally-open-row policy",
+                    "Fig. 38 (max per-row ACT increase), Fig. 39 "
+                    "(normalized IPC)",
+                    "simulator", runFig38);
 
 void
 BM_MinOpenRun(benchmark::State &state)
@@ -85,14 +92,3 @@ BM_MinOpenRun(benchmark::State &state)
 BENCHMARK(BM_MinOpenRun)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 38/39: minimally-open-row policy",
-         "Fig. 38 (max per-row ACT increase), Fig. 39 (normalized "
-         "IPC)"},
-        printFig38);
-}

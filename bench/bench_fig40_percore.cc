@@ -5,9 +5,12 @@
  * t_mro configurations.
  */
 
-#include "bench_runner.h"
+#include <algorithm>
 
-#include "common/table.h"
+#include "api/context.h"
+
+#include "bench_support.h"
+#include "mitigation/defaults.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -15,11 +18,11 @@ using namespace rp::literals;
 namespace {
 
 void
-printFig40(core::ExperimentEngine &engine)
+runFig40(api::ExperimentContext &ctx)
 {
     const std::vector<Time> tmros = {36_ns, 96_ns, 336_ns, 636_ns};
     const std::uint64_t instrs = std::max<std::uint64_t>(
-        40000, std::uint64_t(100000 * rpb::benchScale()));
+        40000, std::uint64_t(100000 * ctx.scale()));
     const auto profile = mitigation::paperTable3Profile();
 
     std::vector<std::string> names = {
@@ -36,8 +39,8 @@ printFig40(core::ExperimentEngine &engine)
             sim::SystemJob base;
             base.cfg.core.instrLimit = instrs;
             base.cfg.workloads = {w};
-            base.mitigationFactory = rpb::mitigationFactory(use_para,
-                                                            1000);
+            base.mitigationFactory =
+                mitigation::standardMitigationFactory(use_para, 1000);
             jobs.push_back(base);
 
             for (Time t : tmros) {
@@ -48,14 +51,17 @@ printFig40(core::ExperimentEngine &engine)
                 job.cfg.workloads = {w};
                 job.cfg.mem.tMro = t;
                 job.mitigationFactory =
-                    rpb::mitigationFactory(use_para, a.adaptedTrh);
+                    mitigation::standardMitigationFactory(
+                        use_para, a.adaptedTrh);
                 jobs.push_back(job);
             }
         }
-        auto results = sim::runSystems(jobs, engine);
+        auto results = sim::runSystems(jobs, ctx.engine());
 
-        Table table(use_para ? "PARA-RP IPC normalized to PARA"
-                             : "Graphene-RP IPC normalized to Graphene");
+        api::Dataset table(use_para
+                               ? "PARA-RP IPC normalized to PARA"
+                               : "Graphene-RP IPC normalized to "
+                                 "Graphene");
         std::vector<std::string> head = {"workload"};
         for (Time t : tmros)
             head.push_back("t_mro=" + formatTime(t));
@@ -68,25 +74,28 @@ printFig40(core::ExperimentEngine &engine)
             for (std::size_t ti = 0; ti < tmros.size(); ++ti) {
                 const double ipc =
                     results[wi * stride + 1 + ti].ipcOf(0);
-                row.push_back(Table::toCell(ipc / base_ipc));
+                row.push_back(api::cell(ipc / base_ipc));
             }
             table.row(std::move(row));
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.note("\n");
     }
-    std::printf("Paper shape: low-row-locality workloads (429.mcf) "
-                "speed up under small t_mro;\nhigh-locality ones "
-                "(462.libquantum, 510.parest) slow down; PARA-RP "
-                "overheads\nexceed Graphene-RP's.\n\n");
+    ctx.note("Paper shape: low-row-locality workloads (429.mcf) "
+             "speed up under small t_mro;\nhigh-locality ones "
+             "(462.libquantum, 510.parest) slow down; PARA-RP "
+             "overheads\nexceed Graphene-RP's.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig40, "Fig. 40: per-workload normalized IPC",
+                    "Fig. 40 (single-core, LLC-MPKI > 5 subset)",
+                    "simulator", runFig40);
 
 void
 BM_MitigatedRun(benchmark::State &state)
 {
     const auto w = workloads::workloadByName("429.mcf");
-    mitigation::Graphene g(mitigation::grapheneFor(724, 64_ms, 45_ns,
-                                                   32));
+    mitigation::Graphene g(mitigation::standardGrapheneFor(724));
     for (auto _ : state) {
         sim::SystemConfig cfg;
         cfg.core.instrLimit = 40000;
@@ -100,13 +109,3 @@ BM_MitigatedRun(benchmark::State &state)
 BENCHMARK(BM_MitigatedRun)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 40: per-workload normalized IPC",
-         "Fig. 40 (single-core, LLC-MPKI > 5 subset)"},
-        printFig40);
-}

@@ -5,11 +5,13 @@
  * workload mixes, normalized to Graphene and PARA.
  */
 
+#include <algorithm>
 #include <memory>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
+#include "mitigation/defaults.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -24,15 +26,16 @@ mixJob(const std::vector<workloads::WorkloadParams> &mix, Time t_mro,
     job.cfg.core.instrLimit = instrs;
     job.cfg.workloads = mix;
     job.cfg.mem.tMro = t_mro;
-    job.mitigationFactory = rpb::mitigationFactory(use_para, trh);
+    job.mitigationFactory =
+        mitigation::standardMitigationFactory(use_para, trh);
     return job;
 }
 
 void
-printFig41(core::ExperimentEngine &engine)
+runFig41(api::ExperimentContext &ctx)
 {
     const std::uint64_t instrs = std::max<std::uint64_t>(
-        25000, std::uint64_t(60000 * rpb::benchScale()));
+        25000, std::uint64_t(60000 * ctx.scale()));
     const auto profile = mitigation::paperTable3Profile();
     const std::vector<Time> tmros = {36_ns, 96_ns, 636_ns};
 
@@ -60,7 +63,7 @@ printFig41(core::ExperimentEngine &engine)
     }
     auto alone_flat = sim::aloneIpcs(all_alone, sim::ControllerConfig{},
                                      sim::CoreConfig{128, 4, instrs},
-                                     engine);
+                                     ctx.engine());
 
     for (bool use_para : {false, true}) {
         // One job per mix x (baseline + t_mro configs).
@@ -75,12 +78,13 @@ printFig41(core::ExperimentEngine &engine)
                     mixJob(mix, t, use_para, a.adaptedTrh, instrs));
             }
         }
-        auto results = sim::runSystems(jobs, engine);
+        auto results = sim::runSystems(jobs, ctx.engine());
 
-        Table table(use_para
-                        ? std::string("PARA-RP WS normalized to PARA")
-                        : std::string(
-                              "Graphene-RP WS normalized to Graphene"));
+        api::Dataset table(use_para
+                               ? std::string("PARA-RP WS normalized "
+                                             "to PARA")
+                               : std::string("Graphene-RP WS "
+                                             "normalized to Graphene"));
         std::vector<std::string> head = {"mix"};
         for (Time t : tmros)
             head.push_back("t_mro=" + formatTime(t));
@@ -101,17 +105,21 @@ printFig41(core::ExperimentEngine &engine)
             for (std::size_t ti = 0; ti < tmros.size(); ++ti) {
                 const double ws =
                     results[mi * stride + 1 + ti].weightedSpeedup(alone);
-                row.push_back(Table::toCell(ws / base_ws));
+                row.push_back(api::cell(ws / base_ws));
             }
             table.row(std::move(row));
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.note("\n");
     }
-    std::printf("Paper shape: Graphene-RP stays within ~1-2%% of "
-                "Graphene (sometimes faster\ndue to fairness); "
-                "PARA-RP's overhead grows with t_mro.\n\n");
+    ctx.note("Paper shape: Graphene-RP stays within ~1-2% of "
+             "Graphene (sometimes faster\ndue to fairness); "
+             "PARA-RP's overhead grows with t_mro.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig41, "Fig. 41: four-core weighted speedups",
+                    "Fig. 41 (homogeneous + HHHH..LLLL mixes)",
+                    "simulator", runFig41);
 
 void
 BM_FourCoreRun(benchmark::State &state)
@@ -128,13 +136,3 @@ BM_FourCoreRun(benchmark::State &state)
 BENCHMARK(BM_FourCoreRun)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Fig. 41: four-core weighted speedups",
-         "Fig. 41 (homogeneous + HHHH..LLLL mixes)"},
-        printFig41);
-}

@@ -6,11 +6,12 @@
  * the majority of bitflips repeat in all five iterations).
  */
 
+#include <algorithm>
 #include <map>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -18,15 +19,16 @@ using namespace rp::literals;
 namespace {
 
 void
-printRepeatability(core::ExperimentEngine &engine, chr::AccessKind kind,
-                   double temp)
+emitRepeatability(api::ExperimentContext &ctx, chr::AccessKind kind,
+                  double temp)
 {
-    std::printf("--- %s @ %.0fC ---\n", chr::accessKindName(kind),
-                temp);
-    const auto mc = rpb::moduleConfig(device::dieS8GbD(), temp);
+    ctx.notef("--- %s @ %.0fC ---\n", chr::accessKindName(kind),
+              temp);
+    const auto mc = ctx.moduleConfig(device::dieS8GbD(), temp);
     const auto rows = chr::baseRowsOf(mc);
 
-    Table table("Bitflip occurrence count across 5 iterations (%)");
+    api::Dataset table("Bitflip occurrence count across 5 iterations "
+                       "(%)");
     table.header({"tAggON", "1", "2", "3", "4", "5", "total flips"});
 
     const std::vector<Time> sweep = {36_ns,   336_ns,   1536_ns,
@@ -37,10 +39,10 @@ printRepeatability(core::ExperimentEngine &engine, chr::AccessKind kind,
     // re-running on the *same* device state), but different locations
     // and sweep points are independent.
     using Occurrence = std::map<std::uint64_t, int>;
-    auto occurrences = engine.map<Occurrence>(
-        sweep.size() * rows.size(), [&](const core::TaskContext &ctx) {
-            const Time t = sweep[ctx.index / rows.size()];
-            const int row = rows[ctx.index % rows.size()];
+    auto occurrences = ctx.engine().map<Occurrence>(
+        sweep.size() * rows.size(), [&](const core::TaskContext &tc) {
+            const Time t = sweep[tc.index / rows.size()];
+            const int row = rows[tc.index % rows.size()];
             Occurrence occurrence;
 
             chr::Module local(chr::locationConfig(mc, row));
@@ -79,25 +81,29 @@ printRepeatability(core::ExperimentEngine &engine, chr::AccessKind kind,
         std::vector<std::string> row = {formatTime(sweep[ti])};
         for (int i = 1; i <= 5; ++i)
             row.push_back(total > 0
-                              ? Table::toCell(100.0 * histo[i] / total)
+                              ? api::cell(100.0 * histo[i] / total)
                               : std::string("-"));
-        row.push_back(Table::toCell(std::uint64_t(total)));
+        row.push_back(api::cell(std::uint64_t(total)));
         table.row(std::move(row));
     }
-    table.print();
-    std::printf("\n");
+    ctx.emit(table);
+    ctx.note("\n");
 }
 
 void
-printFig42(core::ExperimentEngine &engine)
+runFig42(api::ExperimentContext &ctx)
 {
-    printRepeatability(engine, chr::AccessKind::SingleSided, 50.0);
-    printRepeatability(engine, chr::AccessKind::SingleSided, 80.0);
-    printRepeatability(engine, chr::AccessKind::DoubleSided, 50.0);
-    std::printf("Paper shape (Obsv. 22): the majority (>50-60%%) of "
-                "bitflips occur in all\nfive iterations - RowPress "
-                "bitflips are repeatable.\n\n");
+    emitRepeatability(ctx, chr::AccessKind::SingleSided, 50.0);
+    emitRepeatability(ctx, chr::AccessKind::SingleSided, 80.0);
+    emitRepeatability(ctx, chr::AccessKind::DoubleSided, 50.0);
+    ctx.note("Paper shape (Obsv. 22): the majority (>50-60%) of "
+             "bitflips occur in all\nfive iterations - RowPress "
+             "bitflips are repeatable.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig42, "Figs. 42-45: repeatability of RowPress bitflips",
+                    "Appendix E (5-iteration occurrence histograms)",
+                    "characterization", runFig42);
 
 void
 BM_RepeatAttempt(benchmark::State &state)
@@ -114,13 +120,3 @@ BM_RepeatAttempt(benchmark::State &state)
 BENCHMARK(BM_RepeatAttempt)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 42-45: repeatability of RowPress bitflips",
-         "Appendix E (5-iteration occurrence histograms)"},
-        printFig42);
-}

@@ -5,9 +5,9 @@
  * double-sided difference across all three temperatures.
  */
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -18,46 +18,51 @@ const std::vector<Time> kSweep = {36_ns, 636_ns, 7800_ns, 70200_ns,
                                   1_ms, 30_ms};
 
 void
-printFig46(core::ExperimentEngine &engine)
+runFig46(api::ExperimentContext &ctx)
 {
-    for (const auto &die : rpb::benchDies()) {
-        auto p50s = chr::acminSweep(rpb::moduleConfig(die, 50.0),
-                                    engine, kSweep,
+    for (const auto &die : ctx.dies()) {
+        auto p50s = chr::acminSweep(ctx.moduleConfig(die, 50.0),
+                                    ctx.engine(), kSweep,
                                     chr::AccessKind::SingleSided);
-        auto p65s = chr::acminSweep(rpb::moduleConfig(die, 65.0),
-                                    engine, kSweep,
+        auto p65s = chr::acminSweep(ctx.moduleConfig(die, 65.0),
+                                    ctx.engine(), kSweep,
                                     chr::AccessKind::SingleSided);
-        auto p80s = chr::acminSweep(rpb::moduleConfig(die, 80.0),
-                                    engine, kSweep,
+        auto p80s = chr::acminSweep(ctx.moduleConfig(die, 80.0),
+                                    ctx.engine(), kSweep,
                                     chr::AccessKind::SingleSided);
-        auto d65s = chr::acminSweep(rpb::moduleConfig(die, 65.0),
-                                    engine, kSweep,
+        auto d65s = chr::acminSweep(ctx.moduleConfig(die, 65.0),
+                                    ctx.engine(), kSweep,
                                     chr::AccessKind::DoubleSided);
 
-        Table table(die.name + " (single-sided mean ACmin ratios)");
+        api::Dataset table(die.name +
+                           " (single-sided mean ACmin ratios)");
         table.header({"tAggON", "65C/50C", "80C/65C", "SS-DS@65C"});
         for (std::size_t ti = 0; ti < kSweep.size(); ++ti) {
             auto ratio = [](double num, double den) -> std::string {
-                return (num > 0 && den > 0) ? Table::toCell(num / den)
+                return (num > 0 && den > 0) ? api::cell(num / den)
                                             : std::string("-");
             };
             std::string diff = "-";
             if (p65s[ti].meanAcmin() > 0 && d65s[ti].meanAcmin() > 0)
-                diff = Table::toCell(p65s[ti].meanAcmin() -
-                                     d65s[ti].meanAcmin());
+                diff = api::cell(p65s[ti].meanAcmin() -
+                                 d65s[ti].meanAcmin());
             table.row({formatTime(kSweep[ti]),
                        ratio(p65s[ti].meanAcmin(), p50s[ti].meanAcmin()),
                        ratio(p80s[ti].meanAcmin(), p65s[ti].meanAcmin()),
                        diff});
         }
-        table.print();
-        std::printf("\n");
+        ctx.emit(table);
+        ctx.note("\n");
     }
-    std::printf("Paper shape: ACmin shrinks consistently at each "
-                "temperature step for\nRowPress-regime tAggON; the "
-                "single-sided advantage at long tAggON holds\nat 65C "
-                "as well.\n\n");
+    ctx.note("Paper shape: ACmin shrinks consistently at each "
+             "temperature step for\nRowPress-regime tAggON; the "
+             "single-sided advantage at long tAggON holds\nat 65C "
+             "as well.\n\n");
 }
+
+REGISTER_EXPERIMENT(fig46, "Figs. 46-48: 65C temperature step",
+                    "Appendix F (normalized ACmin at 65C and 80C)",
+                    "characterization", runFig46);
 
 void
 BM_Temp65Point(benchmark::State &state)
@@ -72,13 +77,3 @@ BM_Temp65Point(benchmark::State &state)
 BENCHMARK(BM_Temp65Point)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Figs. 46-48: 65C temperature step",
-         "Appendix F (normalized ACmin at 65C and 80C)"},
-        printFig46);
-}

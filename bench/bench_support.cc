@@ -1,0 +1,38 @@
+#include "bench_support.h"
+
+#include "api/env.h"
+
+namespace rpb {
+
+rp::chr::ModuleConfig
+moduleConfig(const rp::device::DieConfig &die, double temp_c,
+             std::uint64_t seed)
+{
+    rp::chr::ModuleConfig cfg;
+    cfg.die = die;
+    cfg.numLocations =
+        rp::api::envInt("ROWPRESS_BENCH_LOCATIONS", 10, 1);
+    cfg.temperatureC = temp_c;
+    cfg.seed = seed;
+    return cfg;
+}
+
+rp::chr::Module
+makeModule(const rp::device::DieConfig &die, double temp_c,
+           std::uint64_t seed)
+{
+    return rp::chr::Module(moduleConfig(die, temp_c, seed));
+}
+
+int
+runBenchmarkMain(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace rpb

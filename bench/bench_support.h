@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Support for the google-benchmark micro-measurement path of the
+ * `rowpress` multi-tool (`rowpress bench [--benchmark_... args]`).
+ *
+ * The figure/table data series themselves run through the
+ * rp::api::ExperimentRegistry (`rowpress run <id>`); the helpers here
+ * only serve the BENCHMARK() bodies, which are standalone
+ * micro-measurements of single experiment steps and honour the same
+ * ROWPRESS_BENCH_LOCATIONS knob (strictly validated via api::envInt).
+ */
+
+#ifndef ROWPRESS_BENCH_SUPPORT_H
+#define ROWPRESS_BENCH_SUPPORT_H
+
+#include <benchmark/benchmark.h>
+
+#include "core/rowpress.h"
+
+namespace rpb {
+
+/** ModuleConfig for a micro-benchmark module. */
+rp::chr::ModuleConfig moduleConfig(const rp::device::DieConfig &die,
+                                   double temp_c,
+                                   std::uint64_t seed = 1);
+
+/** A live Module for a micro-benchmark body. */
+rp::chr::Module makeModule(const rp::device::DieConfig &die,
+                           double temp_c, std::uint64_t seed = 1);
+
+/** google-benchmark driver behind `rowpress bench`. */
+int runBenchmarkMain(int argc, char **argv);
+
+} // namespace rpb
+
+#endif // ROWPRESS_BENCH_SUPPORT_H

@@ -6,12 +6,14 @@
  * with a base T_RH of 1000.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
-#include "bench_runner.h"
+#include "api/context.h"
 
-#include "common/table.h"
+#include "bench_support.h"
+#include "mitigation/defaults.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -33,32 +35,31 @@ geomean(const std::vector<double> &v)
 }
 
 void
-printTable3(core::ExperimentEngine &engine)
+runTable3(api::ExperimentContext &ctx)
 {
     const auto profile = mitigation::paperTable3Profile();
-    const std::uint32_t base_trh = 1000;
+    const std::uint32_t base_trh =
+        std::uint32_t(ctx.config().getInt("trh"));
 
     // Configuration rows (exact reproduction of Table 3's derivation).
-    Table cfg_table("Adapted configurations");
+    api::Dataset cfg_table("Adapted configurations");
     cfg_table.header({"t_mro", "T'_RH", "Graphene-RP T", "PARA-RP p"});
     for (Time t : kTmros) {
         const auto a = mitigation::adaptThreshold(profile, base_trh, t);
-        const auto g = mitigation::grapheneFor(a.adaptedTrh, 64_ms,
-                                               45_ns, 32);
+        const auto g = mitigation::standardGrapheneFor(a.adaptedTrh);
         const auto p = mitigation::paraFor(a.adaptedTrh);
-        cfg_table.row({formatTime(t), Table::toCell(a.adaptedTrh),
-                       Table::toCell(g.threshold),
-                       Table::toCell(p.p)});
+        cfg_table.row({formatTime(t), api::cell(a.adaptedTrh),
+                       api::cell(g.threshold),
+                       api::cell(p.p)});
     }
-    cfg_table.print();
-    std::printf("(paper T'_RH: 1000 809 724 619 555 419; Graphene T: "
-                "333 269 241 206 185 139;\n PARA p: .034 .042 .047 "
-                ".054 .061 .079)\n\n");
+    ctx.emit(cfg_table);
+    ctx.note("(paper T'_RH: 1000 809 724 619 555 419; Graphene T: "
+             "333 269 241 206 185 139;\n PARA p: .034 .042 .047 "
+             ".054 .061 .079)\n\n");
 
     // Performance overheads on a workload subset.
-    const std::uint64_t instrs =
-        std::max<std::uint64_t>(50000,
-                                std::uint64_t(150000 * rpb::benchScale()));
+    const std::uint64_t instrs = std::max<std::uint64_t>(
+        50000, std::uint64_t(150000 * ctx.scale()));
     std::vector<workloads::WorkloadParams> set;
     for (const char *name :
          {"429.mcf", "462.libquantum", "510.parest", "h264_encode",
@@ -77,7 +78,8 @@ printTable3(core::ExperimentEngine &engine)
                 job.cfg.core.instrLimit = instrs;
                 job.cfg.workloads = {w};
                 job.mitigationFactory =
-                    rpb::mitigationFactory(use_para, trh);
+                    mitigation::standardMitigationFactory(use_para,
+                                                          trh);
                 jobs.push_back(job);
             }
         };
@@ -88,8 +90,8 @@ printTable3(core::ExperimentEngine &engine)
         return jobs;
     };
 
-    auto g_results = sim::runSystems(jobs_for(false), engine);
-    auto p_results = sim::runSystems(jobs_for(true), engine);
+    auto g_results = sim::runSystems(jobs_for(false), ctx.engine());
+    auto p_results = sim::runSystems(jobs_for(true), ctx.engine());
 
     auto ipcs_at = [&](const std::vector<sim::SystemResult> &results,
                        std::size_t step) {
@@ -102,8 +104,8 @@ printTable3(core::ExperimentEngine &engine)
     auto g_base_ipcs = ipcs_at(g_results, 0);
     auto p_base_ipcs = ipcs_at(p_results, 0);
 
-    Table perf("Average / max additional slowdown vs the RowHammer-"
-               "only baseline (single-core)");
+    api::Dataset perf("Average / max additional slowdown vs the "
+                      "RowHammer-only baseline (single-core)");
     perf.header({"t_mro", "Graphene-RP avg", "Graphene-RP max",
                  "PARA-RP avg", "PARA-RP max"});
     for (std::size_t ti = 0; ti < kTmros.size(); ++ti) {
@@ -119,16 +121,26 @@ printTable3(core::ExperimentEngine &engine)
             p_max = std::max(p_max, 1.0 - p_ratio.back());
         }
         perf.row({formatTime(kTmros[ti]),
-                  Table::toCell((1.0 - geomean(g_ratio)) * 100.0) + "%",
-                  Table::toCell(g_max * 100.0) + "%",
-                  Table::toCell((1.0 - geomean(p_ratio)) * 100.0) + "%",
-                  Table::toCell(p_max * 100.0) + "%"});
+                  api::cell((1.0 - geomean(g_ratio)) * 100.0) + "%",
+                  api::cell(g_max * 100.0) + "%",
+                  api::cell((1.0 - geomean(p_ratio)) * 100.0) + "%",
+                  api::cell(p_max * 100.0) + "%"});
     }
-    perf.print();
-    std::printf("\nPaper shape: Graphene-RP overhead stays within a "
-                "few percent (sometimes a\nspeedup); PARA-RP overhead "
-                "grows as t_mro (and thus p) increases.\n\n");
+    ctx.emit(perf);
+    ctx.note("\nPaper shape: Graphene-RP overhead stays within a "
+             "few percent (sometimes a\nspeedup); PARA-RP overhead "
+             "grows as t_mro (and thus p) increases.\n\n");
 }
+
+REGISTER_EXPERIMENT_OPTS(
+    table3, "Table 3: Graphene-RP / PARA-RP configuration and overhead",
+    "Table 3 / Tables 8, 9 (T_RH = 1000, S 8Gb B-die profile)",
+    "simulator",
+    [](api::ConfigSchema &schema) {
+        schema.add({"trh", api::OptionType::Int, "1000", "",
+                    "base RowHammer threshold T_RH", 1.0, true});
+    },
+    runTable3);
 
 void
 BM_SingleCoreRun(benchmark::State &state)
@@ -145,13 +157,3 @@ BM_SingleCoreRun(benchmark::State &state)
 BENCHMARK(BM_SingleCoreRun)->Unit(benchmark::kMillisecond);
 
 } // namespace
-
-int
-main(int argc, char **argv)
-{
-    return rpb::figureMain(
-        argc, argv,
-        {"Table 3: Graphene-RP / PARA-RP configuration and overhead",
-         "Table 3 / Tables 8, 9 (T_RH = 1000, S 8Gb B-die profile)"},
-        printTable3);
-}

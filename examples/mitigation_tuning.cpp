@@ -18,6 +18,7 @@
 
 #include "common/table.h"
 #include "core/rowpress.h"
+#include "mitigation/defaults.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -67,7 +68,7 @@ main(int argc, char **argv)
     };
 
     mitigation::Graphene g_base(
-        mitigation::grapheneFor(base_trh, 64_ms, 45_ns, 32));
+        mitigation::standardGrapheneFor(base_trh));
     mitigation::Para p_base(mitigation::paraFor(base_trh));
 
     Table table("Adapted configurations and per-workload slowdown vs "
@@ -78,7 +79,7 @@ main(int argc, char **argv)
         const auto a =
             mitigation::adaptThreshold(profile, base_trh, t_mro);
         mitigation::Graphene g_rp(
-            mitigation::grapheneFor(a.adaptedTrh, 64_ms, 45_ns, 32));
+            mitigation::standardGrapheneFor(a.adaptedTrh));
         mitigation::Para p_rp(mitigation::paraFor(a.adaptedTrh));
         for (const auto &w : suite) {
             const double g0 = runIpc(w, 0, &g_base);

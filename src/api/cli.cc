@@ -1,0 +1,289 @@
+#include "api/cli.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "api/config.h"
+#include "api/context.h"
+#include "api/registry.h"
+#include "api/sink.h"
+#include "core/engine.h"
+
+namespace rp::api {
+
+namespace {
+
+const char *const kUsage =
+    "usage: rowpress <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list [glob]          list registered experiments\n"
+    "  run <id|glob>...     run experiments by name\n"
+    "  bench [args]         run the google-benchmark micro-measurements\n"
+    "  help                 show this message\n"
+    "\n"
+    "run options:\n"
+    "  --all                select every registered experiment\n"
+    "  --out DIR            artifact directory (default: artifacts)\n"
+    "  --format LIST        comma list of table, csv, json (default: table)\n"
+    "  --locations N        tested row locations per module (default: 10)\n"
+    "  --dies SET           default | all | comma-separated die ids\n"
+    "  --seed S             root seed for module construction\n"
+    "  --threads N          engine worker threads (0 = hardware)\n"
+    "  --scale X            effort multiplier for heavy experiments\n"
+    "\n"
+    "Experiments may declare further options (e.g. fig06 --temp,\n"
+    "fig15 --temp-step); an option not declared by every selected\n"
+    "experiment is rejected.\n";
+
+struct Flag
+{
+    std::string key;
+    std::string value;
+};
+
+/** Lexical scan of a run/list argument list. */
+struct ParsedArgs
+{
+    std::vector<std::string> positionals;
+    std::vector<Flag> flags;
+    bool all = false;
+    std::string out = "artifacts";
+    std::string format = "table";
+};
+
+ParsedArgs
+parseArgs(const std::vector<std::string> &args, std::size_t first)
+{
+    ParsedArgs parsed;
+    for (std::size_t i = first; i < args.size(); ++i) {
+        const std::string &tok = args[i];
+        if (tok.rfind("--", 0) != 0) {
+            parsed.positionals.push_back(tok);
+            continue;
+        }
+        if (tok == "--all") {
+            parsed.all = true;
+            continue;
+        }
+        std::string key = tok.substr(2), value;
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else {
+            if (i + 1 >= args.size())
+                throw ConfigError("flag --" + key +
+                                  " expects a value");
+            value = args[++i];
+        }
+        if (key.empty())
+            throw ConfigError("malformed flag '" + tok + "'");
+        if (key == "out")
+            parsed.out = value;
+        else if (key == "format")
+            parsed.format = value;
+        else
+            parsed.flags.push_back({key, value});
+    }
+    return parsed;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::vector<const Experiment *>
+selectExperiments(const ParsedArgs &parsed)
+{
+    auto &registry = ExperimentRegistry::instance();
+    std::vector<std::string> patterns = parsed.positionals;
+    if (parsed.all)
+        patterns.push_back("*");
+    if (patterns.empty())
+        throw ConfigError(
+            "no experiments selected (name one, use a glob, or pass "
+            "--all; see 'rowpress list')");
+
+    std::vector<const Experiment *> selected;
+    for (const auto &pattern : patterns) {
+        const auto matches = registry.match(pattern);
+        if (matches.empty())
+            throw ConfigError("no experiment matches '" + pattern +
+                              "' (see 'rowpress list')");
+        for (const Experiment *exp : matches) {
+            bool dup = false;
+            for (const Experiment *s : selected)
+                dup = dup || s == exp;
+            if (!dup)
+                selected.push_back(exp);
+        }
+    }
+    return selected;
+}
+
+/** Config for one experiment: base + declared options, env + flags. */
+Config
+experimentConfig(const Experiment &exp, const std::vector<Flag> &flags)
+{
+    ConfigSchema schema = baseSchema();
+    if (exp.declareOptions)
+        exp.declareOptions(schema);
+    Config config{std::move(schema)};
+    config.loadEnv();
+    for (const auto &flag : flags) {
+        if (!config.schema().find(flag.key))
+            throw ConfigError("experiment '" + exp.info.id +
+                              "' does not accept --" + flag.key);
+        config.set(flag.key, flag.value, ConfigLayer::Cli);
+    }
+    return config;
+}
+
+int
+cmdList(const std::vector<std::string> &args, std::ostream &out)
+{
+    const ParsedArgs parsed = parseArgs(args, 1);
+    if (!parsed.flags.empty())
+        throw ConfigError("list does not accept --" +
+                          parsed.flags.front().key);
+    std::vector<std::string> patterns = parsed.positionals;
+    if (patterns.empty() || parsed.all)
+        patterns.push_back("*");
+
+    Dataset table("Registered experiments");
+    table.header({"id", "category", "title", "paper reference"});
+    for (const Experiment *exp :
+         ExperimentRegistry::instance().list()) {
+        bool matched = false;
+        for (const auto &pattern : patterns)
+            matched = matched || globMatch(pattern, exp->info.id);
+        if (matched)
+            table.row({exp->info.id, exp->info.category,
+                       exp->info.title, exp->info.paperRef});
+    }
+    out << table.renderAscii();
+    out << table.rows.size() << " experiment(s)\n";
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    const ParsedArgs parsed = parseArgs(args, 1);
+    const auto selected = selectExperiments(parsed);
+
+    // Engine options come from the base layer (identical for every
+    // selected experiment: base keys are shared and flags apply
+    // globally).
+    Config base{baseSchema()};
+    base.loadEnv();
+    for (const auto &flag : parsed.flags)
+        if (base.schema().find(flag.key))
+            base.set(flag.key, flag.value, ConfigLayer::Cli);
+
+    core::ExperimentEngine::Options engine_opts;
+    engine_opts.numThreads = base.getInt("threads");
+    engine_opts.rootSeed = std::uint64_t(base.getInt("seed"));
+    core::ExperimentEngine engine(engine_opts);
+
+    const std::filesystem::path out_dir(parsed.out);
+    std::vector<std::unique_ptr<ResultSink>> sinks;
+    for (const auto &format : splitList(parsed.format))
+        sinks.push_back(makeSink(format, out_dir, out));
+    if (sinks.empty())
+        throw ConfigError("--format: no formats in '" + parsed.format +
+                          "'");
+    std::vector<ResultSink *> sink_ptrs;
+    for (const auto &sink : sinks)
+        sink_ptrs.push_back(sink.get());
+
+    // Validate every selected experiment's config up front, so a
+    // flag one of them rejects fails the whole invocation before any
+    // experiment has run.
+    std::vector<Config> configs;
+    configs.reserve(selected.size());
+    for (const Experiment *exp : selected)
+        configs.push_back(experimentConfig(*exp, parsed.flags));
+
+    for (std::size_t ei = 0; ei < selected.size(); ++ei) {
+        const Experiment *exp = selected[ei];
+        ExperimentContext ctx(exp->info, std::move(configs[ei]),
+                              engine, sink_ptrs);
+        ctx.begin();
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            exp->run(ctx);
+        } catch (const ConfigError &) {
+            throw;
+        } catch (const std::exception &e) {
+            err << "rowpress: experiment '" << exp->info.id
+                << "' failed: " << e.what() << "\n";
+            return 1;
+        }
+        ctx.end();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[rowpress] %s completed in %.2f s on %d engine "
+                      "thread(s)\n\n",
+                      exp->info.id.c_str(), secs, engine.numThreads());
+        out << line;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    try {
+        if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+            args[0] == "-h") {
+            out << kUsage;
+            return args.empty() ? 2 : 0;
+        }
+        if (args[0] == "list")
+            return cmdList(args, out);
+        if (args[0] == "run")
+            return cmdRun(args, out, err);
+        err << "rowpress: unknown command '" << args[0] << "'\n\n"
+            << kUsage;
+        return 2;
+    } catch (const ConfigError &e) {
+        err << "rowpress: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        err << "rowpress: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+cliMain(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return runCli(args, std::cout, std::cerr);
+}
+
+} // namespace rp::api

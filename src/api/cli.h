@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The `rowpress` multi-tool CLI: one binary addressing every
+ * registered experiment.
+ *
+ *     rowpress list
+ *     rowpress run <id|glob>... [--all] [--out DIR] [--format LIST]
+ *                  [--threads N] [--seed S] [--locations L]
+ *                  [--dies default|all|ids] [--scale X] [...]
+ *     rowpress help [run|list]
+ *
+ * Exit codes: 0 success; 2 usage/configuration error (unknown
+ * command, experiment, flag, or malformed value); 1 experiment
+ * failure.  `runCli` is the testable core — it takes an argument
+ * vector and output streams; `cliMain` adapts (argc, argv).
+ */
+
+#ifndef ROWPRESS_API_CLI_H
+#define ROWPRESS_API_CLI_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rp::api {
+
+/** Run the CLI on @p args (without argv[0]); returns the exit code. */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+/** main() adapter around runCli(std::cout, std::cerr). */
+int cliMain(int argc, char **argv);
+
+} // namespace rp::api
+
+#endif // ROWPRESS_API_CLI_H

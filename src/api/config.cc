@@ -1,0 +1,150 @@
+#include "api/config.h"
+
+#include <cstdlib>
+
+namespace rp::api {
+
+ConfigSchema &
+ConfigSchema::add(OptionSpec spec)
+{
+    if (find(spec.key))
+        throw ConfigError("schema: duplicate option '" + spec.key +
+                          "'");
+    options_.push_back(std::move(spec));
+    return *this;
+}
+
+const OptionSpec *
+ConfigSchema::find(const std::string &key) const
+{
+    for (const auto &opt : options_)
+        if (opt.key == key)
+            return &opt;
+    return nullptr;
+}
+
+Config::Config(ConfigSchema schema) : schema_(std::move(schema))
+{
+    for (const auto &opt : schema_.options()) {
+        validate(opt, opt.defaultValue,
+                 "default of --" + opt.key);
+        values_[opt.key] = {opt.defaultValue, ConfigLayer::Default};
+    }
+}
+
+void
+Config::validate(const OptionSpec &spec, const std::string &value,
+                 const std::string &what)
+{
+    switch (spec.type) {
+    case OptionType::Int: {
+        const long long v = parseInt(value, what);
+        if (spec.hasMin && double(v) < spec.minValue)
+            throw ConfigError(what + ": value " + std::to_string(v) +
+                              " is below the minimum of " +
+                              std::to_string((long long)spec.minValue));
+        // getInt() returns int; reject here so an oversized value
+        // never silently truncates.
+        if (v > 2147483647LL || v < -2147483648LL)
+            throw ConfigError(what + ": value " + std::to_string(v) +
+                              " does not fit an int");
+        break;
+    }
+    case OptionType::Double: {
+        const double v = parseDouble(value, what);
+        if (spec.hasMin && v < spec.minValue)
+            throw ConfigError(what + ": value " + value +
+                              " is below the minimum of " +
+                              std::to_string(spec.minValue));
+        break;
+    }
+    case OptionType::Bool:
+        parseBool(value, what);
+        break;
+    case OptionType::String:
+        break;
+    }
+}
+
+void
+Config::loadEnv()
+{
+    for (const auto &opt : schema_.options()) {
+        if (opt.envVar.empty())
+            continue;
+        const char *v = std::getenv(opt.envVar.c_str());
+        if (!v)
+            continue;
+        set(opt.key, v, ConfigLayer::Env);
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value,
+            ConfigLayer layer)
+{
+    const OptionSpec *spec = schema_.find(key);
+    if (!spec)
+        throw ConfigError("unknown option '--" + key + "'");
+    const std::string what =
+        layer == ConfigLayer::Env && !spec->envVar.empty()
+            ? spec->envVar
+            : "--" + key;
+    validate(*spec, value, what);
+    Entry &entry = values_[key];
+    if (int(layer) < int(entry.origin))
+        return; // a higher layer already set this key
+    entry.value = value;
+    entry.origin = layer;
+}
+
+const OptionSpec &
+Config::specOf(const std::string &key, OptionType expected) const
+{
+    const OptionSpec *spec = schema_.find(key);
+    if (!spec)
+        throw ConfigError("unknown option '--" + key + "'");
+    if (spec->type != expected)
+        throw ConfigError("option '--" + key +
+                          "' accessed with the wrong type");
+    return *spec;
+}
+
+int
+Config::getInt(const std::string &key) const
+{
+    specOf(key, OptionType::Int);
+    return int(parseInt(values_.at(key).value, "--" + key));
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    specOf(key, OptionType::Double);
+    return parseDouble(values_.at(key).value, "--" + key);
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    specOf(key, OptionType::Bool);
+    return parseBool(values_.at(key).value, "--" + key);
+}
+
+const std::string &
+Config::getString(const std::string &key) const
+{
+    specOf(key, OptionType::String);
+    return values_.at(key).value;
+}
+
+ConfigLayer
+Config::origin(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        throw ConfigError("unknown option '--" + key + "'");
+    return it->second.origin;
+}
+
+} // namespace rp::api

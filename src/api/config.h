@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Typed, schema-checked experiment configuration.
+ *
+ * A ConfigSchema declares the options an experiment understands (name,
+ * type, default, optional legacy environment alias, optional lower
+ * bound); a Config holds one value per declared option with layered
+ * precedence
+ *
+ *     defaults  <  environment variables  <  CLI flags
+ *
+ * and records which layer supplied each value.  Setting an undeclared
+ * key, or a value that fails the type/bound check, raises ConfigError
+ * — unknown keys are rejected hard rather than ignored, so a typoed
+ * flag can never silently run the default configuration.
+ */
+
+#ifndef ROWPRESS_API_CONFIG_H
+#define ROWPRESS_API_CONFIG_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/env.h"
+
+namespace rp::api {
+
+/** Value type of a declared option. */
+enum class OptionType
+{
+    Int,
+    Double,
+    String,
+    Bool,
+};
+
+/** The layer a Config value came from. */
+enum class ConfigLayer
+{
+    Default = 0,
+    Env = 1,
+    Cli = 2,
+};
+
+/** Declaration of one configuration option. */
+struct OptionSpec
+{
+    std::string key;          ///< CLI flag name (`--<key>`).
+    OptionType type = OptionType::String;
+    std::string defaultValue; ///< Textual default (schema-validated).
+    std::string envVar;       ///< Legacy env alias; "" = none.
+    std::string help;         ///< One-line description for `--help`.
+    double minValue = 0.0;    ///< Lower bound when hasMin (Int/Double).
+    bool hasMin = false;
+};
+
+/** The set of options one experiment (or the CLI itself) accepts. */
+class ConfigSchema
+{
+  public:
+    /** Declare an option; throws ConfigError on a duplicate key. */
+    ConfigSchema &add(OptionSpec spec);
+
+    const OptionSpec *find(const std::string &key) const;
+    const std::vector<OptionSpec> &options() const { return options_; }
+
+  private:
+    std::vector<OptionSpec> options_;
+};
+
+/** Layered key/value store over a ConfigSchema. */
+class Config
+{
+  public:
+    explicit Config(ConfigSchema schema);
+
+    const ConfigSchema &schema() const { return schema_; }
+
+    /**
+     * Apply the environment layer: every declared option with an env
+     * alias that is set in the environment is validated and loaded.
+     * CLI-layer values are not overwritten.
+     */
+    void loadEnv();
+
+    /**
+     * Set @p key to @p value at @p layer (validated against the
+     * schema).  A lower layer never overwrites a higher one; throws
+     * ConfigError on unknown keys or malformed values.
+     */
+    void set(const std::string &key, const std::string &value,
+             ConfigLayer layer = ConfigLayer::Cli);
+
+    int getInt(const std::string &key) const;
+    double getDouble(const std::string &key) const;
+    bool getBool(const std::string &key) const;
+    const std::string &getString(const std::string &key) const;
+
+    /** The layer that supplied the current value of @p key. */
+    ConfigLayer origin(const std::string &key) const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        ConfigLayer origin = ConfigLayer::Default;
+    };
+
+    const OptionSpec &specOf(const std::string &key,
+                             OptionType expected) const;
+    static void validate(const OptionSpec &spec, const std::string &value,
+                         const std::string &what);
+
+    ConfigSchema schema_;
+    std::map<std::string, Entry> values_;
+};
+
+} // namespace rp::api
+
+#endif // ROWPRESS_API_CONFIG_H

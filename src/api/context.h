@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ExperimentContext: everything a registered experiment's emit
+ * function needs, bundled — its validated Config, the shared
+ * core::ExperimentEngine, the root seed, and the attached ResultSinks.
+ *
+ * The context also centralizes the helpers the old per-figure
+ * binaries each re-implemented (die-set selection, ModuleConfig
+ * construction, effort scaling) and the emission wrappers that route
+ * the chr/export tidy-CSV writers into the CSV sink.
+ */
+
+#ifndef ROWPRESS_API_CONTEXT_H
+#define ROWPRESS_API_CONTEXT_H
+
+#include <string>
+#include <vector>
+
+#include "api/config.h"
+#include "api/dataset.h"
+#include "api/registry.h"
+#include "api/sink.h"
+#include "chr/experiments.h"
+#include "chr/overlap.h"
+#include "core/engine.h"
+#include "device/die_config.h"
+
+namespace rp::api {
+
+/**
+ * The base options every experiment accepts (--locations, --dies,
+ * --temp is per-experiment, --seed, --threads, --scale) with their
+ * legacy environment aliases.
+ */
+ConfigSchema baseSchema();
+
+class ExperimentContext
+{
+  public:
+    ExperimentContext(ExperimentInfo info, Config config,
+                      core::ExperimentEngine &engine,
+                      std::vector<ResultSink *> sinks);
+
+    const ExperimentInfo &info() const { return info_; }
+    Config &config() { return config_; }
+    const Config &config() const { return config_; }
+    core::ExperimentEngine &engine() { return engine_; }
+
+    // ---- configuration conveniences ---------------------------------
+
+    /** Tested locations per module (--locations). */
+    int locations() const;
+
+    /** Effort multiplier for the heavy experiments (--scale). */
+    double scale() const;
+
+    /** Root seed of module construction (--seed). */
+    std::uint64_t seed() const;
+
+    /**
+     * Die set from --dies: "default" -> the three representative
+     * manufacturers, "all" -> all twelve revisions, otherwise a
+     * comma-separated list of die ids.  The legacy ROWPRESS_ALL_DIES=1
+     * env switch still selects "all" when --dies is not given.
+     */
+    std::vector<device::DieConfig> dies() const;
+
+    /**
+     * Same, but with an experiment-specific default set (used by the
+     * figures that compare die revisions); an explicit --dies or
+     * ROWPRESS_ALL_DIES=1 overrides it.
+     */
+    std::vector<device::DieConfig>
+    dies(const std::vector<device::DieConfig> &dflt) const;
+
+    /**
+     * True when the full twelve-die set was explicitly selected
+     * (`--dies all` or legacy ROWPRESS_ALL_DIES=1) — the switch the
+     * figures with an extra all-dies variant key their extended
+     * sweeps on.
+     */
+    bool allDiesSelected() const;
+
+    /** ModuleConfig for (@p die, @p temp_c) honouring --locations/--seed. */
+    chr::ModuleConfig moduleConfig(const device::DieConfig &die,
+                                   double temp_c) const;
+
+    // ---- result emission --------------------------------------------
+
+    void begin(); ///< beginExperiment on every sink (CLI calls).
+    void end();   ///< endExperiment on every sink (CLI calls).
+
+    void emit(const Dataset &d);
+    void note(const std::string &text);
+    void notef(const char *fmt, ...)
+#if defined(__GNUC__)
+        __attribute__((format(printf, 2, 3)))
+#endif
+        ;
+    void rawCsv(const std::string &name,
+                const std::function<void(std::ostream &)> &writer);
+
+    /** Tidy ACmin sweep artifact via chr::writeAcminSweepCsv. */
+    void emitAcminSweepRaw(const std::string &name,
+                           const std::string &die_id, double temp_c,
+                           chr::AccessKind kind, chr::DataPattern pattern,
+                           const std::vector<chr::SweepPoint> &sweep);
+
+    /** Tidy tAggONmin artifact via chr::writeTAggOnMinCsv. */
+    void emitTAggOnMinRaw(const std::string &name,
+                          const std::string &die_id, double temp_c,
+                          const std::vector<chr::TAggOnMinPoint> &points);
+
+    /** Tidy overlap artifact via chr::writeOverlapCsv. */
+    void emitOverlapRaw(const std::string &name,
+                        const std::string &die_id,
+                        const std::vector<chr::OverlapResult> &results);
+
+  private:
+    ExperimentInfo info_;
+    Config config_;
+    core::ExperimentEngine &engine_;
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace rp::api
+
+#endif // ROWPRESS_API_CONTEXT_H

@@ -1,0 +1,54 @@
+#include "api/dataset.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rp::api {
+
+std::string
+fmtCount(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+std::string
+slugify(const std::string &name)
+{
+    std::string out;
+    bool last_sep = true; // suppress a leading separator
+    for (char c : name) {
+        if (std::isalnum((unsigned char)c)) {
+            out += char(std::tolower((unsigned char)c));
+            last_sep = false;
+        } else if (c == '-') {
+            // keep die ids ("S-8Gb-B") readable
+            out += '-';
+            last_sep = false;
+        } else if (!last_sep) {
+            out += '_';
+            last_sep = true;
+        }
+    }
+    while (!out.empty() && (out.back() == '_' || out.back() == '-'))
+        out.pop_back();
+    return out.empty() ? "dataset" : out;
+}
+
+std::string
+Dataset::renderAscii() const
+{
+    Table table(name);
+    table.header(columns);
+    for (const auto &r : rows)
+        table.row(r);
+    return table.render();
+}
+
+} // namespace rp::api

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dataset: the structured result currency between experiments and
+ * ResultSinks.
+ *
+ * An experiment emits one Dataset per logical table of its figure:
+ * a name, a header, and rows of preformatted cells.  Sinks render the
+ * same Dataset as an aligned ASCII table (stdout), a tidy CSV file,
+ * or a JSON artifact, so an experiment's emit function is written
+ * once and serves every output format.  The cell texts are exactly
+ * the strings the old per-figure binaries printed, which keeps the
+ * values byte-identical across the CLI redesign.
+ */
+
+#ifndef ROWPRESS_API_DATASET_H
+#define ROWPRESS_API_DATASET_H
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace rp::api {
+
+/** Format a cell value (delegates to the ASCII table's formatter). */
+template <typename T>
+std::string
+cell(T v)
+{
+    return Table::toCell(v);
+}
+
+/** Human count formatting: 1234 -> "1.2K", 2500000 -> "2.50M". */
+std::string fmtCount(double v);
+
+/** File-name-safe slug of a dataset name. */
+std::string slugify(const std::string &name);
+
+/** One named table of experiment results. */
+struct Dataset
+{
+    explicit Dataset(std::string n) : name(std::move(n)) {}
+
+    Dataset &
+    header(std::vector<std::string> cells)
+    {
+        columns = std::move(cells);
+        return *this;
+    }
+
+    /** Append a row, padded to the header width. */
+    Dataset &
+    row(std::vector<std::string> cells)
+    {
+        while (cells.size() < columns.size())
+            cells.emplace_back();
+        rows.push_back(std::move(cells));
+        return *this;
+    }
+
+    template <typename... Args>
+    Dataset &
+    rowf(Args... args)
+    {
+        return row({cell(args)...});
+    }
+
+    /** Render as the rp::Table ASCII form (the TableSink view). */
+    std::string renderAscii() const;
+
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace rp::api
+
+#endif // ROWPRESS_API_DATASET_H

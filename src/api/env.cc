@@ -1,0 +1,105 @@
+#include "api/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace rp::api {
+
+namespace {
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+long long
+parseInt(const std::string &text, const std::string &what)
+{
+    const std::string t = strip(text);
+    if (t.empty())
+        throw ConfigError(what + ": empty value where an integer was "
+                                 "expected");
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    if (errno == ERANGE)
+        throw ConfigError(what + ": integer out of range: '" + text +
+                          "'");
+    if (end == t.c_str() || *end != '\0')
+        throw ConfigError(what + ": not an integer: '" + text + "'");
+    return v;
+}
+
+double
+parseDouble(const std::string &text, const std::string &what)
+{
+    const std::string t = strip(text);
+    if (t.empty())
+        throw ConfigError(what + ": empty value where a number was "
+                                 "expected");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        throw ConfigError(what + ": not a number: '" + text + "'");
+    if (errno == ERANGE || !std::isfinite(v))
+        throw ConfigError(what + ": number out of range: '" + text +
+                          "'");
+    return v;
+}
+
+bool
+parseBool(const std::string &text, const std::string &what)
+{
+    std::string t = strip(text);
+    for (char &c : t)
+        c = char(std::tolower((unsigned char)c));
+    if (t == "1" || t == "true" || t == "yes" || t == "on")
+        return true;
+    if (t == "0" || t == "false" || t == "no" || t == "off")
+        return false;
+    throw ConfigError(what + ": not a boolean: '" + text + "'");
+}
+
+int
+envInt(const char *name, int def, long long min_value)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    const long long parsed = parseInt(v, name);
+    if (parsed < min_value)
+        throw ConfigError(std::string(name) + ": value " +
+                          std::to_string(parsed) + " is below the "
+                          "minimum of " + std::to_string(min_value));
+    if (parsed > 0x7fffffffLL)
+        throw ConfigError(std::string(name) + ": value " +
+                          std::to_string(parsed) + " does not fit an "
+                          "int");
+    return int(parsed);
+}
+
+double
+envDouble(const char *name, double def, double min_value)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    const double parsed = parseDouble(v, name);
+    if (parsed < min_value)
+        throw ConfigError(std::string(name) + ": value " +
+                          std::to_string(parsed) + " is below the "
+                          "minimum of " + std::to_string(min_value));
+    return parsed;
+}
+
+} // namespace rp::api

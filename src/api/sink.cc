@@ -1,0 +1,275 @@
+#include "api/sink.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "api/env.h"
+#include "chr/export.h"
+
+namespace rp::api {
+
+void
+ResultSink::beginExperiment(const ExperimentInfo &info)
+{
+    (void)info;
+}
+
+void
+ResultSink::note(const std::string &text)
+{
+    (void)text;
+}
+
+void
+ResultSink::rawCsv(const std::string &name,
+                   const std::function<void(std::ostream &)> &writer)
+{
+    (void)name;
+    (void)writer;
+}
+
+void
+ResultSink::endExperiment()
+{
+}
+
+// ---- TableSink -------------------------------------------------------
+
+void
+TableSink::beginExperiment(const ExperimentInfo &info)
+{
+    os_ << "==============================================================="
+        << "\n"
+        << "RowPress reproduction - " << info.title << "\n"
+        << "Paper reference: " << info.paperRef << "\n"
+        << "==============================================================="
+        << "\n";
+}
+
+void
+TableSink::dataset(const Dataset &d)
+{
+    os_ << d.renderAscii();
+}
+
+void
+TableSink::note(const std::string &text)
+{
+    os_ << text;
+    if (text.empty() || text.back() != '\n')
+        os_ << "\n";
+}
+
+// ---- CsvSink ---------------------------------------------------------
+
+void
+CsvSink::beginExperiment(const ExperimentInfo &info)
+{
+    expDir_ = outDir_ / info.id;
+    usedStems_.clear();
+    std::filesystem::create_directories(expDir_);
+}
+
+std::filesystem::path
+CsvSink::filePath(const std::string &stem)
+{
+    std::string unique = stem;
+    for (int n = 2; usedStems_.count(unique); ++n)
+        unique = stem + "_" + std::to_string(n);
+    usedStems_.insert(unique);
+    return expDir_ / (unique + ".csv");
+}
+
+void
+CsvSink::dataset(const Dataset &d)
+{
+    const auto path = filePath(slugify(d.name));
+    std::ofstream os(path);
+    if (!os)
+        throw ConfigError("cannot write " + path.string());
+    os << chr::csvRow(d.columns);
+    for (const auto &row : d.rows)
+        os << chr::csvRow(row);
+}
+
+void
+CsvSink::rawCsv(const std::string &name,
+                const std::function<void(std::ostream &)> &writer)
+{
+    const auto path = filePath(slugify(name));
+    std::ofstream os(path);
+    if (!os)
+        throw ConfigError("cannot write " + path.string());
+    writer(os);
+}
+
+// ---- JsonSink --------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+looksNumeric(const std::string &text)
+{
+    // Exact RFC 8259 number grammar:
+    //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // (strtod would also accept hex, "1.", "007", inf/nan — all of
+    // which are invalid JSON and must stay quoted).
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto digits = [&]() {
+        const std::size_t start = i;
+        while (i < n && text[i] >= '0' && text[i] <= '9')
+            ++i;
+        return i > start;
+    };
+    if (i < n && text[i] == '-')
+        ++i;
+    if (i >= n)
+        return false;
+    if (text[i] == '0') {
+        ++i;
+    } else if (text[i] >= '1' && text[i] <= '9') {
+        digits();
+    } else {
+        return false;
+    }
+    if (i < n && text[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == n;
+}
+
+namespace {
+
+void
+writeJsonValue(std::ostream &os, const std::string &text)
+{
+    if (looksNumeric(text))
+        os << text;
+    else
+        os << '"' << jsonEscape(text) << '"';
+}
+
+} // namespace
+
+void
+JsonSink::beginExperiment(const ExperimentInfo &info)
+{
+    info_ = info;
+    datasets_.clear();
+    notes_.clear();
+}
+
+void
+JsonSink::dataset(const Dataset &d)
+{
+    datasets_.push_back(d);
+}
+
+void
+JsonSink::note(const std::string &text)
+{
+    notes_.push_back(text);
+}
+
+void
+JsonSink::endExperiment()
+{
+    const auto dir = outDir_ / info_.id;
+    std::filesystem::create_directories(dir);
+    const auto path = dir / "result.json";
+    std::ofstream os(path);
+    if (!os)
+        throw ConfigError("cannot write " + path.string());
+
+    os << "{\n";
+    os << "  \"experiment\": \"" << jsonEscape(info_.id) << "\",\n";
+    os << "  \"title\": \"" << jsonEscape(info_.title) << "\",\n";
+    os << "  \"paper_ref\": \"" << jsonEscape(info_.paperRef)
+       << "\",\n";
+    os << "  \"category\": \"" << jsonEscape(info_.category)
+       << "\",\n";
+    os << "  \"datasets\": [";
+    for (std::size_t di = 0; di < datasets_.size(); ++di) {
+        const Dataset &d = datasets_[di];
+        os << (di ? ",\n" : "\n");
+        os << "    {\n      \"name\": \"" << jsonEscape(d.name)
+           << "\",\n      \"columns\": [";
+        for (std::size_t i = 0; i < d.columns.size(); ++i) {
+            os << (i ? ", " : "") << '"' << jsonEscape(d.columns[i])
+               << '"';
+        }
+        os << "],\n      \"rows\": [";
+        for (std::size_t ri = 0; ri < d.rows.size(); ++ri) {
+            os << (ri ? ",\n                " : "") << "[";
+            const auto &row = d.rows[ri];
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                if (i)
+                    os << ", ";
+                writeJsonValue(os, row[i]);
+            }
+            os << "]";
+        }
+        os << "]\n    }";
+    }
+    os << "\n  ],\n";
+    os << "  \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+        os << (i ? ",\n            " : "") << '"'
+           << jsonEscape(notes_[i]) << '"';
+    }
+    os << "]\n}\n";
+}
+
+// ---- factory ---------------------------------------------------------
+
+std::unique_ptr<ResultSink>
+makeSink(const std::string &format,
+         const std::filesystem::path &out_dir, std::ostream &os)
+{
+    if (format == "table")
+        return std::make_unique<TableSink>(os);
+    if (format == "csv")
+        return std::make_unique<CsvSink>(out_dir);
+    if (format == "json")
+        return std::make_unique<JsonSink>(out_dir);
+    throw ConfigError("unknown --format '" + format +
+                      "' (expected table, csv, or json)");
+}
+
+} // namespace rp::api

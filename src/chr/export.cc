@@ -11,7 +11,7 @@ csvRow(const std::vector<std::string> &fields)
             out += ',';
         const std::string &f = fields[i];
         const bool needs_quotes =
-            f.find_first_of(",\"\n") != std::string::npos;
+            f.find_first_of(",\"\n\r") != std::string::npos;
         if (!needs_quotes) {
             out += f;
             continue;
@@ -26,6 +26,55 @@ csvRow(const std::vector<std::string> &fields)
     }
     out += '\n';
     return out;
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false; // current record has content
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_quotes = true;
+            field_started = true;
+        } else if (c == ',') {
+            record.push_back(std::move(field));
+            field.clear();
+            field_started = true;
+        } else if (c == '\n') {
+            record.push_back(std::move(field));
+            field.clear();
+            records.push_back(std::move(record));
+            record.clear();
+            field_started = false;
+        } else {
+            field += c;
+            field_started = true;
+        }
+    }
+    if (field_started || !field.empty() || !record.empty()) {
+        record.push_back(std::move(field));
+        records.push_back(std::move(record));
+    }
+    return records;
 }
 
 void

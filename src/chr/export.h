@@ -25,6 +25,14 @@ namespace rp::chr {
 std::string csvRow(const std::vector<std::string> &fields);
 
 /**
+ * Parse CSV text produced by csvRow back into records: handles quoted
+ * fields, doubled quotes, and embedded commas / newlines / carriage
+ * returns.  The final record may omit the trailing newline.  Used by
+ * the round-trip tests of the CSV ResultSink artifacts.
+ */
+std::vector<std::vector<std::string>> parseCsv(const std::string &text);
+
+/**
  * Write an ACmin sweep as tidy CSV:
  * die,temperature,kind,pattern,taggon_ns,row,flipped,acmin,flips,one_to_zero
  */

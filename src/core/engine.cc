@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "api/env.h"
 #include "common/logging.h"
 
 namespace rp::core {
@@ -9,12 +10,13 @@ namespace rp::core {
 int
 ExperimentEngine::defaultThreadCount()
 {
-    if (const char *env = std::getenv("RP_THREADS")) {
-        const int n = std::atoi(env);
-        if (n >= 1)
-            return n;
-        warn("RP_THREADS=%s is not a positive integer; ignoring", env);
-    }
+    // Strictly validated (api::envInt): a garbage or negative
+    // RP_THREADS raises api::ConfigError instead of being silently
+    // replaced by the hardware default.  0 selects the hardware
+    // concurrency, matching the CLI's --threads contract.
+    const int n = api::envInt("RP_THREADS", 0, 0);
+    if (n >= 1)
+        return n;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? int(hw) : 1;
 }

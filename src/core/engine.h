@@ -88,7 +88,11 @@ class ExperimentEngine
     int numThreads() const { return int(workers_.size()); }
     std::uint64_t rootSeed() const { return rootSeed_; }
 
-    /** `RP_THREADS` if set (clamped to >= 1), else hardware threads. */
+    /**
+     * `RP_THREADS` if set and >= 1, else the hardware concurrency
+     * (`RP_THREADS=0` selects hardware explicitly).  Garbage or
+     * negative values raise api::ConfigError.
+     */
     static int defaultThreadCount();
 
     /** The seed a task at @p index receives under @p root_seed. */

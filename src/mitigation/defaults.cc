@@ -1,0 +1,28 @@
+#include "mitigation/defaults.h"
+
+namespace rp::mitigation {
+
+GrapheneConfig
+standardGrapheneFor(std::uint32_t adapted_trh)
+{
+    return grapheneFor(adapted_trh, kGrapheneResetWindow,
+                       kGrapheneActivationInterval, kGrapheneBanks);
+}
+
+std::unique_ptr<Mitigation>
+makeStandardMitigation(bool use_para, std::uint32_t trh)
+{
+    if (use_para)
+        return std::make_unique<Para>(paraFor(trh));
+    return std::make_unique<Graphene>(standardGrapheneFor(trh));
+}
+
+std::function<std::unique_ptr<Mitigation>()>
+standardMitigationFactory(bool use_para, std::uint32_t trh)
+{
+    return [use_para, trh] {
+        return makeStandardMitigation(use_para, trh);
+    };
+}
+
+} // namespace rp::mitigation

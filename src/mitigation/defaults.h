@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The paper's evaluation constants for the Graphene / PARA
+ * configurations (section 7, Table 3): one named source of truth
+ * shared by the experiment API layer, the simulator harnesses, and
+ * the examples, instead of `64_ms / 45_ns / 32` literals scattered
+ * through every caller.
+ */
+
+#ifndef ROWPRESS_MITIGATION_DEFAULTS_H
+#define ROWPRESS_MITIGATION_DEFAULTS_H
+
+#include <functional>
+#include <memory>
+
+#include "common/units.h"
+#include "mitigation/graphene.h"
+#include "mitigation/mitigation.h"
+#include "mitigation/para.h"
+
+namespace rp::mitigation {
+
+/** Graphene counter reset window (tREFW, paper Table 3). */
+inline constexpr Time kGrapheneResetWindow = 64 * units::MS;
+
+/**
+ * Worst-case activation interval (tRC = 45 ns) used to size the
+ * Misra-Gries table for the activations one reset window can hold.
+ */
+inline constexpr Time kGrapheneActivationInterval = 45 * units::NS;
+
+/** Counter-table banks of the evaluated Graphene configuration. */
+inline constexpr int kGrapheneBanks = 32;
+
+/** grapheneFor() with the paper's window/interval/bank constants. */
+GrapheneConfig standardGrapheneFor(std::uint32_t adapted_trh);
+
+/**
+ * Build a fresh standard-configuration mechanism at threshold
+ * @p trh: PARA (paraFor) or Graphene (standardGrapheneFor).
+ */
+std::unique_ptr<Mitigation> makeStandardMitigation(bool use_para,
+                                                   std::uint32_t trh);
+
+/**
+ * SystemJob factory form of makeStandardMitigation — each invocation
+ * builds a private instance, so concurrent simulator jobs never share
+ * mitigation state.
+ */
+std::function<std::unique_ptr<Mitigation>()>
+standardMitigationFactory(bool use_para, std::uint32_t trh);
+
+} // namespace rp::mitigation
+
+#endif // ROWPRESS_MITIGATION_DEFAULTS_H

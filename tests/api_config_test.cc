@@ -1,0 +1,209 @@
+/**
+ * @file
+ * rp::api::Config tests: schema declaration, layered precedence
+ * (defaults < env < CLI), unknown-key rejection, and the strict
+ * env/text parsing that replaced the old atoi-based envInt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "api/config.h"
+#include "api/context.h"
+#include "api/env.h"
+
+namespace rp::api {
+namespace {
+
+/** setenv/unsetenv guard restoring the prior state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        old_ = had_ ? old : "";
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_, old_;
+    bool had_ = false;
+};
+
+ConfigSchema
+testSchema()
+{
+    ConfigSchema schema;
+    schema.add({"count", OptionType::Int, "10", "RP_TEST_COUNT",
+                "a count", 1.0, true});
+    schema.add({"ratio", OptionType::Double, "1.5", "RP_TEST_RATIO",
+                "a ratio", 0.0, true});
+    schema.add({"label", OptionType::String, "abc", "", "a label"});
+    schema.add({"flag", OptionType::Bool, "false", "", "a switch"});
+    return schema;
+}
+
+TEST(ApiConfig, DefaultsAndTypedGetters)
+{
+    ScopedEnv count_env("RP_TEST_COUNT", nullptr);
+    ScopedEnv ratio_env("RP_TEST_RATIO", nullptr);
+    Config cfg{testSchema()};
+    cfg.loadEnv();
+    EXPECT_EQ(cfg.getInt("count"), 10);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("ratio"), 1.5);
+    EXPECT_EQ(cfg.getString("label"), "abc");
+    EXPECT_FALSE(cfg.getBool("flag"));
+    EXPECT_EQ(cfg.origin("count"), ConfigLayer::Default);
+}
+
+TEST(ApiConfig, EnvOverridesDefault)
+{
+    ScopedEnv count_env("RP_TEST_COUNT", "42");
+    ScopedEnv ratio_env("RP_TEST_RATIO", "2.25");
+    Config cfg{testSchema()};
+    cfg.loadEnv();
+    EXPECT_EQ(cfg.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("ratio"), 2.25);
+    EXPECT_EQ(cfg.origin("count"), ConfigLayer::Env);
+}
+
+TEST(ApiConfig, CliBeatsEnvRegardlessOfOrder)
+{
+    ScopedEnv count_env("RP_TEST_COUNT", "42");
+    {
+        Config cfg{testSchema()};
+        cfg.loadEnv();
+        cfg.set("count", "7", ConfigLayer::Cli);
+        EXPECT_EQ(cfg.getInt("count"), 7);
+        EXPECT_EQ(cfg.origin("count"), ConfigLayer::Cli);
+    }
+    {
+        // CLI first, env applied afterwards must not clobber it.
+        Config cfg{testSchema()};
+        cfg.set("count", "7", ConfigLayer::Cli);
+        cfg.loadEnv();
+        EXPECT_EQ(cfg.getInt("count"), 7);
+        EXPECT_EQ(cfg.origin("count"), ConfigLayer::Cli);
+    }
+}
+
+TEST(ApiConfig, UnknownKeyRejected)
+{
+    Config cfg{testSchema()};
+    EXPECT_THROW(cfg.set("bogus", "1"), ConfigError);
+    EXPECT_THROW(cfg.getInt("bogus"), ConfigError);
+    EXPECT_THROW((void)cfg.origin("bogus"), ConfigError);
+}
+
+TEST(ApiConfig, TypeAndBoundValidation)
+{
+    Config cfg{testSchema()};
+    EXPECT_THROW(cfg.set("count", "abc"), ConfigError);
+    EXPECT_THROW(cfg.set("count", "12abc"), ConfigError);
+    EXPECT_THROW(cfg.set("count", ""), ConfigError);
+    EXPECT_THROW(cfg.set("count", "-3"), ConfigError);  // min 1
+    EXPECT_THROW(cfg.set("count", "0"), ConfigError);   // min 1
+    // Fits long long but not int: rejected, never truncated.
+    EXPECT_THROW(cfg.set("count", "4294967296"), ConfigError);
+    EXPECT_NO_THROW(cfg.set("count", "1"));
+    EXPECT_THROW(cfg.set("ratio", "x1.5"), ConfigError);
+    EXPECT_THROW(cfg.set("ratio", "-0.1"), ConfigError); // min 0
+    EXPECT_THROW(cfg.set("flag", "maybe"), ConfigError);
+    EXPECT_NO_THROW(cfg.set("flag", "true"));
+    EXPECT_TRUE(cfg.getBool("flag"));
+}
+
+TEST(ApiConfig, BadEnvValueRaisesNamedError)
+{
+    ScopedEnv count_env("RP_TEST_COUNT", "lots");
+    Config cfg{testSchema()};
+    try {
+        cfg.loadEnv();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("RP_TEST_COUNT"),
+                  std::string::npos);
+    }
+}
+
+TEST(ApiConfig, WrongTypedGetterRejected)
+{
+    Config cfg{testSchema()};
+    EXPECT_THROW(cfg.getInt("label"), ConfigError);
+    EXPECT_THROW(cfg.getDouble("count"), ConfigError);
+}
+
+TEST(ApiConfig, DuplicateSchemaKeyRejected)
+{
+    ConfigSchema schema;
+    schema.add({"k", OptionType::Int, "1", "", ""});
+    EXPECT_THROW(schema.add({"k", OptionType::Int, "2", "", ""}),
+                 ConfigError);
+}
+
+TEST(ApiEnv, StrictParsing)
+{
+    EXPECT_EQ(parseInt("42", "x"), 42);
+    EXPECT_EQ(parseInt(" 42 ", "x"), 42);
+    EXPECT_EQ(parseInt("-7", "x"), -7);
+    EXPECT_THROW(parseInt("4.2", "x"), ConfigError);
+    EXPECT_THROW(parseInt("4 2", "x"), ConfigError);
+    EXPECT_THROW(parseInt("", "x"), ConfigError);
+    EXPECT_THROW(parseInt("999999999999999999999", "x"), ConfigError);
+    EXPECT_DOUBLE_EQ(parseDouble("0.25", "x"), 0.25);
+    EXPECT_THROW(parseDouble("nanx", "x"), ConfigError);
+    EXPECT_TRUE(parseBool("YES", "x"));
+    EXPECT_FALSE(parseBool("off", "x"));
+}
+
+TEST(ApiEnv, EnvIntValidation)
+{
+    {
+        ScopedEnv env("RP_TEST_UNSET", nullptr);
+        EXPECT_EQ(envInt("RP_TEST_UNSET", 3), 3);
+    }
+    {
+        ScopedEnv env("RP_TEST_INT", "12");
+        EXPECT_EQ(envInt("RP_TEST_INT", 3), 12);
+    }
+    {
+        ScopedEnv env("RP_TEST_INT", "garbage");
+        EXPECT_THROW(envInt("RP_TEST_INT", 3), ConfigError);
+    }
+    {
+        // Negative rejected by the default min of 0 rather than
+        // silently used.
+        ScopedEnv env("RP_TEST_INT", "-4");
+        EXPECT_THROW(envInt("RP_TEST_INT", 3), ConfigError);
+    }
+}
+
+TEST(ApiContext, BaseSchemaHasLegacyEnvAliases)
+{
+    ConfigSchema schema = baseSchema();
+    ASSERT_NE(schema.find("locations"), nullptr);
+    EXPECT_EQ(schema.find("locations")->envVar,
+              "ROWPRESS_BENCH_LOCATIONS");
+    ASSERT_NE(schema.find("threads"), nullptr);
+    EXPECT_EQ(schema.find("threads")->envVar, "RP_THREADS");
+    ASSERT_NE(schema.find("scale"), nullptr);
+    EXPECT_EQ(schema.find("scale")->envVar, "ROWPRESS_BENCH_SCALE");
+    ASSERT_NE(schema.find("seed"), nullptr);
+    ASSERT_NE(schema.find("dies"), nullptr);
+}
+
+} // namespace
+} // namespace rp::api

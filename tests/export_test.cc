@@ -21,7 +21,73 @@ TEST(CsvExport, EscapingRules)
     EXPECT_EQ(csvRow({"a,b"}), "\"a,b\"\n");
     EXPECT_EQ(csvRow({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
     EXPECT_EQ(csvRow({"line\nbreak"}), "\"line\nbreak\"\n");
+    // A bare carriage return must be quoted too (a reader would
+    // otherwise see a broken record).
+    EXPECT_EQ(csvRow({"cr\rhere"}), "\"cr\rhere\"\n");
     EXPECT_EQ(csvRow({}), "\n");
+}
+
+TEST(CsvExport, ParseRoundTrip)
+{
+    const std::vector<std::vector<std::string>> rows = {
+        {"plain", "with,comma", "with \"quotes\""},
+        {"multi\nline", "cr\rfield", ""},
+        {"trailing", "x", "y"},
+    };
+    std::string text;
+    for (const auto &row : rows)
+        text += csvRow(row);
+
+    const auto parsed = parseCsv(text);
+    ASSERT_EQ(parsed.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(parsed[r].size(), rows[r].size()) << "row " << r;
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            EXPECT_EQ(parsed[r][c], rows[r][c])
+                << "row " << r << " col " << c;
+    }
+}
+
+TEST(CsvExport, ParseHandlesMissingTrailingNewline)
+{
+    const auto parsed = parseCsv("a,b\nc,d");
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvExport, SweepRoundTripValues)
+{
+    ModuleConfig cfg;
+    cfg.die = device::dieS8GbD();
+    cfg.numLocations = 3;
+    cfg.temperatureC = 80.0;
+    Module module(cfg);
+    auto sweep = acminSweep(module, {7800_ns, 70200_ns},
+                            AccessKind::SingleSided);
+
+    std::ostringstream os;
+    writeAcminSweepCsv(os, cfg.die.id, 80.0, AccessKind::SingleSided,
+                       DataPattern::CheckerBoard, sweep);
+    const auto parsed = parseCsv(os.str());
+
+    // Header + one record per (point, location), 10 fields each.
+    ASSERT_EQ(parsed.size(), 1u + 2u * 3u);
+    ASSERT_EQ(parsed[0].size(), 10u);
+    EXPECT_EQ(parsed[0][0], "die");
+    EXPECT_EQ(parsed[0][7], "acmin");
+    for (std::size_t r = 1; r < parsed.size(); ++r) {
+        ASSERT_EQ(parsed[r].size(), 10u) << "record " << r;
+        EXPECT_EQ(parsed[r][0], "S-8Gb-D");
+        EXPECT_EQ(parsed[r][2], "Single-Sided");
+    }
+    // Value spot-check: the first record matches the first location
+    // of the first sweep point.
+    ASSERT_FALSE(sweep.empty());
+    ASSERT_FALSE(sweep[0].locations.empty());
+    const auto &loc = sweep[0].locations[0];
+    EXPECT_EQ(parsed[1][5], std::to_string(loc.row));
+    EXPECT_EQ(parsed[1][7], std::to_string(loc.acmin));
+    EXPECT_EQ(parsed[1][8], std::to_string(loc.flips.size()));
 }
 
 TEST(CsvExport, AcminSweepTidyFormat)

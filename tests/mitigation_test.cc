@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "mitigation/adapter.h"
+#include "mitigation/defaults.h"
 #include "mitigation/graphene.h"
 #include "mitigation/para.h"
 
@@ -38,6 +39,28 @@ TEST(Adapter, GrapheneAndParaConfigsMatchTable3)
     EXPECT_NEAR(paraFor(1000).p, 0.034, 0.001);
     EXPECT_NEAR(paraFor(724).p, 0.047, 0.001);
     EXPECT_NEAR(paraFor(419).p, 0.081, 0.002);
+}
+
+TEST(Adapter, StandardDefaultsMatchPaperConstants)
+{
+    // The named defaults are the paper's Table 3 evaluation
+    // constants; standardGrapheneFor must be exactly grapheneFor
+    // under them.
+    EXPECT_EQ(kGrapheneResetWindow, 64_ms);
+    EXPECT_EQ(kGrapheneActivationInterval, 45_ns);
+    EXPECT_EQ(kGrapheneBanks, 32);
+    for (std::uint32_t trh : {1000u, 809u, 724u, 419u}) {
+        const auto expected = grapheneFor(trh, 64_ms, 45_ns, 32);
+        const auto got = standardGrapheneFor(trh);
+        EXPECT_EQ(got.threshold, expected.threshold);
+        EXPECT_EQ(got.tableEntries, expected.tableEntries);
+        EXPECT_EQ(got.banks, expected.banks);
+    }
+    EXPECT_EQ(makeStandardMitigation(false, 1000)->name(), "Graphene");
+    EXPECT_EQ(makeStandardMitigation(true, 1000)->name(), "PARA");
+    auto factory = standardMitigationFactory(true, 1000);
+    auto a = factory(), b = factory();
+    EXPECT_NE(a.get(), b.get()); // fresh instance per invocation
 }
 
 TEST(Adapter, WorstRatioIsCumulativeMinimum)
