@@ -1,0 +1,132 @@
+/**
+ * @file
+ * perf.* — macro benchmarks of the characterization search fast path.
+ *
+ * Unlike the figure/table experiments (whose artifacts must be
+ * byte-deterministic), these measure wall-clock time of the three
+ * macro workloads the shared ThresholdStore and AttemptOracle
+ * optimize: the full ACmin-vs-tAggON sweep, tAggONmin searches over a
+ * range of activation counts, and the overlap analysis.  Each run
+ * writes a `BENCH_<workload>.json` artifact into the `--out`
+ * directory (independent of --format, so `rowpress run 'perf.*' --out
+ * perf-artifacts` always produces machine-readable numbers for CI to
+ * archive).  The committed perf trajectory lives in `bench/results/`.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "api/context.h"
+
+using namespace rp;
+using namespace rp::literals;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+chr::ModuleConfig
+perfModule(api::ExperimentContext &ctx)
+{
+    return ctx.moduleConfig(device::dieS8GbB(), 50.0);
+}
+
+/** Write one BENCH_*.json artifact and mirror it into the sinks. */
+void
+emitBench(api::ExperimentContext &ctx, const std::string &workload,
+          double elapsed_ms, std::size_t units,
+          const std::string &unit_name)
+{
+    api::Dataset table(ctx.info().title);
+    table.header({"workload", "elapsed ms", unit_name,
+                  "ms per " + unit_name, "threads"});
+    table.row({workload, api::cell(elapsed_ms),
+               std::to_string(units),
+               api::cell(elapsed_ms / double(units)),
+               std::to_string(ctx.engine().numThreads())});
+    ctx.emit(table);
+
+    std::filesystem::create_directories(ctx.outDir());
+    const auto path = ctx.outDir() / ("BENCH_" + workload + ".json");
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"name\": \"" << ctx.info().id << "\",\n"
+       << "  \"workload\": \"" << workload << "\",\n"
+       << "  \"die\": \"" << device::dieS8GbB().id << "\",\n"
+       << "  \"locations\": " << ctx.locations() << ",\n"
+       << "  \"threads\": " << ctx.engine().numThreads() << ",\n"
+       << "  \"" << unit_name << "\": " << units << ",\n"
+       << "  \"elapsed_ms\": " << elapsed_ms << ",\n"
+       << "  \"ms_per_" << unit_name
+       << "\": " << elapsed_ms / double(units) << "\n"
+       << "}\n";
+    ctx.notef("wrote %s\n", path.string().c_str());
+}
+
+void
+runPerfAcminSweep(api::ExperimentContext &ctx)
+{
+    const auto mc = perfModule(ctx);
+    const auto &sweep = chr::standardTAggOnSweep();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto points = chr::acminSweep(mc, ctx.engine(), sweep,
+                                  chr::AccessKind::SingleSided);
+    const double ms = msSince(t0);
+    emitBench(ctx, "acmin_sweep", ms, sweep.size(), "points");
+}
+
+void
+runPerfTAggOnMin(api::ExperimentContext &ctx)
+{
+    const auto mc = perfModule(ctx);
+    const std::vector<std::uint64_t> acts = {1, 8, 64, 512, 4096};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t a : acts) {
+        auto point = chr::tAggOnMinPoint(mc, ctx.engine(), a,
+                                         chr::AccessKind::SingleSided);
+        (void)point;
+    }
+    const double ms = msSince(t0);
+    emitBench(ctx, "taggonmin", ms, acts.size(), "points");
+}
+
+void
+runPerfOverlap(api::ExperimentContext &ctx)
+{
+    const auto mc = perfModule(ctx);
+    const std::vector<Time> t_ons = {36_ns, 7800_ns, 70200_ns, 300_us};
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = chr::overlapAtAcmin(mc, ctx.engine(), t_ons,
+                                       chr::AccessKind::SingleSided,
+                                       chr::SearchConfig{});
+    (void)results;
+    const double ms = msSince(t0);
+    emitBench(ctx, "overlap", ms, t_ons.size(), "points");
+}
+
+// Registered directly (not via REGISTER_EXPERIMENT) because the perf
+// ids contain a dot, which the macro cannot use as a C++ identifier.
+const api::ExperimentRegistrar reg_perf_acmin_sweep(
+    {"perf.acmin_sweep",
+     "Perf: ACmin-vs-tAggON sweep macro benchmark",
+     "threshold store + attempt oracle fast path", "perf"},
+    nullptr, runPerfAcminSweep);
+
+const api::ExperimentRegistrar reg_perf_taggonmin(
+    {"perf.taggonmin", "Perf: tAggONmin search macro benchmark",
+     "threshold store + attempt oracle fast path", "perf"},
+    nullptr, runPerfTAggOnMin);
+
+const api::ExperimentRegistrar reg_perf_overlap(
+    {"perf.overlap", "Perf: overlap analysis macro benchmark",
+     "threshold store + attempt oracle fast path", "perf"},
+    nullptr, runPerfOverlap);
+
+} // namespace

@@ -30,6 +30,9 @@ const char *const kUsage =
     "  --all                select every registered experiment\n"
     "  --out DIR            artifact directory (default: artifacts)\n"
     "  --format LIST        comma list of table, csv, json (default: table)\n"
+    "  --time               per-experiment elapsed-time output and a\n"
+    "                       total summary line (off by default: timing\n"
+    "                       output is non-deterministic)\n"
     "  --locations N        tested row locations per module (default: 10)\n"
     "  --dies SET           default | all | comma-separated die ids\n"
     "  --seed S             root seed for module construction\n"
@@ -52,6 +55,7 @@ struct ParsedArgs
     std::vector<std::string> positionals;
     std::vector<Flag> flags;
     bool all = false;
+    bool time = false;
     std::string out = "artifacts";
     std::string format = "table";
 };
@@ -68,6 +72,10 @@ parseArgs(const std::vector<std::string> &args, std::size_t first)
         }
         if (tok == "--all") {
             parsed.all = true;
+            continue;
+        }
+        if (tok == "--time") {
+            parsed.time = true;
             continue;
         }
         std::string key = tok.substr(2), value;
@@ -219,10 +227,11 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     for (const Experiment *exp : selected)
         configs.push_back(experimentConfig(*exp, parsed.flags));
 
+    double total_secs = 0.0;
     for (std::size_t ei = 0; ei < selected.size(); ++ei) {
         const Experiment *exp = selected[ei];
         ExperimentContext ctx(exp->info, std::move(configs[ei]),
-                              engine, sink_ptrs);
+                              engine, sink_ptrs, out_dir);
         ctx.begin();
         const auto start = std::chrono::steady_clock::now();
         try {
@@ -234,16 +243,29 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
                 << "' failed: " << e.what() << "\n";
             return 1;
         }
-        ctx.end();
         const double secs =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        total_secs += secs;
+        if (parsed.time) {
+            for (ResultSink *sink : sink_ptrs)
+                sink->timing(secs * 1e3);
+        }
+        ctx.end();
         char line[160];
         std::snprintf(line, sizeof(line),
                       "[rowpress] %s completed in %.2f s on %d engine "
                       "thread(s)\n\n",
                       exp->info.id.c_str(), secs, engine.numThreads());
+        out << line;
+    }
+    if (parsed.time) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[rowpress] total: %.2f s for %zu experiment(s) "
+                      "on %d engine thread(s)\n",
+                      total_secs, selected.size(), engine.numThreads());
         out << line;
     }
     return 0;

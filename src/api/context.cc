@@ -31,11 +31,13 @@ baseSchema()
 
 ExperimentContext::ExperimentContext(ExperimentInfo info, Config config,
                                      core::ExperimentEngine &engine,
-                                     std::vector<ResultSink *> sinks)
+                                     std::vector<ResultSink *> sinks,
+                                     std::filesystem::path out_dir)
     : info_(std::move(info)),
       config_(std::move(config)),
       engine_(engine),
-      sinks_(std::move(sinks))
+      sinks_(std::move(sinks)),
+      outDir_(std::move(out_dir))
 {
 }
 

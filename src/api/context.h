@@ -13,6 +13,7 @@
 #ifndef ROWPRESS_API_CONTEXT_H
 #define ROWPRESS_API_CONTEXT_H
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -39,12 +40,20 @@ class ExperimentContext
   public:
     ExperimentContext(ExperimentInfo info, Config config,
                       core::ExperimentEngine &engine,
-                      std::vector<ResultSink *> sinks);
+                      std::vector<ResultSink *> sinks,
+                      std::filesystem::path out_dir = "artifacts");
 
     const ExperimentInfo &info() const { return info_; }
     Config &config() { return config_; }
     const Config &config() const { return config_; }
     core::ExperimentEngine &engine() { return engine_; }
+
+    /**
+     * The artifact directory of this run (`--out`).  Experiments that
+     * write format-independent artifacts (the perf.* benchmarks'
+     * BENCH_*.json files) place them here.
+     */
+    const std::filesystem::path &outDir() const { return outDir_; }
 
     // ---- configuration conveniences ---------------------------------
 
@@ -121,6 +130,7 @@ class ExperimentContext
     Config config_;
     core::ExperimentEngine &engine_;
     std::vector<ResultSink *> sinks_;
+    std::filesystem::path outDir_;
 };
 
 } // namespace rp::api

@@ -30,6 +30,12 @@ ResultSink::rawCsv(const std::string &name,
 }
 
 void
+ResultSink::timing(double elapsed_ms)
+{
+    (void)elapsed_ms;
+}
+
+void
 ResultSink::endExperiment()
 {
 }
@@ -59,6 +65,14 @@ TableSink::note(const std::string &text)
     os_ << text;
     if (text.empty() || text.back() != '\n')
         os_ << "\n";
+}
+
+void
+TableSink::timing(double elapsed_ms)
+{
+    char line[96];
+    std::snprintf(line, sizeof(line), "elapsed: %.1f ms\n", elapsed_ms);
+    os_ << line;
 }
 
 // ---- CsvSink ---------------------------------------------------------

@@ -48,6 +48,13 @@ class ResultSink
     /** Free-form commentary (paper-shape notes); default: ignored. */
     virtual void note(const std::string &text);
     /**
+     * Wall-clock of the finished experiment (ms).  Only invoked when
+     * the user opts in (`rowpress run --time`), because timing output
+     * is inherently non-deterministic; default: ignored.  TableSink
+     * renders it as an elapsed-time line under the experiment.
+     */
+    virtual void timing(double elapsed_ms);
+    /**
      * Raw tidy-CSV artifact: @p writer streams the file body (one of
      * the chr/export writers).  Default: ignored; CsvSink writes
      * `<out>/<experiment>/<name>.csv`.
@@ -67,6 +74,7 @@ class TableSink : public ResultSink
     void beginExperiment(const ExperimentInfo &info) override;
     void dataset(const Dataset &d) override;
     void note(const std::string &text) override;
+    void timing(double elapsed_ms) override;
 
   private:
     std::ostream &os_;

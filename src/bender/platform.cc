@@ -132,19 +132,56 @@ TestPlatform::execLoop(const ProgramNode &n)
     const double extra = double(n.count - 3);
     chip_->fault().scaleDoseDelta(before, extra);
     const Time jump = Time(double(iter_dur) * extra);
-    nextFree_ += jump;
-    lastIssue_ += jump;
 
     std::vector<std::pair<int, int>> act_rows;
     collectActRows(n.body, act_rows);
     std::sort(act_rows.begin(), act_rows.end());
     act_rows.erase(std::unique(act_rows.begin(), act_rows.end()),
                    act_rows.end());
-    for (const auto &[b, r] : act_rows)
-        chip_->fault().shiftRowHistory(b, r, jump);
+    fastForwardBy(jump, act_rows);
 
     // Final iteration: concrete, ends at the true completion time.
     execNodes(n.body);
+}
+
+void
+TestPlatform::fastForwardBy(Time jump,
+                            const std::vector<std::pair<int, int>>
+                                &act_rows)
+{
+    nextFree_ += jump;
+    lastIssue_ += jump;
+    for (const auto &[b, r] : act_rows)
+        chip_->fault().shiftRowHistory(b, r, jump);
+}
+
+TestPlatform::TracedRun
+TestPlatform::runTraced(const Program &program)
+{
+    // Loops are rejected: the fast-forward path scales doses in bulk
+    // (scaleDoseDelta) without emitting per-op records, so a traced
+    // loop would silently return an incomplete op list.  Callers
+    // trace loop bodies segment by segment instead.
+    for (const ProgramNode &n : program.nodes()) {
+        if (n.kind == ProgramNode::Kind::Loop)
+            fatal("runTraced: programs with loops cannot be traced "
+                  "op-exactly; trace the loop body iteration by "
+                  "iteration");
+    }
+
+    TracedRun traced;
+    chip_->fault().setDoseOpRecorder(&traced.ops);
+    traced.duration = run(program);
+    chip_->fault().setDoseOpRecorder(nullptr);
+    return traced;
+}
+
+void
+TestPlatform::reset()
+{
+    chip_->reset();
+    nextFree_ = 0;
+    lastIssue_ = 0;
 }
 
 void
@@ -157,6 +194,13 @@ std::vector<device::FlipRecord>
 TestPlatform::checkRow(int bank, int row, bool full_scan)
 {
     return chip_->materializeRow(bank, row, nextFree_, full_scan);
+}
+
+void
+TestPlatform::checkRowInto(int bank, int row, bool full_scan,
+                           std::vector<device::FlipRecord> &out)
+{
+    chip_->materializeRowInto(bank, row, nextFree_, full_scan, out);
 }
 
 } // namespace rp::bender

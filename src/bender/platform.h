@@ -52,9 +52,14 @@ class TestPlatform
 
     device::Chip &chip() { return *chip_; }
     const device::Chip &chip() const { return *chip_; }
+    const PlatformConfig &config() const { return cfg_; }
     const dram::TimingParams &timing() const { return cfg_.timing; }
     const dram::Organization &org() const { return cfg_.org; }
     Time cmdGap() const { return cfg_.cmdGap; }
+    std::uint64_t fastForwardThreshold() const
+    {
+        return cfg_.fastForwardThreshold;
+    }
 
     /** Temperature controller (instantaneous settling model). */
     void setTemperature(double temp_c);
@@ -78,6 +83,41 @@ class TestPlatform
     /** Materialize and return the bitflips of a row. */
     std::vector<device::FlipRecord>
     checkRow(int bank, int row, bool full_scan = false);
+
+    /** Allocation-free checkRow: appends the flips to @p out. */
+    void checkRowInto(int bank, int row, bool full_scan,
+                      std::vector<device::FlipRecord> &out);
+
+    /** Reset chip state and the command clock to power-on. */
+    void reset();
+
+    // --- steady-state dose-delta extraction (chr::AttemptOracle) ---
+
+    /** One traced execution: the dose ops it deposited + its duration. */
+    struct TracedRun
+    {
+        std::vector<device::FaultModel::DoseOp> ops;
+        Time duration = 0;
+    };
+
+    /**
+     * Execute @p program while recording every dose accumulation it
+     * performs.  Running a loop body this way, iteration by iteration,
+     * measures the warm-up and steady-state per-iteration dose deltas
+     * that the loop fast-forward path scales analytically — exposed so
+     * the ACmin/tAggONmin attempt oracle can replay whole attempts
+     * without re-executing their programs.
+     */
+    TracedRun runTraced(const Program &program);
+
+    /**
+     * The clock jump of the loop fast-forward, as a public primitive:
+     * advance the command clock by @p jump and shift the close/restore
+     * history of @p act_rows (bank, row pairs) along with it, exactly
+     * as the steady-state extrapolation inside run() does.
+     */
+    void fastForwardBy(Time jump,
+                       const std::vector<std::pair<int, int>> &act_rows);
 
   private:
     void execNodes(const std::vector<ProgramNode> &nodes);

@@ -1,25 +1,124 @@
 #include "chr/acmin.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "chr/oracle.h"
 #include "common/logging.h"
 
 namespace rp::chr {
 
 namespace {
 
-AttemptResult
+void
 collectVictims(bender::TestPlatform &platform, const RowLayout &layout,
-               bool full_scan, Time elapsed)
+               bool full_scan, Time elapsed, AttemptResult &out)
 {
-    AttemptResult res;
-    res.elapsed = elapsed;
+    out.flips.clear();
+    out.elapsed = elapsed;
+    thread_local std::vector<device::FlipRecord> row_flips;
     for (int victim : layout.victims) {
-        auto flips = platform.checkRow(layout.bank, victim, full_scan);
-        for (const auto &f : flips)
-            res.flips.push_back({victim, f});
+        row_flips.clear();
+        platform.checkRowInto(layout.bank, victim, full_scan, row_flips);
+        for (const auto &f : row_flips)
+            out.flips.push_back({victim, f});
     }
-    return res;
+}
+
+/**
+ * One probe of a search: fill the dose/flip state for (t_agg_on,
+ * total_acts) into @p out.  Either replays the program on the platform
+ * or asks the AttemptOracle.
+ */
+using AttemptFn =
+    std::function<void(Time, std::uint64_t, AttemptResult &)>;
+
+/** The bisection core shared by the replay and oracle paths. */
+AcminResult
+findAcminWith(const AttemptFn &attempt, Time t_agg_on,
+              std::uint64_t max_acts, const SearchConfig &cfg)
+{
+    AcminResult best;
+    AttemptResult probe;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+        attempt(t_agg_on, max_acts, probe);
+        if (!probe.any())
+            continue;
+
+        std::uint64_t lo = 0;
+        std::uint64_t hi = max_acts;
+        std::vector<VictimFlip> hi_flips = std::move(probe.flips);
+        while (hi - lo > std::max<std::uint64_t>(
+                             1, std::uint64_t(cfg.accuracy * double(hi)))) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            attempt(t_agg_on, mid, probe);
+            if (probe.any()) {
+                hi = mid;
+                hi_flips = std::move(probe.flips);
+            } else {
+                lo = mid;
+            }
+        }
+        if (!best.flipped || hi < best.acmin) {
+            best.flipped = true;
+            best.acmin = hi;
+            best.flips = std::move(hi_flips);
+        }
+    }
+    return best;
+}
+
+TAggOnMinResult
+findTAggOnMinWith(const AttemptFn &attempt, std::uint64_t total_acts,
+                  Time max_on, Time t_ras, const SearchConfig &cfg)
+{
+    TAggOnMinResult best;
+    AttemptResult probe;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+        attempt(max_on, total_acts, probe);
+        if (!probe.any())
+            continue;
+
+        Time lo = t_ras;
+        Time hi = max_on;
+        while (hi - lo > std::max<Time>(Time(units::NS),
+                                        Time(cfg.accuracy * double(hi)))) {
+            const Time mid = lo + (hi - lo) / 2;
+            attempt(mid, total_acts, probe);
+            if (probe.any())
+                hi = mid;
+            else
+                lo = mid;
+        }
+        if (!best.flipped || hi < best.tAggOnMin) {
+            best.flipped = true;
+            best.tAggOnMin = hi;
+        }
+    }
+    return best;
+}
+
+AttemptFn
+replayAttempt(bender::TestPlatform &platform, const RowLayout &layout,
+              DataPattern pattern)
+{
+    return [&platform, layout, pattern](Time t_on, std::uint64_t acts,
+                                        AttemptResult &out) {
+        initLayout(platform, layout, pattern);
+        auto program =
+            makePressProgram(layout, t_on, acts, platform.timing());
+        const Time elapsed = platform.run(program);
+        collectVictims(platform, layout, /*full_scan=*/false, elapsed,
+                       out);
+    };
+}
+
+AttemptFn
+oracleAttempt(AttemptOracle &oracle)
+{
+    return [&oracle](Time t_on, std::uint64_t acts, AttemptResult &out) {
+        oracle.pressAttempt(t_on, acts, out);
+    };
 }
 
 } // namespace
@@ -33,7 +132,9 @@ runPressAttempt(bender::TestPlatform &platform, const RowLayout &layout,
     auto program = makePressProgram(layout, t_agg_on, total_acts,
                                     platform.timing());
     const Time elapsed = platform.run(program);
-    return collectVictims(platform, layout, full_scan, elapsed);
+    AttemptResult res;
+    collectVictims(platform, layout, full_scan, elapsed, res);
+    return res;
 }
 
 AttemptResult
@@ -45,7 +146,9 @@ runOnOffAttempt(bender::TestPlatform &platform, const RowLayout &layout,
     auto program = makeOnOffProgram(layout, t_agg_on, t_agg_off,
                                     total_acts, platform.timing());
     const Time elapsed = platform.run(program);
-    return collectVictims(platform, layout, full_scan, elapsed);
+    AttemptResult res;
+    collectVictims(platform, layout, full_scan, elapsed, res);
+    return res;
 }
 
 AcminResult
@@ -57,35 +160,13 @@ findAcmin(bender::TestPlatform &platform, const RowLayout &layout,
     if (max_acts == 0)
         return {};
 
-    AcminResult best;
-    for (int rep = 0; rep < cfg.repeats; ++rep) {
-        auto probe = runPressAttempt(platform, layout, pattern, t_agg_on,
-                                     max_acts);
-        if (!probe.any())
-            continue;
-
-        std::uint64_t lo = 0;
-        std::uint64_t hi = max_acts;
-        std::vector<VictimFlip> hi_flips = std::move(probe.flips);
-        while (hi - lo > std::max<std::uint64_t>(
-                             1, std::uint64_t(cfg.accuracy * double(hi)))) {
-            const std::uint64_t mid = lo + (hi - lo) / 2;
-            auto attempt = runPressAttempt(platform, layout, pattern,
-                                           t_agg_on, mid);
-            if (attempt.any()) {
-                hi = mid;
-                hi_flips = std::move(attempt.flips);
-            } else {
-                lo = mid;
-            }
-        }
-        if (!best.flipped || hi < best.acmin) {
-            best.flipped = true;
-            best.acmin = hi;
-            best.flips = std::move(hi_flips);
-        }
+    if (cfg.useOracle) {
+        AttemptOracle oracle(platform, layout, pattern);
+        return findAcminWith(oracleAttempt(oracle), t_agg_on, max_acts,
+                             cfg);
     }
-    return best;
+    return findAcminWith(replayAttempt(platform, layout, pattern),
+                         t_agg_on, max_acts, cfg);
 }
 
 TAggOnMinResult
@@ -102,31 +183,13 @@ findTAggOnMin(bender::TestPlatform &platform, const RowLayout &layout,
     if (max_on <= timing.tRAS)
         return {};
 
-    TAggOnMinResult best;
-    for (int rep = 0; rep < cfg.repeats; ++rep) {
-        auto probe = runPressAttempt(platform, layout, pattern, max_on,
-                                     total_acts);
-        if (!probe.any())
-            continue;
-
-        Time lo = timing.tRAS;
-        Time hi = max_on;
-        while (hi - lo > std::max<Time>(Time(units::NS),
-                                        Time(cfg.accuracy * double(hi)))) {
-            const Time mid = lo + (hi - lo) / 2;
-            auto attempt = runPressAttempt(platform, layout, pattern, mid,
-                                           total_acts);
-            if (attempt.any())
-                hi = mid;
-            else
-                lo = mid;
-        }
-        if (!best.flipped || hi < best.tAggOnMin) {
-            best.flipped = true;
-            best.tAggOnMin = hi;
-        }
+    if (cfg.useOracle) {
+        AttemptOracle oracle(platform, layout, pattern);
+        return findTAggOnMinWith(oracleAttempt(oracle), total_acts,
+                                 max_on, timing.tRAS, cfg);
     }
-    return best;
+    return findTAggOnMinWith(replayAttempt(platform, layout, pattern),
+                             total_acts, max_on, timing.tRAS, cfg);
 }
 
 } // namespace rp::chr

@@ -68,6 +68,17 @@ struct SearchConfig
     Time budget = 60 * units::MS;
     double accuracy = 0.01;
     int repeats = 5;
+
+    /**
+     * Answer bisection probes through the analytic AttemptOracle
+     * instead of replaying the attempt program on the platform.
+     * Bit-identical to program replay on a pristine platform — the
+     * engine-parallel drivers (which give every location task a fresh
+     * platform) enable it; the serial Module& drivers, whose platform
+     * carries history across calls, keep the replay default.  The
+     * differential tests compare the two paths directly.
+     */
+    bool useOracle = false;
 };
 
 /** Result of an ACmin search at one (location, tAggON) point. */

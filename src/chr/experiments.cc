@@ -167,14 +167,23 @@ acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,
     const std::vector<int> rows = baseRowsOf(mc);
     const std::size_t n_rows = rows.size();
 
-    // Flatten the (tAggON x location) grid into one task set; task
-    // index i covers sweep step i / n_rows at location i % n_rows.
-    auto results = engine.map<LocationResult>(
-        t_agg_ons.size() * n_rows, [&](const core::TaskContext &ctx) {
-            const Time t = t_agg_ons[ctx.index / n_rows];
-            const int row = rows[ctx.index % n_rows];
+    // One task per location, reusing one Module across the whole
+    // tAggON sweep: the oracle-backed search never mutates the task's
+    // platform, so every sweep point still sees the pristine state a
+    // per-point Module used to provide (results are bit-identical),
+    // while the threshold store and module setup are paid once.
+    SearchConfig task_cfg = cfg;
+    task_cfg.useOracle = true;
+    auto results = engine.map<std::vector<LocationResult>>(
+        n_rows, [&](const core::TaskContext &ctx) {
+            const int row = rows[ctx.index];
             Module local(locationConfig(mc, row));
-            return acminAtLocation(local, row, t, kind, pattern, cfg);
+            std::vector<LocationResult> per_point;
+            per_point.reserve(t_agg_ons.size());
+            for (Time t : t_agg_ons)
+                per_point.push_back(acminAtLocation(
+                    local, row, t, kind, pattern, task_cfg));
+            return per_point;
         });
 
     std::vector<SweepPoint> points;
@@ -183,8 +192,7 @@ acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,
         SweepPoint point;
         point.tAggOn = t_agg_ons[ti];
         for (std::size_t ri = 0; ri < n_rows; ++ri)
-            point.locations.push_back(
-                std::move(results[ti * n_rows + ri]));
+            point.locations.push_back(std::move(results[ri][ti]));
         points.push_back(std::move(point));
     }
     return points;
@@ -223,6 +231,8 @@ tAggOnMinPoint(const ModuleConfig &mc, core::ExperimentEngine &engine,
                const SearchConfig &cfg)
 {
     const std::vector<int> rows = baseRowsOf(mc);
+    SearchConfig task_cfg = cfg;
+    task_cfg.useOracle = true;
     auto results = engine.map<std::pair<int, TAggOnMinResult>>(
         rows.size(), [&](const core::TaskContext &ctx) {
             const int row = rows[ctx.index];
@@ -230,7 +240,7 @@ tAggOnMinPoint(const ModuleConfig &mc, core::ExperimentEngine &engine,
             RowLayout layout = makeLayout(kind, mc.bank, row);
             return std::make_pair(
                 row, findTAggOnMin(local.platform(), layout, pattern,
-                                   acts, cfg));
+                                   acts, task_cfg));
         });
 
     TAggOnMinPoint point;

@@ -87,7 +87,7 @@ namespace {
 std::vector<OverlapResult>
 overlapViaEngine(
     const ModuleConfig &mc, core::ExperimentEngine &engine,
-    const std::vector<Time> &t_agg_ons,
+    const std::vector<Time> &t_agg_ons, bool module_per_location,
     const std::function<std::vector<VictimFlip>(Module &, int, Time)>
         &cell_flips)
 {
@@ -102,14 +102,32 @@ overlapViaEngine(
     std::vector<std::vector<VictimFlip>> cells(n_grid);
     std::vector<std::uint64_t> ret_ids;
     std::vector<core::ExperimentEngine::Task> tasks;
-    tasks.reserve(n_grid + 1);
-    for (std::size_t i = 0; i < n_grid; ++i) {
-        tasks.push_back([&, i](const core::TaskContext &) {
-            const Time t = grid[i / n_rows];
-            const int row = rows[i % n_rows];
-            Module local(locationConfig(mc, row));
-            cells[i] = cell_flips(local, row, t);
-        });
+    if (module_per_location) {
+        // One task per location covering the whole grid on one Module
+        // (safe when cell_flips never mutates the platform, i.e. the
+        // oracle-backed ACmin search).
+        tasks.reserve(n_rows + 1);
+        for (std::size_t ri = 0; ri < n_rows; ++ri) {
+            tasks.push_back([&, ri](const core::TaskContext &) {
+                const int row = rows[ri];
+                Module local(locationConfig(mc, row));
+                for (std::size_t ti = 0; ti < grid.size(); ++ti)
+                    cells[ti * n_rows + ri] =
+                        cell_flips(local, row, grid[ti]);
+            });
+        }
+    } else {
+        // One task (and one pristine Module) per grid cell, for
+        // platform-mutating measurements.
+        tasks.reserve(n_grid + 1);
+        for (std::size_t i = 0; i < n_grid; ++i) {
+            tasks.push_back([&, i](const core::TaskContext &) {
+                const Time t = grid[i / n_rows];
+                const int row = rows[i % n_rows];
+                Module local(locationConfig(mc, row));
+                cells[i] = cell_flips(local, row, t);
+            });
+        }
     }
     tasks.push_back([&](const core::TaskContext &) {
         Module local(mc);
@@ -147,10 +165,13 @@ overlapAtAcmin(const ModuleConfig &mc, core::ExperimentEngine &engine,
                const std::vector<Time> &t_agg_ons, AccessKind kind,
                const SearchConfig &cfg)
 {
+    SearchConfig task_cfg = cfg;
+    task_cfg.useOracle = true;
     return overlapViaEngine(
-        mc, engine, t_agg_ons, [&](Module &local, int row, Time t) {
+        mc, engine, t_agg_ons, /*module_per_location=*/true,
+        [&, task_cfg](Module &local, int row, Time t) {
             return acminAtLocation(local, row, t, kind,
-                                   DataPattern::CheckerBoard, cfg)
+                                   DataPattern::CheckerBoard, task_cfg)
                 .flips;
         });
 }
@@ -193,7 +214,8 @@ overlapAtMaxAc(const ModuleConfig &mc, core::ExperimentEngine &engine,
                const std::vector<Time> &t_agg_ons, AccessKind kind)
 {
     return overlapViaEngine(
-        mc, engine, t_agg_ons, [&](Module &local, int row, Time t) {
+        mc, engine, t_agg_ons, /*module_per_location=*/false,
+        [&](Module &local, int row, Time t) {
             (void)row;
             return maxActivationAttempt(local, 0, kind,
                                         DataPattern::CheckerBoard, t)

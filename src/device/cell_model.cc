@@ -6,23 +6,13 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "device/cell_tags.h"
 
 namespace rp::device {
 
 using namespace rp::literals;
 
 namespace {
-
-// Hash stream tags for the per-cell properties.
-constexpr std::uint64_t TAG_UH = 0x48414d4dULL;    // hammer uniform
-constexpr std::uint64_t TAG_UP = 0x50524553ULL;    // press uniform
-constexpr std::uint64_t TAG_RET = 0x52455453ULL;   // retention
-constexpr std::uint64_t TAG_ANTI = 0x414e5449ULL;  // anti-cell
-constexpr std::uint64_t TAG_DOM = 0x444f4d53ULL;   // dominant side
-constexpr std::uint64_t TAG_ROWH = 0x524f5748ULL;  // row factor, hammer
-constexpr std::uint64_t TAG_ROWP = 0x524f5750ULL;  // row factor, press
-constexpr std::uint64_t TAG_WRDH = 0x57524448ULL;  // word factor, hammer
-constexpr std::uint64_t TAG_WRDP = 0x57524450ULL;  // word factor, press
 
 /** The paper's characterization budget: programs must fit in 60 ms. */
 constexpr double kBudgetMs = 60.0;
@@ -45,6 +35,7 @@ CellModel::CellModel(const DieConfig &die, int bits_per_row,
     if (bitsPerRow_ <= 0)
         fatal("CellModel: bits_per_row must be positive");
     deriveParams();
+    store_ = ThresholdStore::acquire(die_, params_, bitsPerRow_, seed_);
 }
 
 void
@@ -164,40 +155,10 @@ CellModel::retentionTempFactor(double temp_c) const
     return std::exp2((temp_c - 80.0) / 10.0);
 }
 
-CellModel::CellProps
+CellProps
 CellModel::cellProps(int bank, int row, int bit) const
 {
-    const CellModelParams &p = params_;
-    const std::uint64_t cell_key =
-        hashU64(seed_, std::uint64_t(bank), std::uint64_t(row),
-                std::uint64_t(bit));
-    HashRng cell(cell_key);
-    HashRng row_rng(hashU64(seed_, std::uint64_t(bank),
-                            std::uint64_t(row)));
-    HashRng word_rng(hashU64(seed_, std::uint64_t(bank),
-                             std::uint64_t(row),
-                             std::uint64_t(bit / 64) + 0x1000000ULL));
-
-    CellProps props;
-    props.uH = cell.uniform(TAG_UH);
-    props.uP = cell.uniform(TAG_UP);
-    props.anti = cell.uniform(TAG_ANTI) < p.antiFraction;
-    props.domSide = cell.uniform(TAG_DOM) < 0.5 ? 0 : 1;
-    const double u_ret = cell.uniform(TAG_RET);
-
-    const double z_row_h = row_rng.normal(TAG_ROWH);
-    const double z_row_p = row_rng.normal(TAG_ROWP);
-    const double z_word_h = word_rng.normal(TAG_WRDH);
-    const double z_word_p = word_rng.normal(TAG_WRDP);
-
-    props.thetaH = std::exp(p.muH + p.sigmaH * probit(props.uH) +
-                            p.sigmaRowH * z_row_h +
-                            p.sigmaWordH * z_word_h);
-    props.thetaP = std::exp(p.muP + p.sigmaP * probit(props.uP) +
-                            p.sigmaRowP * z_row_p +
-                            p.sigmaWordP * z_word_p);
-    props.tauRet = std::exp(p.muRet + p.sigmaRet * probit(u_ret));
-    return props;
+    return computeCellProps(params_, seed_, bank, row, bit);
 }
 
 bool
@@ -205,7 +166,7 @@ CellModel::isAnti(int bank, int row, int bit) const
 {
     HashRng cell(hashU64(seed_, std::uint64_t(bank), std::uint64_t(row),
                          std::uint64_t(bit)));
-    return cell.uniform(TAG_ANTI) < params_.antiFraction;
+    return cell.uniform(celltags::TAG_ANTI) < params_.antiFraction;
 }
 
 int
@@ -213,7 +174,7 @@ CellModel::dominantSide(int bank, int row, int bit) const
 {
     HashRng cell(hashU64(seed_, std::uint64_t(bank), std::uint64_t(row),
                          std::uint64_t(bit)));
-    return cell.uniform(TAG_DOM) < 0.5 ? 0 : 1;
+    return cell.uniform(celltags::TAG_DOM) < 0.5 ? 0 : 1;
 }
 
 double
@@ -238,6 +199,24 @@ double
 CellModel::retentionQuantile(double u) const
 {
     return std::exp(params_.muRet + params_.sigmaRet * probit(u));
+}
+
+const RowCandidates &
+CellModel::rowCandidates(int bank, int row) const
+{
+    const std::uint64_t key = packRowKey(bank, row);
+    if (auto it = rowMemo_.find(key); it != rowMemo_.end())
+        return *it->second;
+    const RowCandidates &built = store_->row(bank, row);
+    rowMemo_.emplace(key, &built);
+    return built;
+}
+
+void
+CellModel::invalidateCaches()
+{
+    rowMemo_.clear();
+    store_ = ThresholdStore::makePrivate(params_, bitsPerRow_, seed_);
 }
 
 namespace {
@@ -348,35 +327,81 @@ CellModel::evaluateCell(const CellProps &props, int bit,
     return false;
 }
 
-const std::vector<CellModel::Candidate> &
-CellModel::candidates(int bank, int row) const
+bool
+CellModel::rowMayFlip(const RowCandidates &cands, const DoseState &dose,
+                      double retention_seconds, double temp_c) const
 {
-    const std::uint64_t key =
-        (std::uint64_t(std::uint32_t(bank)) << 32) | std::uint32_t(row);
-    auto it = candidateCache_.find(key);
-    if (it != candidateCache_.end())
-        return it->second;
+    // A flip needs pre-noise damage >= 1.0; the attempt noise only
+    // applies above damage 0.5.  So if a conservative upper bound on
+    // every candidate's damage stays below 0.5, no cell of this row
+    // can flip — regardless of the noise draw — and the candidate scan
+    // can be skipped without changing any result.
+    if (cands.size() == 0)
+        return false;
+    const CellModelParams &p = params_;
 
-    // Keep the cells in the lowest-quantile tails of either threshold
-    // distribution: generous enough that any ACmin-level search result
-    // is determined by a cached cell.
-    const double cap_q = 96.0 / double(bitsPerRow_);
-    std::vector<Candidate> cands;
-    for (int bit = 0; bit < bitsPerRow_; ++bit) {
-        HashRng cell(hashU64(seed_, std::uint64_t(bank),
-                             std::uint64_t(row), std::uint64_t(bit)));
-        const double u_h = cell.uniform(TAG_UH);
-        const double u_p = cell.uniform(TAG_UP);
-        const double u_r = cell.uniform(TAG_RET);
-        if (u_h >= cap_q && u_p >= cap_q && u_r >= cap_q)
-            continue;
-        CellProps props = cellProps(bank, row, bit);
-        cands.push_back({bit, props.thetaH, props.thetaP, props.tauRet,
-                         props.anti, props.domSide});
+    const double h_sum = dose.hammer[0] + dose.hammer[1];
+    if (h_sum > 0.0) {
+        const double c_max = 1.0 + 0.5 * std::fabs(p.gammaRhAggr);
+        const double h_bound =
+            h_sum * c_max + std::max(p.kappaDs, 0.0) *
+                                std::min(dose.hammer[0], dose.hammer[1]);
+        if (h_bound >= 0.5 * cands.minThetaH)
+            return true;
     }
-    auto [ins, ok] = candidateCache_.emplace(key, std::move(cands));
-    (void)ok;
-    return ins->second;
+
+    const double gamma =
+        p.gammaRpAggr0 + p.gammaRpAggrT * (temp_c - 50.0) / 30.0;
+    const double c_max = std::max(0.1, 1.0 + 0.5 * std::fabs(gamma)) *
+                         std::max(1.0, p.rhoWeakSide);
+    const double press_bound = (dose.press[0] + dose.press[1]) * c_max;
+    const double ret = retention_seconds > 0.0 ? retention_seconds : 0.0;
+    return press_bound / cands.minThetaP + ret / cands.minTauRet >= 0.5;
+}
+
+bool
+CellModel::rowMayFlip(int bank, int row, const DoseState &dose,
+                      double retention_seconds, double temp_c) const
+{
+    return rowMayFlip(rowCandidates(bank, row), dose, retention_seconds,
+                      temp_c);
+}
+
+void
+CellModel::evaluateInto(int bank, int row, const RowContext &ctx,
+                        bool full_scan, double temp_c,
+                        std::vector<FlipRecord> &out) const
+{
+    if (!ctx.dose)
+        panic("CellModel::evaluate: null dose state");
+    if (ctx.dose->empty() && ctx.retentionSeconds <= 0.0)
+        return;
+
+    FlipRecord rec;
+    if (full_scan) {
+        for (int bit = 0; bit < bitsPerRow_; ++bit) {
+            CellProps props = cellProps(bank, row, bit);
+            if (evaluateCell(props, bit, ctx, temp_c, &rec))
+                out.push_back(rec);
+        }
+        return;
+    }
+
+    const RowCandidates &cands = rowCandidates(bank, row);
+    if (!rowMayFlip(cands, *ctx.dose, ctx.retentionSeconds, temp_c))
+        return;
+
+    CellProps props;
+    props.uH = props.uP = 0.0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        props.thetaH = cands.thetaH[i];
+        props.thetaP = cands.thetaP[i];
+        props.tauRet = cands.tauRet[i];
+        props.anti = cands.anti[i] != 0;
+        props.domSide = cands.domSide[i];
+        if (evaluateCell(props, cands.bit[i], ctx, temp_c, &rec))
+            out.push_back(rec);
+    }
 }
 
 std::vector<FlipRecord>
@@ -384,32 +409,7 @@ CellModel::evaluate(int bank, int row, const RowContext &ctx,
                     bool full_scan, double temp_c) const
 {
     std::vector<FlipRecord> flips;
-    if (!ctx.dose)
-        panic("CellModel::evaluate: null dose state");
-    if (ctx.dose->empty() && ctx.retentionSeconds <= 0.0)
-        return flips;
-
-    FlipRecord rec;
-    if (full_scan) {
-        for (int bit = 0; bit < bitsPerRow_; ++bit) {
-            CellProps props = cellProps(bank, row, bit);
-            if (evaluateCell(props, bit, ctx, temp_c, &rec))
-                flips.push_back(rec);
-        }
-        return flips;
-    }
-
-    for (const Candidate &cand : candidates(bank, row)) {
-        CellProps props;
-        props.thetaH = cand.thetaH;
-        props.thetaP = cand.thetaP;
-        props.tauRet = cand.tauRet;
-        props.anti = cand.anti;
-        props.domSide = cand.domSide;
-        props.uH = props.uP = 0.0;
-        if (evaluateCell(props, cand.bit, ctx, temp_c, &rec))
-            flips.push_back(rec);
-    }
+    evaluateInto(bank, row, ctx, full_scan, temp_c, flips);
     return flips;
 }
 

@@ -26,17 +26,24 @@
  * Thresholds are log-normal with cell-, word-, and row-level variance
  * components; the word component produces the multi-bit-per-64-bit-word
  * clustering that defeats ECC (section 7.1).
+ *
+ * The per-row weakest-cell candidate lists live in a ThresholdStore
+ * shared by every CellModel built from the same (die, seed), so the
+ * expensive enumeration happens once per row per process regardless of
+ * how many models / platforms / search tasks exist.
  */
 
 #ifndef ROWPRESS_DEVICE_CELL_MODEL_H
 #define ROWPRESS_DEVICE_CELL_MODEL_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
 #include "device/die_config.h"
+#include "device/threshold_store.h"
 
 namespace rp::device {
 
@@ -111,40 +118,6 @@ struct FlipRecord
     Mechanism mechanism;
 };
 
-/** Per-die derived model parameters; exposed for tests and ablations. */
-struct CellModelParams
-{
-    // Threshold distributions (log-space).
-    double muH, sigmaH, sigmaRowH, sigmaWordH;
-    double muP, sigmaP, sigmaRowP, sigmaWordP;
-    double muRet, sigmaRet;
-
-    // Temperature response (dose multiplier per degree C above 50C).
-    double lambdaRp;
-    double lambdaRh;
-
-    // Structure.
-    double kappaDs;      ///< Double-sided RowHammer synergy.
-    double rhoWeakSide;  ///< RowPress coupling of the non-dominant side.
-    double gammaRhAggr;  ///< Hammer coupling vs aggressor-cell charge.
-    double gammaRpAggr0; ///< Press coupling vs aggressor charge, at 50C.
-    double gammaRpAggrT; ///< Temperature slope of the above (per 30C).
-    Time tauOff;         ///< Hammer recovery time constant (tAggOFF).
-    double offFloor;     ///< Hammer weight floor at tAggOFF -> 0.
-    /**
-     * Press onset: the first ~tRAS of every open interval contributes
-     * no press dose (the passing-gate stress needs the row held open
-     * past the charge-restoration transient).  This is why the paper
-     * sees only a 1.04-1.17x ACmin reduction at tAggON = 186 ns while
-     * the t >= tREFI region follows the constant-cumulative-on-time
-     * law (Obsv. 3).
-     */
-    Time pressOnset;
-    double dist2Rh, dist2Rp; ///< Distance-2 coupling attenuation.
-    double dist3Rh, dist3Rp; ///< Distance-3 coupling attenuation.
-    double antiFraction;
-};
-
 /**
  * The per-die cell model: derives CellModelParams from a DieConfig's
  * measured targets and answers per-cell and per-row queries.
@@ -152,17 +125,6 @@ struct CellModelParams
 class CellModel
 {
   public:
-    /** Cached per-row list of the weakest cells (search fast path). */
-    struct Candidate
-    {
-        int bit;
-        double thetaH;
-        double thetaP;
-        double tauRet;
-        bool anti;
-        int domSide;
-    };
-
     CellModel(const DieConfig &die, int bits_per_row, std::uint64_t seed);
 
     const DieConfig &die() const { return die_; }
@@ -207,45 +169,72 @@ class CellModel
      * Evaluate which cells of the row flip under @p ctx.
      *
      * @param full_scan evaluate all cells (needed for BER-level doses);
-     *        otherwise only the cached weakest-cell candidates are
-     *        checked (sufficient for ACmin-level searches).
+     *        otherwise only the shared weakest-cell candidates are
+     *        checked (sufficient for ACmin-level searches), and rows
+     *        whose dose provably cannot flip any candidate are skipped
+     *        in O(1) via the store's per-row minimum thresholds.
      * @param temp_c current temperature (affects data-pattern coupling).
      */
     std::vector<FlipRecord> evaluate(int bank, int row,
                                      const RowContext &ctx, bool full_scan,
                                      double temp_c) const;
 
-    /** The cached weakest-cell candidate list of a row. */
-    const std::vector<Candidate> &candidates(int bank, int row) const;
+    /**
+     * Allocation-free form of evaluate(): appends the flips to @p out
+     * (which the caller clears and reuses across attempts).
+     */
+    void evaluateInto(int bank, int row, const RowContext &ctx,
+                      bool full_scan, double temp_c,
+                      std::vector<FlipRecord> &out) const;
 
-    /** Drop all cached candidate lists (after parameter mutation). */
-    void invalidateCaches() { candidateCache_.clear(); }
+    /** The shared weakest-cell candidate list of a row (SoA layout). */
+    const RowCandidates &rowCandidates(int bank, int row) const;
+
+    /**
+     * O(1) disproof: false means no candidate cell of the row can
+     * flip under (@p dose, @p retention_seconds) — rigorous against
+     * the attempt noise (a flip needs pre-noise damage >= 1.0 and the
+     * noise only applies above 0.5, so a damage bound below 0.5
+     * suffices).  Chip::restoreRow and the candidate-path evaluate
+     * both gate on this one proof so the bounds can never drift
+     * apart.
+     */
+    bool rowMayFlip(int bank, int row, const DoseState &dose,
+                    double retention_seconds, double temp_c) const;
+
+    /**
+     * Rebuild the candidate source after parameter mutation: detaches
+     * this model onto a private ThresholdStore generated from the
+     * current (possibly mutated) parameters, leaving the shared store
+     * of other models untouched.
+     */
+    void invalidateCaches();
 
   private:
-    struct CellProps
-    {
-        double thetaH;
-        double thetaP;
-        double tauRet;
-        bool anti;
-        int domSide;
-        double uH;
-        double uP;
-    };
-
     void deriveParams();
     CellProps cellProps(int bank, int row, int bit) const;
     bool evaluateCell(const CellProps &props, int bit,
                       const RowContext &ctx, double temp_c,
                       FlipRecord *out) const;
 
+    /** The bound behind rowMayFlip, on an already-resolved row. */
+    bool rowMayFlip(const RowCandidates &cands, const DoseState &dose,
+                    double retention_seconds, double temp_c) const;
+
     DieConfig die_;
     int bitsPerRow_;
     std::uint64_t seed_;
     CellModelParams params_;
-
-    mutable std::unordered_map<std::uint64_t, std::vector<Candidate>>
-        candidateCache_;
+    std::shared_ptr<const ThresholdStore> store_;
+    /**
+     * Per-model memo of resolved store rows: each CellModel belongs
+     * to one chip (one engine task), so this lookup is unsynchronized
+     * and keeps the shared store's mutex off the steady-state path —
+     * it is taken once per (model, row), not once per evaluation.
+     * Pointees live in the store, which store_ keeps alive.
+     */
+    mutable std::unordered_map<std::uint64_t, const RowCandidates *>
+        rowMemo_;
 };
 
 } // namespace rp::device

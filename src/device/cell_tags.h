@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Hash stream tags for the per-cell properties, shared by the cell
+ * model and the threshold store (both derive properties from the same
+ * (seed, bank, row, bit) hash streams and must agree exactly).
+ */
+
+#ifndef ROWPRESS_DEVICE_CELL_TAGS_H
+#define ROWPRESS_DEVICE_CELL_TAGS_H
+
+#include <cstdint>
+
+namespace rp::device::celltags {
+
+constexpr std::uint64_t TAG_UH = 0x48414d4dULL;    // hammer uniform
+constexpr std::uint64_t TAG_UP = 0x50524553ULL;    // press uniform
+constexpr std::uint64_t TAG_RET = 0x52455453ULL;   // retention
+constexpr std::uint64_t TAG_ANTI = 0x414e5449ULL;  // anti-cell
+constexpr std::uint64_t TAG_DOM = 0x444f4d53ULL;   // dominant side
+constexpr std::uint64_t TAG_ROWH = 0x524f5748ULL;  // row factor, hammer
+constexpr std::uint64_t TAG_ROWP = 0x524f5750ULL;  // row factor, press
+constexpr std::uint64_t TAG_WRDH = 0x57524448ULL;  // word factor, hammer
+constexpr std::uint64_t TAG_WRDP = 0x57524450ULL;  // word factor, press
+
+} // namespace rp::device::celltags
+
+#endif // ROWPRESS_DEVICE_CELL_TAGS_H

@@ -30,22 +30,6 @@ Chip::bank(int b) const
     return const_cast<Chip *>(this)->bank(b);
 }
 
-const Chip::RowMinima &
-Chip::rowMinima(int b, int row)
-{
-    auto it = minimaCache_.find(key(b, row));
-    if (it != minimaCache_.end())
-        return it->second;
-
-    RowMinima m{1e300, 1e300, 1e300};
-    for (const auto &cand : fault_.cells().candidates(b, row)) {
-        m.minThetaH = std::min(m.minThetaH, cand.thetaH);
-        m.minThetaP = std::min(m.minThetaP, cand.thetaP);
-        m.minTauRet = std::min(m.minTauRet, cand.tauRet);
-    }
-    return minimaCache_.emplace(key(b, row), m).first->second;
-}
-
 void
 Chip::restoreRow(int b, int row, Time now)
 {
@@ -56,17 +40,12 @@ Chip::restoreRow(int b, int row, Time now)
         return;
     }
 
-    // Conservative upper bounds on any cell's damage; if no cell can
-    // have flipped, skip the (more expensive) evaluation.
-    const auto &p = fault_.cells().params();
-    const double h_bound = (1.0 + p.kappaDs + p.gammaRhAggr) *
-                           (dose.hammer[0] + dose.hammer[1]);
-    const double p_bound = (1.0 + p.gammaRpAggr0 + 1.0) *
-                           (dose.press[0] + dose.press[1]);
-    // The 1.5x headroom covers per-attempt evaluation noise.
-    const RowMinima &m = rowMinima(b, row);
-    if (1.5 * h_bound < m.minThetaH && 1.5 * p_bound < m.minThetaP &&
-        1.5 * ret < m.minTauRet) {
+    // One cannot-flip proof for the whole model: the same rigorous
+    // bound the candidate-path evaluate gates on (damage below 0.5 is
+    // below the noise threshold, so no draw can flip), backed by the
+    // shared ThresholdStore's precomputed row minima.
+    if (!fault_.cells().rowMayFlip(b, row, dose, ret,
+                                   fault_.temperature())) {
         fault_.onRestore(b, row, now);
         return;
     }
@@ -170,8 +149,9 @@ Chip::readByte(int b, int row, int byte_idx) const
                                             : it->second.fill;
 }
 
-std::vector<FlipRecord>
-Chip::materializeRow(int b, int row, Time now, bool full_scan)
+void
+Chip::materializeRowInto(int b, int row, Time now, bool full_scan,
+                         std::vector<FlipRecord> &out)
 {
     RowData &rd = data_[key(b, row)];
 
@@ -186,10 +166,12 @@ Chip::materializeRow(int b, int row, Time now, bool full_scan)
     ctx.noiseSigma = fault_.evalNoiseSigma();
     ctx.noiseNonce = std::uint64_t(now);
 
-    auto flips = fault_.cells().evaluate(b, row, ctx, full_scan,
-                                         fault_.temperature());
+    const std::size_t first = out.size();
+    fault_.cells().evaluateInto(b, row, ctx, full_scan,
+                                fault_.temperature(), out);
 
-    for (const FlipRecord &f : flips) {
+    for (std::size_t i = first; i < out.size(); ++i) {
+        const FlipRecord &f = out[i];
         const int byte_idx = f.bit >> 3;
         auto ov = rd.overrides.find(byte_idx);
         std::uint8_t cur = ov != rd.overrides.end() ? ov->second : rd.fill;
@@ -198,6 +180,13 @@ Chip::materializeRow(int b, int row, Time now, bool full_scan)
     }
 
     fault_.onRestore(b, row, now);
+}
+
+std::vector<FlipRecord>
+Chip::materializeRow(int b, int row, Time now, bool full_scan)
+{
+    std::vector<FlipRecord> flips;
+    materializeRowInto(b, row, now, full_scan, flips);
     return flips;
 }
 

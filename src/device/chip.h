@@ -90,6 +90,10 @@ class Chip
     std::vector<FlipRecord> materializeRow(int b, int row, Time now,
                                            bool full_scan = false);
 
+    /** Allocation-free form: appends the materialized flips to @p out. */
+    void materializeRowInto(int b, int row, Time now, bool full_scan,
+                            std::vector<FlipRecord> &out);
+
     /** Bits of @p row that currently differ from its fill pattern. */
     std::vector<int> storedFlipBits(int b, int row) const;
 
@@ -106,19 +110,8 @@ class Chip
     static std::uint64_t
     key(int b, int row)
     {
-        return (std::uint64_t(std::uint32_t(b)) << 32) |
-               std::uint32_t(row);
+        return packRowKey(b, row);
     }
-
-    /** Cached weakest thresholds per row, for cheap skip bounds. */
-    struct RowMinima
-    {
-        double minThetaH;
-        double minThetaP;
-        double minTauRet;
-    };
-
-    const RowMinima &rowMinima(int b, int row);
 
     /**
      * Restore a row's charge; evaluates flips first unless the
@@ -132,7 +125,6 @@ class Chip
 
     std::vector<dram::Bank> banks_;
     std::unordered_map<std::uint64_t, RowData> data_;
-    std::unordered_map<std::uint64_t, RowMinima> minimaCache_;
 
     int refreshPtr_ = 0;
     int rowsPerRef_ = 1;

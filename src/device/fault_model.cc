@@ -37,7 +37,10 @@ FaultModel::onActivate(int bank, int row, Time now)
             // The aggressor sits below (side 0) or above (side 1) the
             // victim.
             const int side = sign > 0 ? 0 : 1;
-            state(bank, victim).hammer[side] += w * atten[d];
+            const double inc = w * atten[d];
+            state(bank, victim).hammer[side] += inc;
+            if (opRecorder_)
+                opRecorder_->push_back({key(bank, victim), side, inc});
         }
     }
 }
@@ -63,7 +66,11 @@ FaultModel::onPrecharge(int bank, int row, Time open_at, Time close_at)
             if (victim < 0 || victim >= org_.rows)
                 continue;
             const int side = sign > 0 ? 0 : 1;
-            state(bank, victim).press[side] += scaled * atten[d];
+            const double inc = scaled * atten[d];
+            state(bank, victim).press[side] += inc;
+            if (opRecorder_)
+                opRecorder_->push_back(
+                    {key(bank, victim), 2 + side, inc});
         }
     }
 }

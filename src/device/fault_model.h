@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.h"
 #include "device/cell_model.h"
@@ -71,6 +72,34 @@ class FaultModel
 
     using DoseMap = std::unordered_map<std::uint64_t, DoseState>;
 
+    /**
+     * One elementary dose accumulation: `doses_[key].<comp> += value`.
+     * comp 0/1 = hammer side 0/1, comp 2/3 = press side 0/1.  Recorded
+     * traces let the chr::AttemptOracle replay an attempt's exact
+     * floating-point accumulation sequence without re-executing the
+     * program (bit-identical results).
+     */
+    struct DoseOp
+    {
+        std::uint64_t key;
+        int comp;
+        double value;
+    };
+
+    /** The dose-map key of (bank, row) (= device::packRowKey). */
+    static std::uint64_t
+    doseKey(int bank, int row)
+    {
+        return key(bank, row);
+    }
+
+    /**
+     * Record every subsequent dose accumulation into @p rec (nullptr
+     * stops recording).  Measurement-only: recording adds a branch to
+     * the accumulation hot path but no allocation when disabled.
+     */
+    void setDoseOpRecorder(std::vector<DoseOp> *rec) { opRecorder_ = rec; }
+
     /** Snapshot of all current doses. */
     DoseMap snapshotDoses() const { return doses_; }
 
@@ -91,8 +120,7 @@ class FaultModel
     static std::uint64_t
     key(int bank, int row)
     {
-        return (std::uint64_t(std::uint32_t(bank)) << 32) |
-               std::uint32_t(row);
+        return packRowKey(bank, row);
     }
 
     DoseState &state(int bank, int row);
@@ -107,6 +135,8 @@ class FaultModel
     std::unordered_map<std::uint64_t, Time> lastClose_;
     /** Last restore time per row (for retention). */
     std::unordered_map<std::uint64_t, Time> lastRestore_;
+
+    std::vector<DoseOp> *opRecorder_ = nullptr;
 };
 
 } // namespace rp::device

@@ -1,0 +1,174 @@
+#include "device/threshold_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "device/cell_tags.h"
+
+namespace rp::device {
+
+using namespace celltags;
+
+CellProps
+computeCellProps(const CellModelParams &p, std::uint64_t seed, int bank,
+                 int row, int bit)
+{
+    const std::uint64_t cell_key =
+        hashU64(seed, std::uint64_t(bank), std::uint64_t(row),
+                std::uint64_t(bit));
+    HashRng cell(cell_key);
+    HashRng row_rng(hashU64(seed, std::uint64_t(bank),
+                            std::uint64_t(row)));
+    HashRng word_rng(hashU64(seed, std::uint64_t(bank),
+                             std::uint64_t(row),
+                             std::uint64_t(bit / 64) + 0x1000000ULL));
+
+    CellProps props;
+    props.uH = cell.uniform(TAG_UH);
+    props.uP = cell.uniform(TAG_UP);
+    props.anti = cell.uniform(TAG_ANTI) < p.antiFraction;
+    props.domSide = cell.uniform(TAG_DOM) < 0.5 ? 0 : 1;
+    const double u_ret = cell.uniform(TAG_RET);
+
+    const double z_row_h = row_rng.normal(TAG_ROWH);
+    const double z_row_p = row_rng.normal(TAG_ROWP);
+    const double z_word_h = word_rng.normal(TAG_WRDH);
+    const double z_word_p = word_rng.normal(TAG_WRDP);
+
+    props.thetaH = std::exp(p.muH + p.sigmaH * probit(props.uH) +
+                            p.sigmaRowH * z_row_h +
+                            p.sigmaWordH * z_word_h);
+    props.thetaP = std::exp(p.muP + p.sigmaP * probit(props.uP) +
+                            p.sigmaRowP * z_row_p +
+                            p.sigmaWordP * z_word_p);
+    props.tauRet = std::exp(p.muRet + p.sigmaRet * probit(u_ret));
+    return props;
+}
+
+namespace {
+
+/** Content key of a shared store: die targets + geometry + seed. */
+std::string
+storeKeyOf(const DieConfig &die, int bits_per_row, std::uint64_t seed)
+{
+    std::string key = die.id;
+    key.push_back('\0');
+    auto put = [&key](const void *p, std::size_t n) {
+        key.append(static_cast<const char *>(p), n);
+    };
+    const double doubles[] = {
+        die.acminRh50,   die.acminRh50Min, die.acminRh80,
+        die.berRhSs,     die.berRhDs,      die.rpDose50Ms,
+        die.rpDose50MinMs, die.rpDose80Ms, die.berRp78,
+        die.antiFraction, die.retWeakPerMillion,
+    };
+    put(doubles, sizeof(doubles));
+    put(&bits_per_row, sizeof(bits_per_row));
+    put(&seed, sizeof(seed));
+    return key;
+}
+
+struct StoreRegistry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::weak_ptr<const ThresholdStore>>
+        stores;
+};
+
+StoreRegistry &
+registry()
+{
+    static StoreRegistry reg;
+    return reg;
+}
+
+} // namespace
+
+ThresholdStore::ThresholdStore(const CellModelParams &params,
+                               int bits_per_row, std::uint64_t seed)
+    : params_(params), bitsPerRow_(bits_per_row), seed_(seed)
+{
+}
+
+std::shared_ptr<const ThresholdStore>
+ThresholdStore::acquire(const DieConfig &die,
+                        const CellModelParams &params, int bits_per_row,
+                        std::uint64_t seed)
+{
+    StoreRegistry &reg = registry();
+    const std::string key = storeKeyOf(die, bits_per_row, seed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (auto it = reg.stores.find(key); it != reg.stores.end()) {
+        if (auto live = it->second.lock())
+            return live;
+    }
+    std::shared_ptr<const ThresholdStore> store(
+        new ThresholdStore(params, bits_per_row, seed));
+    reg.stores[key] = store;
+    return store;
+}
+
+std::shared_ptr<const ThresholdStore>
+ThresholdStore::makePrivate(const CellModelParams &params,
+                            int bits_per_row, std::uint64_t seed)
+{
+    return std::shared_ptr<const ThresholdStore>(
+        new ThresholdStore(params, bits_per_row, seed));
+}
+
+RowCandidates
+ThresholdStore::buildRow(int bank, int row) const
+{
+    // Keep the cells in the lowest-quantile tails of either threshold
+    // distribution: generous enough that any ACmin-level search result
+    // is determined by a cached cell.
+    const double cap_q = 96.0 / double(bitsPerRow_);
+    RowCandidates out;
+    for (int bit = 0; bit < bitsPerRow_; ++bit) {
+        HashRng cell(hashU64(seed_, std::uint64_t(bank),
+                             std::uint64_t(row), std::uint64_t(bit)));
+        const double u_h = cell.uniform(TAG_UH);
+        const double u_p = cell.uniform(TAG_UP);
+        const double u_r = cell.uniform(TAG_RET);
+        if (u_h >= cap_q && u_p >= cap_q && u_r >= cap_q)
+            continue;
+        const CellProps props =
+            computeCellProps(params_, seed_, bank, row, bit);
+        out.bit.push_back(bit);
+        out.thetaH.push_back(props.thetaH);
+        out.thetaP.push_back(props.thetaP);
+        out.tauRet.push_back(props.tauRet);
+        out.anti.push_back(props.anti ? 1 : 0);
+        out.domSide.push_back(std::uint8_t(props.domSide));
+        out.minThetaH = std::min(out.minThetaH, props.thetaH);
+        out.minThetaP = std::min(out.minThetaP, props.thetaP);
+        out.minTauRet = std::min(out.minTauRet, props.tauRet);
+    }
+    return out;
+}
+
+const RowCandidates &
+ThresholdStore::row(int bank, int row) const
+{
+    const std::uint64_t key = packRowKey(bank, row);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto it = rows_.find(key); it != rows_.end())
+            return *it->second;
+    }
+
+    // Build outside the lock; if another thread raced us the two
+    // results are identical (pure function of the key) and the loser's
+    // copy is discarded.
+    auto built = std::make_unique<RowCandidates>(buildRow(bank, row));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = rows_.emplace(key, std::move(built));
+    (void)inserted;
+    return *it->second;
+}
+
+} // namespace rp::device

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared, thread-safe store of per-row disturbance-threshold
+ * candidates.
+ *
+ * Candidate enumeration is by far the most expensive part of building
+ * a device model: for every row it draws three hash uniforms per bit
+ * (~64Ki bits) to find the cells in the weak tails of the hammer /
+ * press / retention threshold distributions.  The thresholds are a
+ * pure function of (seed, die, bank, row, bit), so the result is
+ * identical for every CellModel built from the same (die, seed) — yet
+ * the engine-parallel search drivers used to rebuild the cache once
+ * per task.
+ *
+ * A ThresholdStore owns that enumeration once per process: CellModel
+ * instances constructed from the same (die, bits-per-row, seed) share
+ * one store through a process-wide registry, and rows are built
+ * lazily, under a mutex, in a structure-of-arrays layout.  Each row
+ * also carries its minimum thresholds so evaluation can prove "no
+ * cell of this row can flip under this dose" in O(1) and skip the
+ * candidate scan entirely.
+ *
+ * Determinism: row contents depend only on the store key, never on
+ * build order or thread count, so sharing cannot change results.
+ */
+
+#ifndef ROWPRESS_DEVICE_THRESHOLD_STORE_H
+#define ROWPRESS_DEVICE_THRESHOLD_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "device/die_config.h"
+
+namespace rp::device {
+
+/**
+ * Canonical (bank, row) -> 64-bit key packing, shared by the
+ * threshold store, the fault model's dose map, and the chip's row
+ * data so the three can never diverge.
+ */
+constexpr std::uint64_t
+packRowKey(int bank, int row)
+{
+    return (std::uint64_t(std::uint32_t(bank)) << 32) |
+           std::uint32_t(row);
+}
+
+/** Per-die derived model parameters; exposed for tests and ablations. */
+struct CellModelParams
+{
+    // Threshold distributions (log-space).
+    double muH, sigmaH, sigmaRowH, sigmaWordH;
+    double muP, sigmaP, sigmaRowP, sigmaWordP;
+    double muRet, sigmaRet;
+
+    // Temperature response (dose multiplier per degree C above 50C).
+    double lambdaRp;
+    double lambdaRh;
+
+    // Structure.
+    double kappaDs;      ///< Double-sided RowHammer synergy.
+    double rhoWeakSide;  ///< RowPress coupling of the non-dominant side.
+    double gammaRhAggr;  ///< Hammer coupling vs aggressor-cell charge.
+    double gammaRpAggr0; ///< Press coupling vs aggressor charge, at 50C.
+    double gammaRpAggrT; ///< Temperature slope of the above (per 30C).
+    Time tauOff;         ///< Hammer recovery time constant (tAggOFF).
+    double offFloor;     ///< Hammer weight floor at tAggOFF -> 0.
+    /**
+     * Press onset: the first ~tRAS of every open interval contributes
+     * no press dose (the passing-gate stress needs the row held open
+     * past the charge-restoration transient).  This is why the paper
+     * sees only a 1.04-1.17x ACmin reduction at tAggON = 186 ns while
+     * the t >= tREFI region follows the constant-cumulative-on-time
+     * law (Obsv. 3).
+     */
+    Time pressOnset;
+    double dist2Rh, dist2Rp; ///< Distance-2 coupling attenuation.
+    double dist3Rh, dist3Rp; ///< Distance-3 coupling attenuation.
+    double antiFraction;
+};
+
+/** Per-cell derived properties (pure in (seed, bank, row, bit)). */
+struct CellProps
+{
+    double thetaH;
+    double thetaP;
+    double tauRet;
+    bool anti;
+    int domSide;
+    double uH;
+    double uP;
+};
+
+/** Derive one cell's properties from @p params under @p seed. */
+CellProps computeCellProps(const CellModelParams &params,
+                           std::uint64_t seed, int bank, int row,
+                           int bit);
+
+/**
+ * The weakest cells of one row, in bit order, as parallel arrays
+ * (structure-of-arrays: the evaluation hot loop touches thetaH OR
+ * thetaP/tauRet per cell, never all fields).
+ */
+struct RowCandidates
+{
+    std::vector<std::int32_t> bit;
+    std::vector<double> thetaH;
+    std::vector<double> thetaP;
+    std::vector<double> tauRet;
+    std::vector<std::uint8_t> anti;
+    std::vector<std::uint8_t> domSide;
+
+    /** Row-level lower bounds for O(1) cannot-flip early exits. */
+    double minThetaH = 1e300;
+    double minThetaP = 1e300;
+    double minTauRet = 1e300;
+
+    std::size_t size() const { return bit.size(); }
+};
+
+/** Lazily built, mutex-protected candidate rows of one device model. */
+class ThresholdStore
+{
+  public:
+    /**
+     * The shared store for (die, bits_per_row, seed): every CellModel
+     * with the same key gets the same instance, so candidate
+     * enumeration happens once per row per process.  @p params must be
+     * the canonical parameters derived from @p die (callers pass what
+     * CellModel::deriveParams computed).
+     */
+    static std::shared_ptr<const ThresholdStore>
+    acquire(const DieConfig &die, const CellModelParams &params,
+            int bits_per_row, std::uint64_t seed);
+
+    /**
+     * An unshared store generating from @p params as given — for
+     * ablation studies that mutate parameters (the instance is not
+     * registered, so mutations cannot leak into other models).
+     */
+    static std::shared_ptr<const ThresholdStore>
+    makePrivate(const CellModelParams &params, int bits_per_row,
+                std::uint64_t seed);
+
+    /** Candidate list of a row; built on first use (thread-safe). */
+    const RowCandidates &row(int bank, int row) const;
+
+    int bitsPerRow() const { return bitsPerRow_; }
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    ThresholdStore(const CellModelParams &params, int bits_per_row,
+                   std::uint64_t seed);
+
+    RowCandidates buildRow(int bank, int row) const;
+
+    CellModelParams params_;
+    int bitsPerRow_;
+    std::uint64_t seed_;
+
+    mutable std::mutex mutex_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::unique_ptr<RowCandidates>>
+        rows_;
+};
+
+} // namespace rp::device
+
+#endif // ROWPRESS_DEVICE_THRESHOLD_STORE_H

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fast-path equivalence tests.
+ *
+ * The search fast path has two layers that must not change any
+ * result:
+ *
+ *  - the candidate-path CellModel::evaluate (shared ThresholdStore,
+ *    SoA scan, O(1) cannot-flip early exit) must report the same flip
+ *    set as an exhaustive full scan at ACmin-level doses;
+ *  - the AttemptOracle-backed findAcmin / findTAggOnMin must be
+ *    bit-identical to the program-replay implementation (which stays
+ *    available behind SearchConfig::useOracle = false precisely so
+ *    this differential test can compare them).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chr/oracle.h"
+#include "core/rowpress.h"
+
+namespace rp {
+namespace {
+
+using namespace rp::literals;
+
+chr::ModuleConfig
+testConfig(std::uint64_t seed = 1)
+{
+    chr::ModuleConfig mc;
+    mc.die = device::dieS8GbB();
+    mc.numLocations = 2;
+    mc.seed = seed;
+    return mc;
+}
+
+std::vector<std::uint64_t>
+idsOf(const std::vector<chr::VictimFlip> &flips)
+{
+    return chr::flipIdSet(flips);
+}
+
+TEST(FastPath, CandidateEvaluateMatchesFullScanAtAcminDose)
+{
+    // Find ACmin on one module, then run the attempt at exactly that
+    // dose on two fresh modules, inspecting one with the candidate
+    // path and one with an exhaustive scan.  The flip sets must agree:
+    // the candidate cache is sized to contain every ACmin-relevant
+    // cell.
+    std::size_t flipping_cases = 0;
+    for (Time t_on : {36_ns, 7800_ns}) {
+        chr::SearchConfig cfg;
+        chr::Module search(chr::locationConfig(testConfig(), 64));
+        chr::RowLayout layout =
+            chr::makeLayout(chr::AccessKind::SingleSided, 1, 64);
+        auto res = chr::findAcmin(search.platform(), layout,
+                                  chr::DataPattern::CheckerBoard, t_on,
+                                  cfg);
+        ASSERT_TRUE(res.flipped);
+
+        // At exactly ACmin a fresh attempt is noise-marginal, so also
+        // probe slightly above it; candidate and full scan must agree
+        // at ACmin-level doses (including the empty-set cases).  Far
+        // beyond ACmin the full scan legitimately finds more cells —
+        // that regime belongs to the BER experiments, which request
+        // full scans.
+        for (double mult : {1.0, 1.1, 1.2}) {
+            const auto acts =
+                std::uint64_t(double(res.acmin) * mult);
+            chr::Module cand_mod(chr::locationConfig(testConfig(), 64));
+            chr::Module full_mod(chr::locationConfig(testConfig(), 64));
+            auto cand = chr::runPressAttempt(
+                cand_mod.platform(), layout,
+                chr::DataPattern::CheckerBoard, t_on, acts,
+                /*full_scan=*/false);
+            auto full = chr::runPressAttempt(
+                full_mod.platform(), layout,
+                chr::DataPattern::CheckerBoard, t_on, acts,
+                /*full_scan=*/true);
+            flipping_cases += cand.flips.empty() ? 0 : 1;
+            EXPECT_EQ(idsOf(cand.flips), idsOf(full.flips))
+                << "candidate/full-scan divergence at tAggON "
+                << formatTime(t_on) << " x" << mult;
+        }
+    }
+    EXPECT_GT(flipping_cases, 0u);
+}
+
+TEST(FastPath, OracleAttemptMatchesReplayAttempt)
+{
+    // Single probes, both kinds, several activation counts spanning
+    // the concrete-loop and fast-forward regimes (incl. odd counts
+    // exercising the double-sided tail).
+    for (auto kind : {chr::AccessKind::SingleSided,
+                      chr::AccessKind::DoubleSided}) {
+        const chr::RowLayout layout = chr::makeLayout(kind, 1, 64);
+        for (std::uint64_t acts :
+             {std::uint64_t(1), std::uint64_t(2), std::uint64_t(5),
+              std::uint64_t(15), std::uint64_t(16), std::uint64_t(17),
+              std::uint64_t(400000), std::uint64_t(400001)}) {
+            chr::Module replay_mod(chr::locationConfig(testConfig(), 64));
+            chr::Module oracle_mod(chr::locationConfig(testConfig(), 64));
+            auto replay = chr::runPressAttempt(
+                replay_mod.platform(), layout,
+                chr::DataPattern::CheckerBoard, 96_ns, acts);
+            chr::AttemptOracle oracle(oracle_mod.platform(), layout,
+                                      chr::DataPattern::CheckerBoard);
+            chr::AttemptResult predicted;
+            oracle.pressAttempt(96_ns, acts, predicted);
+            EXPECT_EQ(predicted.elapsed, replay.elapsed)
+                << chr::accessKindName(kind) << " acts=" << acts;
+            EXPECT_EQ(idsOf(predicted.flips), idsOf(replay.flips))
+                << chr::accessKindName(kind) << " acts=" << acts;
+        }
+    }
+}
+
+TEST(FastPath, OracleFindAcminBitIdenticalToReplay)
+{
+    for (auto kind : {chr::AccessKind::SingleSided,
+                      chr::AccessKind::DoubleSided}) {
+        for (auto pattern : {chr::DataPattern::CheckerBoard,
+                             chr::DataPattern::RowStripe}) {
+            for (Time t_on : {36_ns, 636_ns, 70200_ns}) {
+                const chr::RowLayout layout =
+                    chr::makeLayout(kind, 1, 64);
+
+                chr::SearchConfig replay_cfg;
+                replay_cfg.useOracle = false;
+                chr::Module replay_mod(
+                    chr::locationConfig(testConfig(), 64));
+                auto replay =
+                    chr::findAcmin(replay_mod.platform(), layout,
+                                   pattern, t_on, replay_cfg);
+
+                chr::SearchConfig oracle_cfg;
+                oracle_cfg.useOracle = true;
+                chr::Module oracle_mod(
+                    chr::locationConfig(testConfig(), 64));
+                auto fast =
+                    chr::findAcmin(oracle_mod.platform(), layout,
+                                   pattern, t_on, oracle_cfg);
+
+                EXPECT_EQ(fast.flipped, replay.flipped);
+                EXPECT_EQ(fast.acmin, replay.acmin)
+                    << chr::accessKindName(kind) << " "
+                    << chr::dataPatternName(pattern) << " "
+                    << formatTime(t_on);
+                EXPECT_EQ(idsOf(fast.flips), idsOf(replay.flips));
+            }
+        }
+    }
+}
+
+TEST(FastPath, OracleFindTAggOnMinBitIdenticalToReplay)
+{
+    for (auto kind : {chr::AccessKind::SingleSided,
+                      chr::AccessKind::DoubleSided}) {
+        for (std::uint64_t acts : {std::uint64_t(8),
+                                   std::uint64_t(512),
+                                   std::uint64_t(4096)}) {
+            const chr::RowLayout layout = chr::makeLayout(kind, 1, 64);
+
+            chr::SearchConfig replay_cfg;
+            replay_cfg.useOracle = false;
+            chr::Module replay_mod(chr::locationConfig(testConfig(), 64));
+            auto replay = chr::findTAggOnMin(
+                replay_mod.platform(), layout,
+                chr::DataPattern::CheckerBoard, acts, replay_cfg);
+
+            chr::SearchConfig oracle_cfg;
+            oracle_cfg.useOracle = true;
+            chr::Module oracle_mod(chr::locationConfig(testConfig(), 64));
+            auto fast = chr::findTAggOnMin(
+                oracle_mod.platform(), layout,
+                chr::DataPattern::CheckerBoard, acts, oracle_cfg);
+
+            EXPECT_EQ(fast.flipped, replay.flipped);
+            EXPECT_EQ(fast.tAggOnMin, replay.tAggOnMin)
+                << chr::accessKindName(kind) << " acts=" << acts;
+        }
+    }
+}
+
+TEST(FastPath, OracleEngineSweepMatchesPerPointModules)
+{
+    // The per-location engine driver (one Module reused across the
+    // sweep, oracle probes) against the pre-oracle shape: one fresh
+    // Module per (location, point), replay probes.
+    const auto mc = testConfig();
+    const std::vector<Time> sweep = {36_ns, 7800_ns};
+    core::ExperimentEngine engine(
+        [] {
+            core::ExperimentEngine::Options o;
+            o.numThreads = 2;
+            return o;
+        }());
+
+    auto points = chr::acminSweep(mc, engine, sweep,
+                                  chr::AccessKind::SingleSided);
+
+    for (std::size_t ti = 0; ti < sweep.size(); ++ti) {
+        for (int row : chr::baseRowsOf(mc)) {
+            chr::Module fresh(chr::locationConfig(mc, row));
+            auto expect = chr::acminAtLocation(
+                fresh, row, sweep[ti], chr::AccessKind::SingleSided,
+                chr::DataPattern::CheckerBoard, chr::SearchConfig{});
+            const auto &got =
+                points[ti].locations[std::size_t(
+                    (row - mc.firstRow) / mc.rowStride)];
+            EXPECT_EQ(got.row, expect.row);
+            EXPECT_EQ(got.flipped, expect.flipped);
+            EXPECT_EQ(got.acmin, expect.acmin);
+            EXPECT_EQ(idsOf(got.flips), idsOf(expect.flips));
+        }
+    }
+}
+
+} // namespace
+} // namespace rp

@@ -85,6 +85,78 @@ TEST(ParallelDeterminism, AcminSweepSerialVsParallel)
     }
 }
 
+TEST(ParallelDeterminism, SharedThresholdStoreThreadCountInvariant)
+{
+    // The acmin sweep tasks all share one ThresholdStore; lazy row
+    // construction order differs between 1 and 4 threads, which must
+    // not change any result.
+    chr::ModuleConfig mc;
+    mc.die = device::dieM16GbF();
+    mc.numLocations = 3;
+    mc.seed = 11;
+
+    const std::vector<Time> sweep = {36_ns, 7800_ns};
+    core::ExperimentEngine serial(withThreads(1));
+    core::ExperimentEngine parallel(withThreads(4));
+    auto a = chr::acminSweep(mc, serial, sweep,
+                             chr::AccessKind::DoubleSided);
+    auto b = chr::acminSweep(mc, parallel, sweep,
+                             chr::AccessKind::DoubleSided);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t ti = 0; ti < a.size(); ++ti) {
+        for (std::size_t li = 0; li < a[ti].locations.size(); ++li) {
+            EXPECT_EQ(a[ti].locations[li].acmin,
+                      b[ti].locations[li].acmin);
+            EXPECT_EQ(a[ti].locations[li].flipped,
+                      b[ti].locations[li].flipped);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, SharedStoreIdenticalToUnsharedStore)
+{
+    // Two models acquire the same shared store; a third is detached
+    // onto a private (unshared) store via invalidateCaches().  All
+    // three must evaluate identically: sharing is a pure cache.
+    const auto &die = device::dieS8GbB();
+    device::CellModel shared_a(die, 65536, 5);
+    device::CellModel shared_b(die, 65536, 5);
+    device::CellModel unshared(die, 65536, 5);
+    unshared.invalidateCaches(); // detach onto a private store
+
+    device::DoseState dose;
+    dose.press[0] = 1e12 * 40.0;
+    dose.hammer[0] = dose.hammer[1] = 3e4;
+    device::RowContext ctx;
+    ctx.dose = &dose;
+    ctx.victimFill = 0x55;
+    ctx.retentionSeconds = 0.01;
+    ctx.noiseSigma = 0.05;
+    ctx.noiseNonce = 1234567;
+
+    for (int row = 60; row < 70; ++row) {
+        auto fa = shared_a.evaluate(1, row, ctx, false, 50.0);
+        auto fb = shared_b.evaluate(1, row, ctx, false, 50.0);
+        auto fu = unshared.evaluate(1, row, ctx, false, 50.0);
+        ASSERT_EQ(fa.size(), fb.size());
+        ASSERT_EQ(fa.size(), fu.size());
+        for (std::size_t i = 0; i < fa.size(); ++i) {
+            EXPECT_EQ(fa[i].bit, fb[i].bit);
+            EXPECT_EQ(fa[i].bit, fu[i].bit);
+            EXPECT_EQ(fa[i].oneToZero, fu[i].oneToZero);
+        }
+        // The shared row candidates are the same object; the private
+        // ones are a distinct but identical copy.
+        EXPECT_EQ(&shared_a.rowCandidates(1, row),
+                  &shared_b.rowCandidates(1, row));
+        EXPECT_NE(&shared_a.rowCandidates(1, row),
+                  &unshared.rowCandidates(1, row));
+        EXPECT_EQ(shared_a.rowCandidates(1, row).minThetaP,
+                  unshared.rowCandidates(1, row).minThetaP);
+    }
+}
+
 TEST(ParallelDeterminism, RunSystemsSerialVsParallel)
 {
     std::vector<sim::SystemConfig> cfgs;
