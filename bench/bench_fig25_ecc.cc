@@ -34,15 +34,13 @@ runFig25(api::ExperimentContext &ctx)
             for (auto kind : {chr::AccessKind::SingleSided,
                               chr::AccessKind::DoubleSided}) {
                 // Max-activation attempts over the tested locations,
-                // one engine task per location.
-                auto attempts = ctx.engine().map<chr::AttemptResult>(
-                    locs, [&](const core::TaskContext &tc) {
-                        chr::Module local(chr::locationConfig(
-                            mc, rows[tc.index]));
-                        return chr::maxActivationAttempt(
-                            local, 0, kind,
-                            chr::DataPattern::CheckerBoard, t);
-                    });
+                // chunked into (location, victim-slice) engine tasks
+                // so the full scans scale past the location count.
+                const std::vector<int> tested(
+                    rows.begin(), rows.begin() + std::ptrdiff_t(locs));
+                auto attempts = chr::maxActivationAttempts(
+                    mc, ctx.engine(), tested, kind,
+                    chr::DataPattern::CheckerBoard, t);
 
                 std::vector<chr::VictimFlip> flips;
                 for (auto &attempt : attempts)

@@ -3,10 +3,11 @@
  * perf.* — macro benchmarks of the characterization search fast path.
  *
  * Unlike the figure/table experiments (whose artifacts must be
- * byte-deterministic), these measure wall-clock time of the three
- * macro workloads the shared ThresholdStore and AttemptOracle
- * optimize: the full ACmin-vs-tAggON sweep, tAggONmin searches over a
- * range of activation counts, and the overlap analysis.  Each run
+ * byte-deterministic), these measure wall-clock time of the macro
+ * workloads the shared ThresholdStore, AttemptOracle, and word-mask
+ * full-scan tier optimize: the full ACmin-vs-tAggON sweep, tAggONmin
+ * searches over a range of activation counts, the overlap analysis,
+ * and the BER/ECC full-scan workload.  Each run
  * writes a `BENCH_<workload>.json` artifact into the `--out`
  * directory (independent of --format, so `rowpress run 'perf.*' --out
  * perf-artifacts` always produces machine-readable numbers for CI to
@@ -18,6 +19,7 @@
 #include <fstream>
 
 #include "api/context.h"
+#include "chr/ecc.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -42,7 +44,7 @@ perfModule(api::ExperimentContext &ctx)
 void
 emitBench(api::ExperimentContext &ctx, const std::string &workload,
           double elapsed_ms, std::size_t units,
-          const std::string &unit_name)
+          const std::string &unit_name, int locations)
 {
     api::Dataset table(ctx.info().title);
     table.header({"workload", "elapsed ms", unit_name,
@@ -60,7 +62,7 @@ emitBench(api::ExperimentContext &ctx, const std::string &workload,
        << "  \"name\": \"" << ctx.info().id << "\",\n"
        << "  \"workload\": \"" << workload << "\",\n"
        << "  \"die\": \"" << device::dieS8GbB().id << "\",\n"
-       << "  \"locations\": " << ctx.locations() << ",\n"
+       << "  \"locations\": " << locations << ",\n"
        << "  \"threads\": " << ctx.engine().numThreads() << ",\n"
        << "  \"" << unit_name << "\": " << units << ",\n"
        << "  \"elapsed_ms\": " << elapsed_ms << ",\n"
@@ -79,7 +81,8 @@ runPerfAcminSweep(api::ExperimentContext &ctx)
     auto points = chr::acminSweep(mc, ctx.engine(), sweep,
                                   chr::AccessKind::SingleSided);
     const double ms = msSince(t0);
-    emitBench(ctx, "acmin_sweep", ms, sweep.size(), "points");
+    emitBench(ctx, "acmin_sweep", ms, sweep.size(), "points",
+              ctx.locations());
 }
 
 void
@@ -94,7 +97,8 @@ runPerfTAggOnMin(api::ExperimentContext &ctx)
         (void)point;
     }
     const double ms = msSince(t0);
-    emitBench(ctx, "taggonmin", ms, acts.size(), "points");
+    emitBench(ctx, "taggonmin", ms, acts.size(), "points",
+              ctx.locations());
 }
 
 void
@@ -108,7 +112,55 @@ runPerfOverlap(api::ExperimentContext &ctx)
                                        chr::SearchConfig{});
     (void)results;
     const double ms = msSince(t0);
-    emitBench(ctx, "overlap", ms, t_ons.size(), "points");
+    emitBench(ctx, "overlap", ms, t_ons.size(), "points",
+              ctx.locations());
+}
+
+void
+runPerfBerFullScan(api::ExperimentContext &ctx)
+{
+    // The BER/ECC workload shape (fig25 / table 6): max-activation
+    // attempts with full-scan victim inspection, repeated across
+    // tAggON values, access kinds, and data patterns that all share
+    // one module configuration — exactly the reuse profile the
+    // word-mask full-scan tier amortizes its per-row build over.
+    auto mc = ctx.moduleConfig(device::dieS8GbB(), 80.0);
+    mc.numLocations = std::min(mc.numLocations, 4);
+    const auto rows = chr::baseRowsOf(mc);
+
+    const std::vector<Time> t_ons = {7800_ns, 70200_ns};
+    const std::vector<chr::AccessKind> kinds = {
+        chr::AccessKind::SingleSided, chr::AccessKind::DoubleSided};
+    const std::vector<chr::DataPattern> patterns = {
+        chr::DataPattern::CheckerBoard, chr::DataPattern::RowStripe,
+        chr::DataPattern::ColStripe};
+
+    std::size_t attempts = 0;
+    chr::WordErrorStats total;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Time t : t_ons) {
+        for (auto kind : kinds) {
+            for (auto pattern : patterns) {
+                auto results = chr::maxActivationAttempts(
+                    mc, ctx.engine(), rows, kind, pattern, t);
+                for (const auto &attempt : results) {
+                    auto stats = chr::analyzeWordErrors(attempt.flips);
+                    auto secded = chr::evaluateSecded(attempt.flips);
+                    auto chipkill =
+                        chr::evaluateChipkill(attempt.flips, 8);
+                    (void)secded;
+                    (void)chipkill;
+                    total.merge(stats);
+                    ++attempts;
+                }
+            }
+        }
+    }
+    const double ms = msSince(t0);
+    ctx.notef("error words across all attempts: %llu\n",
+              (unsigned long long)total.totalErrorWords);
+    emitBench(ctx, "ber_fullscan", ms, attempts, "attempts",
+              mc.numLocations);
 }
 
 // Registered directly (not via REGISTER_EXPERIMENT) because the perf
@@ -128,5 +180,11 @@ const api::ExperimentRegistrar reg_perf_overlap(
     {"perf.overlap", "Perf: overlap analysis macro benchmark",
      "threshold store + attempt oracle fast path", "perf"},
     nullptr, runPerfOverlap);
+
+const api::ExperimentRegistrar reg_perf_ber_fullscan(
+    {"perf.ber_fullscan",
+     "Perf: BER/ECC full-scan macro benchmark",
+     "word-mask full-scan fast path + chunked attempt tasks", "perf"},
+    nullptr, runPerfBerFullScan);
 
 } // namespace

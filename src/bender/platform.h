@@ -84,7 +84,14 @@ class TestPlatform
     std::vector<device::FlipRecord>
     checkRow(int bank, int row, bool full_scan = false);
 
-    /** Allocation-free checkRow: appends the flips to @p out. */
+    /**
+     * Allocation-free checkRow: appends the flips to @p out.  Each
+     * row's materialization is independent — the chip evaluates the
+     * row's own accumulated dose against its own damage bound and
+     * clears it — so callers may partition a victim set across engine
+     * tasks and concatenate the per-row results; the BER drivers'
+     * (location, victim-chunk) chunking relies on this.
+     */
     void checkRowInto(int bank, int row, bool full_scan,
                       std::vector<device::FlipRecord> &out);
 

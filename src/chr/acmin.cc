@@ -11,18 +11,27 @@ namespace rp::chr {
 namespace {
 
 void
-collectVictims(bender::TestPlatform &platform, const RowLayout &layout,
-               bool full_scan, Time elapsed, AttemptResult &out)
+collectRows(bender::TestPlatform &platform, int bank,
+            const std::vector<int> &rows, bool full_scan, Time elapsed,
+            AttemptResult &out)
 {
     out.flips.clear();
     out.elapsed = elapsed;
     thread_local std::vector<device::FlipRecord> row_flips;
-    for (int victim : layout.victims) {
+    for (int row : rows) {
         row_flips.clear();
-        platform.checkRowInto(layout.bank, victim, full_scan, row_flips);
+        platform.checkRowInto(bank, row, full_scan, row_flips);
         for (const auto &f : row_flips)
-            out.flips.push_back({victim, f});
+            out.flips.push_back({row, f});
     }
+}
+
+void
+collectVictims(bender::TestPlatform &platform, const RowLayout &layout,
+               bool full_scan, Time elapsed, AttemptResult &out)
+{
+    collectRows(platform, layout.bank, layout.victims, full_scan,
+                elapsed, out);
 }
 
 /**
@@ -134,6 +143,22 @@ runPressAttempt(bender::TestPlatform &platform, const RowLayout &layout,
     const Time elapsed = platform.run(program);
     AttemptResult res;
     collectVictims(platform, layout, full_scan, elapsed, res);
+    return res;
+}
+
+AttemptResult
+runPressAttemptOn(bender::TestPlatform &platform,
+                  const RowLayout &layout, DataPattern pattern,
+                  Time t_agg_on, std::uint64_t total_acts,
+                  const std::vector<int> &victims)
+{
+    initLayout(platform, layout, pattern);
+    auto program = makePressProgram(layout, t_agg_on, total_acts,
+                                    platform.timing());
+    const Time elapsed = platform.run(program);
+    AttemptResult res;
+    collectRows(platform, layout.bank, victims, /*full_scan=*/true,
+                elapsed, res);
     return res;
 }
 

@@ -27,11 +27,16 @@ struct VictimFlip
     int victimRow;
     device::FlipRecord flip;
 
-    /** Stable identity for overlap analyses. */
+    /**
+     * Stable identity for overlap analyses: row in the high 32 bits,
+     * bit in the low 32 — collision-free for any in-range bit (a
+     * 20-bit field would alias bits >= 2^20 into neighboring rows)
+     * and ordered exactly like (victimRow, bit).
+     */
     std::uint64_t
     id() const
     {
-        return (std::uint64_t(std::uint32_t(victimRow)) << 20) |
+        return (std::uint64_t(std::uint32_t(victimRow)) << 32) |
                std::uint32_t(flip.bit);
     }
 };
@@ -54,6 +59,20 @@ AttemptResult runPressAttempt(bender::TestPlatform &platform,
                               const RowLayout &layout, DataPattern pattern,
                               Time t_agg_on, std::uint64_t total_acts,
                               bool full_scan = false);
+
+/**
+ * runPressAttempt variant that full-scans only @p victims (a
+ * contiguous slice of the layout's victim list): the unit of work of
+ * the BER drivers' (location, victim-chunk) engine tasks.  Scanning a
+ * subset does not change any row's result — each row's dose is
+ * evaluated independently — so concatenating the slices in victim
+ * order reproduces the unchunked attempt bit-for-bit.
+ */
+AttemptResult runPressAttemptOn(bender::TestPlatform &platform,
+                                const RowLayout &layout,
+                                DataPattern pattern, Time t_agg_on,
+                                std::uint64_t total_acts,
+                                const std::vector<int> &victims);
 
 /** Same, for the RowPress-ONOFF pattern (section 5.4). */
 AttemptResult runOnOffAttempt(bender::TestPlatform &platform,

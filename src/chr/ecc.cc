@@ -3,20 +3,41 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logging.h"
+
 namespace rp::chr {
 
 namespace {
 
-/** Group flips into 64-bit words keyed by (victim row, word index). */
+/**
+ * Group flips into 64-bit words keyed by (victim row, word index).
+ *
+ * The row takes the high 32 bits and the word index the low 32, so
+ * keys are collision-free for any in-range bit (the old 20-bit word
+ * field silently collided once bit/64 reached 2^20, i.e. rows wider
+ * than 64 Mib).  Bit positions within a word are deduplicated:
+ * repeated observations of the same (row, bit) — e.g. one location
+ * scanned across several attempts — describe one erroneous cell, not
+ * several, and must not inflate the per-word flip count the ECC
+ * outcome classifiers key on.
+ */
 std::map<std::uint64_t, std::vector<int>>
 groupByWord(const std::vector<VictimFlip> &flips)
 {
     std::map<std::uint64_t, std::vector<int>> words;
     for (const auto &f : flips) {
+        if (f.flip.bit < 0)
+            fatal("groupByWord: negative bit index %d (row %d)",
+                  f.flip.bit, f.victimRow);
         const std::uint64_t word_key =
-            (std::uint64_t(std::uint32_t(f.victimRow)) << 20) |
+            (std::uint64_t(std::uint32_t(f.victimRow)) << 32) |
             std::uint32_t(f.flip.bit / 64);
         words[word_key].push_back(f.flip.bit % 64);
+    }
+    for (auto &[key, bits] : words) {
+        (void)key;
+        std::sort(bits.begin(), bits.end());
+        bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
     }
     return words;
 }

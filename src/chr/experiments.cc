@@ -342,6 +342,68 @@ maxActivationAttempt(Module &module, int location_idx, AccessKind kind,
                            /*full_scan=*/true);
 }
 
+std::vector<AttemptResult>
+maxActivationAttempts(const ModuleConfig &mc,
+                      core::ExperimentEngine &engine,
+                      const std::vector<int> &rows, AccessKind kind,
+                      DataPattern pattern, Time t_agg_on)
+{
+    if (rows.empty())
+        return {};
+
+    // (location, victim-chunk) tasks: when the engine has more
+    // workers than locations, each location's victim list is split
+    // into contiguous slices, every task replays the (fast-forwarded,
+    // cheap) attempt program on a private Module and full-scans only
+    // its slice.  Row materialization is independent per row, so the
+    // in-order concatenation below is bit-identical to the serial
+    // per-location scan regardless of the chunk count.
+    struct TaskDesc
+    {
+        std::size_t loc;
+        std::size_t first;
+        std::size_t last;
+    };
+    std::vector<RowLayout> layouts;
+    layouts.reserve(rows.size());
+    for (int row : rows)
+        layouts.push_back(makeLayout(kind, mc.bank, row));
+
+    const std::size_t split = engine.chunksPerTask(rows.size());
+    std::vector<TaskDesc> tasks;
+    for (std::size_t li = 0; li < rows.size(); ++li) {
+        for (const auto &[first, last] :
+             core::splitRanges(layouts[li].victims.size(), split))
+            tasks.push_back({li, first, last});
+    }
+
+    auto pieces = engine.map<AttemptResult>(
+        tasks.size(), [&](const core::TaskContext &ctx) {
+            const TaskDesc &d = tasks[ctx.index];
+            const RowLayout &layout = layouts[d.loc];
+            Module local(locationConfig(mc, rows[d.loc]));
+            auto &platform = local.platform();
+            const std::uint64_t acts = maxActsWithinBudget(
+                t_agg_on, platform.timing(), platform.cmdGap(), 60_ms);
+            const std::vector<int> victims(
+                layout.victims.begin() + std::ptrdiff_t(d.first),
+                layout.victims.begin() + std::ptrdiff_t(d.last));
+            return runPressAttemptOn(platform, layout, pattern,
+                                     t_agg_on, acts, victims);
+        });
+
+    std::vector<AttemptResult> results(rows.size());
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        AttemptResult &dst = results[tasks[ti].loc];
+        AttemptResult &src = pieces[ti];
+        dst.elapsed = src.elapsed;
+        dst.flips.insert(dst.flips.end(),
+                         std::make_move_iterator(src.flips.begin()),
+                         std::make_move_iterator(src.flips.end()));
+    }
+    return results;
+}
+
 int
 bitsPerRow(const Module &module)
 {

@@ -183,6 +183,22 @@ AttemptResult maxActivationAttempt(Module &module, int location_idx,
                                    AccessKind kind, DataPattern pattern,
                                    Time t_agg_on);
 
+/**
+ * Engine-parallel max-activation attempts over @p rows (one result
+ * per row, in order).  Tasks are (location, victim-chunk) pairs —
+ * when the engine has more workers than locations, each location's
+ * full-scan victim inspection is split across several tasks that each
+ * replay the (cheap, fast-forwarded) attempt program on a private
+ * Module and scan only their chunk of victim rows.  Row evaluation is
+ * independent and the ThresholdStore is read-only, so any chunking is
+ * bit-identical to the serial per-location scan.
+ */
+std::vector<AttemptResult>
+maxActivationAttempts(const ModuleConfig &mc,
+                      core::ExperimentEngine &engine,
+                      const std::vector<int> &rows, AccessKind kind,
+                      DataPattern pattern, Time t_agg_on);
+
 /** Bits per victim row of a module (BER denominators). */
 int bitsPerRow(const Module &module);
 

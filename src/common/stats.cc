@@ -84,6 +84,13 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x, double weight)
 {
+    if (std::isnan(x)) {
+        // NaN fails both range guards below and would reach the
+        // double -> size_t bin cast, which is undefined behavior.
+        // Treat it as out-of-range mass so totals stay auditable.
+        overflow_ += weight;
+        return;
+    }
     if (x < lo_) {
         underflow_ += weight;
         return;
@@ -187,6 +194,12 @@ probit(double p)
             a[5]) * q /
            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
             1.0);
+}
+
+double
+normCdf(double z)
+{
+    return 0.5 * std::erfc(-z * 0.7071067811865476);
 }
 
 double

@@ -23,8 +23,21 @@ class OnlineStats
 
     std::size_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
-    double min() const { return n_ ? min_ : 0.0; }
-    double max() const { return n_ ? max_ : 0.0; }
+    /**
+     * NaN when empty (an empty series used to render as min = 0 /
+     * max = 0, indistinguishable from real zeros; the table/CSV cell
+     * formatter prints NaN as an empty cell).
+     */
+    double
+    min() const
+    {
+        return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+    }
+    double
+    max() const
+    {
+        return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+    }
     double variance() const;
     double stddev() const;
 
@@ -98,6 +111,9 @@ double linearSlope(const std::vector<double> &x, const std::vector<double> &y);
  * calibration quantiles.
  */
 double probit(double p);
+
+/** Standard-normal CDF (via erfc; accurate deep into both tails). */
+double normCdf(double z);
 
 } // namespace rp
 

@@ -1,6 +1,7 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace rp {
@@ -23,6 +24,11 @@ std::string
 Table::toCell(double v)
 {
     char buf[64];
+    // NaN marks "no value" (e.g. the min/max of an empty series) and
+    // renders as an empty cell; it must also never reach the integer
+    // cast below (undefined behavior on NaN).
+    if (std::isnan(v))
+        return "";
     double a = v < 0 ? -v : v;
     if (v == 0.0)
         std::snprintf(buf, sizeof(buf), "0");

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "api/env.h"
@@ -196,6 +197,34 @@ ExperimentEngine::workerLoop(int id)
                 idle_.notify_all();
         }
     }
+}
+
+std::size_t
+ExperimentEngine::chunksPerTask(std::size_t n_tasks) const
+{
+    if (n_tasks == 0)
+        return 1;
+    const std::size_t workers = std::size_t(numThreads());
+    return (workers + n_tasks - 1) / n_tasks;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+splitRanges(std::size_t n_items, std::size_t n_chunks)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (n_items == 0)
+        return ranges;
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min(n_chunks, n_items));
+    const std::size_t base = n_items / chunks;
+    const std::size_t rem = n_items % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t len = base + (c < rem ? 1 : 0);
+        ranges.emplace_back(begin, begin + len);
+        begin += len;
+    }
+    return ranges;
 }
 
 ExperimentEngine &

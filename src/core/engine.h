@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -101,6 +102,15 @@ class ExperimentEngine
     {
         return hashU64(root_seed, index, 0x45474e45ULL /* "EGNE" */);
     }
+
+    /**
+     * How many pieces a driver should split each of @p n_tasks
+     * coarse-grained tasks into so the task set can occupy every
+     * worker (ceil(numThreads / n_tasks), at least 1).  Used by the
+     * full-scan BER drivers to re-chunk one-task-per-location work
+     * into (location, row-chunk) tasks when locations < workers.
+     */
+    std::size_t chunksPerTask(std::size_t n_tasks) const;
 
     /**
      * Execute all tasks; blocks until the set is complete.  The first
@@ -181,6 +191,15 @@ class ExperimentEngine
  * seed 1), for callers that do not manage their own pool.
  */
 ExperimentEngine &defaultEngine();
+
+/**
+ * Split @p n_items into at most @p n_chunks contiguous, non-empty
+ * [begin, end) ranges whose sizes differ by at most one, in order.
+ * Deterministic in its arguments, so drivers that fan chunked tasks
+ * out over the engine produce the same partition on every run.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+splitRanges(std::size_t n_items, std::size_t n_chunks);
 
 } // namespace rp::core
 

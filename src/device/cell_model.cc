@@ -212,10 +212,22 @@ CellModel::rowCandidates(int bank, int row) const
     return built;
 }
 
+const RowWordMasks &
+CellModel::rowWordMasks(int bank, int row) const
+{
+    const std::uint64_t key = packRowKey(bank, row);
+    if (auto it = wordMemo_.find(key); it != wordMemo_.end())
+        return *it->second;
+    const RowWordMasks &built = store_->wordMasks(bank, row);
+    wordMemo_.emplace(key, &built);
+    return built;
+}
+
 void
 CellModel::invalidateCaches()
 {
     rowMemo_.clear();
+    wordMemo_.clear();
     store_ = ThresholdStore::makePrivate(params_, bitsPerRow_, seed_);
 }
 
@@ -327,6 +339,31 @@ CellModel::evaluateCell(const CellProps &props, int bit,
     return false;
 }
 
+CellModel::DamageBounds
+CellModel::damageBounds(const DoseState &dose, double retention_seconds,
+                        double temp_c) const
+{
+    const CellModelParams &p = params_;
+    DamageBounds b;
+
+    b.hammer = 0.0;
+    const double h_sum = dose.hammer[0] + dose.hammer[1];
+    if (h_sum > 0.0) {
+        const double c_max = 1.0 + 0.5 * std::fabs(p.gammaRhAggr);
+        b.hammer =
+            h_sum * c_max + std::max(p.kappaDs, 0.0) *
+                                std::min(dose.hammer[0], dose.hammer[1]);
+    }
+
+    const double gamma =
+        p.gammaRpAggr0 + p.gammaRpAggrT * (temp_c - 50.0) / 30.0;
+    const double c_max = std::max(0.1, 1.0 + 0.5 * std::fabs(gamma)) *
+                         std::max(1.0, p.rhoWeakSide);
+    b.press = (dose.press[0] + dose.press[1]) * c_max;
+    b.retention = retention_seconds > 0.0 ? retention_seconds : 0.0;
+    return b;
+}
+
 bool
 CellModel::rowMayFlip(const RowCandidates &cands, const DoseState &dose,
                       double retention_seconds, double temp_c) const
@@ -338,25 +375,12 @@ CellModel::rowMayFlip(const RowCandidates &cands, const DoseState &dose,
     // can be skipped without changing any result.
     if (cands.size() == 0)
         return false;
-    const CellModelParams &p = params_;
-
-    const double h_sum = dose.hammer[0] + dose.hammer[1];
-    if (h_sum > 0.0) {
-        const double c_max = 1.0 + 0.5 * std::fabs(p.gammaRhAggr);
-        const double h_bound =
-            h_sum * c_max + std::max(p.kappaDs, 0.0) *
-                                std::min(dose.hammer[0], dose.hammer[1]);
-        if (h_bound >= 0.5 * cands.minThetaH)
-            return true;
-    }
-
-    const double gamma =
-        p.gammaRpAggr0 + p.gammaRpAggrT * (temp_c - 50.0) / 30.0;
-    const double c_max = std::max(0.1, 1.0 + 0.5 * std::fabs(gamma)) *
-                         std::max(1.0, p.rhoWeakSide);
-    const double press_bound = (dose.press[0] + dose.press[1]) * c_max;
-    const double ret = retention_seconds > 0.0 ? retention_seconds : 0.0;
-    return press_bound / cands.minThetaP + ret / cands.minTauRet >= 0.5;
+    const DamageBounds b =
+        damageBounds(dose, retention_seconds, temp_c);
+    if (b.hammer >= 0.5 * cands.minThetaH)
+        return true;
+    return b.press / cands.minThetaP + b.retention / cands.minTauRet >=
+           0.5;
 }
 
 bool
@@ -365,6 +389,107 @@ CellModel::rowMayFlip(int bank, int row, const DoseState &dose,
 {
     return rowMayFlip(rowCandidates(bank, row), dose, retention_seconds,
                       temp_c);
+}
+
+void
+CellModel::evaluateFullScanReference(int bank, int row,
+                                     const RowContext &ctx,
+                                     double temp_c,
+                                     std::vector<FlipRecord> &out) const
+{
+    FlipRecord rec;
+    for (int bit = 0; bit < bitsPerRow_; ++bit) {
+        CellProps props = cellProps(bank, row, bit);
+        if (evaluateCell(props, bit, ctx, temp_c, &rec))
+            out.push_back(rec);
+    }
+}
+
+void
+CellModel::evaluateFullScan(int bank, int row, const RowContext &ctx,
+                            double temp_c,
+                            std::vector<FlipRecord> &out) const
+{
+    const RowWordMasks &wm = rowWordMasks(bank, row);
+    const DamageBounds b =
+        damageBounds(*ctx.dose, ctx.retentionSeconds, temp_c);
+
+    // A cell flips only if its pre-noise damage reaches 0.5 (see
+    // rowMayFlip).  Charged-branch damage is a sum of a press and a
+    // retention term, so it reaching 0.5 requires one term to reach
+    // 0.25; the hammer branch is a single term against 0.5.  A word
+    // can therefore only contain flips if its weakest cell satisfies
+    //   thetaP <= press / 0.25  OR  tauRet <= retention / 0.25  OR
+    //   thetaH <= hammer / 0.5,
+    // which is exactly a cumulative-occupancy lookup at the ladder
+    // level covering that bound.
+    const CellModelParams &p = params_;
+    // Sum-split tightening (see RowWordMasks::minThetaPLow): the
+    // other charged-branch term can contribute at most bound-over-
+    // row-minimum, so this term must cover the rest of the 0.5 —
+    // never less than the generic 0.25 split.
+    const double a_max = b.press / wm.minThetaPLow;
+    const double r_max = b.retention / wm.minTauRetLow;
+    const double bound_h = b.hammer / 0.5;
+    const double bound_p = b.press / std::max(0.25, 0.5 - r_max);
+    const double bound_r = b.retention / std::max(0.25, 0.5 - a_max);
+
+    const BucketLadder &lh = store_->hammerLadder();
+    const BucketLadder &lp = store_->pressLadder();
+    const BucketLadder &lr = store_->retentionLadder();
+    const std::size_t kh = b.hammer > 0.0 ? lh.indexFor(bound_h)
+                                          : RowWordMasks::npos;
+    const std::size_t kp = b.press > 0.0 ? lp.indexFor(bound_p)
+                                         : RowWordMasks::npos;
+    const std::size_t kr = b.retention > 0.0 ? lr.indexFor(bound_r)
+                                             : RowWordMasks::npos;
+
+    // Within an eligible word, most cells still provably cannot flip:
+    // their thresholds are monotone in the raw uniform draws, so a
+    // per-word uniform cutoff (weakQuantileCutoff) discards them
+    // after three hash draws, and only the weak tail pays the full
+    // property derivation + evaluation.  Retention has no row/word
+    // variance component, so its cutoff is row-global.
+    const RowZ row_z = computeRowZ(seed_, bank, row);
+    const double cut_r =
+        weakQuantileCutoff(bound_r, p.muRet, p.sigmaRet, 0.0);
+
+    FlipRecord rec;
+    for (std::size_t g = 0; g < wm.numGroups; ++g) {
+        std::uint64_t mask =
+            wm.level(wm.hammer, kh, lh.size(), g) |
+            wm.level(wm.press, kp, lp.size(), g) |
+            wm.level(wm.retention, kr, lr.size(), g);
+        while (mask) {
+            const std::size_t w =
+                g * 64 + std::size_t(__builtin_ctzll(mask));
+            mask &= mask - 1;
+
+            const RowWordZ z =
+                computeWordZ(row_z, seed_, bank, row, int(w));
+            const double cut_h = weakQuantileCutoff(
+                bound_h, p.muH, p.sigmaH,
+                p.sigmaRowH * z.rowH + p.sigmaWordH * z.wordH);
+            const double cut_p = weakQuantileCutoff(
+                bound_p, p.muP, p.sigmaP,
+                p.sigmaRowP * z.rowP + p.sigmaWordP * z.wordP);
+
+            const int first = int(w) * 64;
+            const int last = std::min(bitsPerRow_, first + 64);
+            for (int bit = first; bit < last; ++bit) {
+                HashRng cell(hashU64(seed_, std::uint64_t(bank),
+                                     std::uint64_t(row),
+                                     std::uint64_t(bit)));
+                if (cell.uniform(celltags::TAG_UH) >= cut_h &&
+                    cell.uniform(celltags::TAG_UP) >= cut_p &&
+                    cell.uniform(celltags::TAG_RET) >= cut_r)
+                    continue;
+                const CellProps props = computeCellProps(p, cell, z);
+                if (evaluateCell(props, bit, ctx, temp_c, &rec))
+                    out.push_back(rec);
+            }
+        }
+    }
 }
 
 void
@@ -377,16 +502,12 @@ CellModel::evaluateInto(int bank, int row, const RowContext &ctx,
     if (ctx.dose->empty() && ctx.retentionSeconds <= 0.0)
         return;
 
-    FlipRecord rec;
     if (full_scan) {
-        for (int bit = 0; bit < bitsPerRow_; ++bit) {
-            CellProps props = cellProps(bank, row, bit);
-            if (evaluateCell(props, bit, ctx, temp_c, &rec))
-                out.push_back(rec);
-        }
+        evaluateFullScan(bank, row, ctx, temp_c, out);
         return;
     }
 
+    FlipRecord rec;
     const RowCandidates &cands = rowCandidates(bank, row);
     if (!rowMayFlip(cands, *ctx.dose, ctx.retentionSeconds, temp_c))
         return;

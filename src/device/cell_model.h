@@ -168,8 +168,14 @@ class CellModel
     /**
      * Evaluate which cells of the row flip under @p ctx.
      *
-     * @param full_scan evaluate all cells (needed for BER-level doses);
-     *        otherwise only the shared weakest-cell candidates are
+     * @param full_scan consider every cell (needed for BER-level
+     *        doses).  The scan runs word-at-a-time: the store's
+     *        per-row occupancy masks prove "no cell of these 64-bit
+     *        words can flip at this damage bound" with one mask test
+     *        per 64 words, and only words that admit flips descend to
+     *        the per-cell evaluation — bit-identical to the plain
+     *        per-bit loop (evaluateFullScanReference).  Without
+     *        full_scan only the shared weakest-cell candidates are
      *        checked (sufficient for ACmin-level searches), and rows
      *        whose dose provably cannot flip any candidate are skipped
      *        in O(1) via the store's per-row minimum thresholds.
@@ -189,6 +195,19 @@ class CellModel
 
     /** The shared weakest-cell candidate list of a row (SoA layout). */
     const RowCandidates &rowCandidates(int bank, int row) const;
+
+    /** The shared word-occupancy tier of a row (full-scan fast path). */
+    const RowWordMasks &rowWordMasks(int bank, int row) const;
+
+    /**
+     * Reference full scan: the plain per-bit evaluation loop the
+     * word-mask fast path replaced.  Kept public so the differential
+     * tests can pin `evaluateInto(full_scan = true)` against it
+     * bit-for-bit; not used on any hot path.
+     */
+    void evaluateFullScanReference(int bank, int row,
+                                   const RowContext &ctx, double temp_c,
+                                   std::vector<FlipRecord> &out) const;
 
     /**
      * O(1) disproof: false means no candidate cell of the row can
@@ -211,11 +230,37 @@ class CellModel
     void invalidateCaches();
 
   private:
+    /**
+     * Conservative per-mechanism damage numerators of one (dose,
+     * retention, temperature) state: an upper bound on any cell's
+     * hammer dose after couplings, on its press dose, and the
+     * retention seconds.  Dividing by a cell's (or a word's minimum)
+     * threshold bounds that cell's pre-noise damage, so a result
+     * below 0.5 is a rigorous cannot-flip proof.  rowMayFlip and the
+     * word-mask full scan both derive their tests from this one
+     * helper so the bounds can never drift apart.
+     */
+    struct DamageBounds
+    {
+        double hammer;
+        double press;
+        double retention;
+    };
+
     void deriveParams();
     CellProps cellProps(int bank, int row, int bit) const;
     bool evaluateCell(const CellProps &props, int bit,
                       const RowContext &ctx, double temp_c,
                       FlipRecord *out) const;
+
+    DamageBounds damageBounds(const DoseState &dose,
+                              double retention_seconds,
+                              double temp_c) const;
+
+    /** The word-mask full-scan fast path behind evaluateInto. */
+    void evaluateFullScan(int bank, int row, const RowContext &ctx,
+                          double temp_c,
+                          std::vector<FlipRecord> &out) const;
 
     /** The bound behind rowMayFlip, on an already-resolved row. */
     bool rowMayFlip(const RowCandidates &cands, const DoseState &dose,
@@ -235,6 +280,9 @@ class CellModel
      */
     mutable std::unordered_map<std::uint64_t, const RowCandidates *>
         rowMemo_;
+    /** Same memoization for the word-occupancy tier. */
+    mutable std::unordered_map<std::uint64_t, const RowWordMasks *>
+        wordMemo_;
 };
 
 } // namespace rp::device

@@ -13,20 +13,43 @@ namespace rp::device {
 
 using namespace celltags;
 
-CellProps
-computeCellProps(const CellModelParams &p, std::uint64_t seed, int bank,
-                 int row, int bit)
+RowZ
+computeRowZ(std::uint64_t seed, int bank, int row)
 {
-    const std::uint64_t cell_key =
-        hashU64(seed, std::uint64_t(bank), std::uint64_t(row),
-                std::uint64_t(bit));
-    HashRng cell(cell_key);
     HashRng row_rng(hashU64(seed, std::uint64_t(bank),
                             std::uint64_t(row)));
+    RowZ z;
+    z.rowH = row_rng.normal(TAG_ROWH);
+    z.rowP = row_rng.normal(TAG_ROWP);
+    return z;
+}
+
+RowWordZ
+computeWordZ(const RowZ &row_z, std::uint64_t seed, int bank, int row,
+             int word_index)
+{
     HashRng word_rng(hashU64(seed, std::uint64_t(bank),
                              std::uint64_t(row),
-                             std::uint64_t(bit / 64) + 0x1000000ULL));
+                             std::uint64_t(word_index) + 0x1000000ULL));
+    RowWordZ z;
+    z.rowH = row_z.rowH;
+    z.rowP = row_z.rowP;
+    z.wordH = word_rng.normal(TAG_WRDH);
+    z.wordP = word_rng.normal(TAG_WRDP);
+    return z;
+}
 
+RowWordZ
+computeRowWordZ(std::uint64_t seed, int bank, int row, int word_index)
+{
+    return computeWordZ(computeRowZ(seed, bank, row), seed, bank, row,
+                        word_index);
+}
+
+CellProps
+computeCellProps(const CellModelParams &p, const HashRng &cell,
+                 const RowWordZ &z)
+{
     CellProps props;
     props.uH = cell.uniform(TAG_UH);
     props.uP = cell.uniform(TAG_UP);
@@ -34,19 +57,71 @@ computeCellProps(const CellModelParams &p, std::uint64_t seed, int bank,
     props.domSide = cell.uniform(TAG_DOM) < 0.5 ? 0 : 1;
     const double u_ret = cell.uniform(TAG_RET);
 
-    const double z_row_h = row_rng.normal(TAG_ROWH);
-    const double z_row_p = row_rng.normal(TAG_ROWP);
-    const double z_word_h = word_rng.normal(TAG_WRDH);
-    const double z_word_p = word_rng.normal(TAG_WRDP);
-
     props.thetaH = std::exp(p.muH + p.sigmaH * probit(props.uH) +
-                            p.sigmaRowH * z_row_h +
-                            p.sigmaWordH * z_word_h);
+                            p.sigmaRowH * z.rowH +
+                            p.sigmaWordH * z.wordH);
     props.thetaP = std::exp(p.muP + p.sigmaP * probit(props.uP) +
-                            p.sigmaRowP * z_row_p +
-                            p.sigmaWordP * z_word_p);
+                            p.sigmaRowP * z.rowP +
+                            p.sigmaWordP * z.wordP);
     props.tauRet = std::exp(p.muRet + p.sigmaRet * probit(u_ret));
     return props;
+}
+
+CellProps
+computeCellProps(const CellModelParams &p, std::uint64_t seed, int bank,
+                 int row, int bit)
+{
+    HashRng cell(hashU64(seed, std::uint64_t(bank), std::uint64_t(row),
+                         std::uint64_t(bit)));
+    return computeCellProps(
+        p, cell, computeRowWordZ(seed, bank, row, bit / 64));
+}
+
+double
+weakQuantileCutoff(double bound, double mu, double sigma, double shift)
+{
+    if (!(bound > 0.0))
+        return 0.0;
+    if (!(sigma > 0.0)) {
+        // Degenerate spread (ablation studies may zero a sigma):
+        // every cell shares exp(mu + shift), so the answer is all or
+        // nothing; the relative margin keeps boundary ties inclusive.
+        return std::exp(mu + shift) <= bound * (1.0 + 1e-9) ? 1.0 : 0.0;
+    }
+    // theta <= bound  <=>  probit(u) <= (log(bound) - mu - shift)/sigma.
+    // The 1e-6 cushion dominates both the Acklam probit error (~5e-8
+    // absolute over its clamped +/-38 range) and the rounding of this
+    // expression, so the cutoff can only over-include.
+    const double z_cut = (std::log(bound) - mu - shift) / sigma + 1e-6;
+    return normCdf(z_cut);
+}
+
+BucketLadder::BucketLadder(double mu, double sigma)
+{
+    // Edges at lo * 2^k from 12 sigma below the log-space mean (well
+    // past any realizable weak cell the selective regime cares about;
+    // words even weaker than that land in every mask, which stays
+    // conservative) up past 3 sigma above it (queries beyond the top
+    // edge degenerate to a plain full scan of the row).
+    const double s = std::max(sigma, 0.3);
+    const double lo = std::exp(mu - 12.0 * s);
+    const double hi = std::exp(mu + 3.0 * s);
+    constexpr std::size_t kMaxEdges = 48;
+    double edge = lo;
+    while (edges_.size() < kMaxEdges) {
+        edges_.push_back(edge);
+        if (edge >= hi)
+            break;
+        edge *= 2.0;
+    }
+}
+
+std::size_t
+BucketLadder::indexFor(double bound) const
+{
+    return std::size_t(
+        std::lower_bound(edges_.begin(), edges_.end(), bound) -
+        edges_.begin());
 }
 
 namespace {
@@ -75,7 +150,15 @@ storeKeyOf(const DieConfig &die, int bits_per_row, std::uint64_t seed)
 struct StoreRegistry
 {
     std::mutex mutex;
-    std::unordered_map<std::string, std::weak_ptr<const ThresholdStore>>
+    // Strong references: a store is a pure deterministic cache, and
+    // the engine drivers churn through short-lived Modules (one per
+    // task), so a weak registry would rebuild every tier each time
+    // the last model of a config died between tasks.  Keeping stores
+    // for the life of the process is what makes "candidate
+    // enumeration happens once per row per process" actually true;
+    // memory stays bounded by (distinct configs) x (touched rows).
+    std::unordered_map<std::string,
+                       std::shared_ptr<const ThresholdStore>>
         stores;
 };
 
@@ -90,7 +173,12 @@ registry()
 
 ThresholdStore::ThresholdStore(const CellModelParams &params,
                                int bits_per_row, std::uint64_t seed)
-    : params_(params), bitsPerRow_(bits_per_row), seed_(seed)
+    : params_(params), bitsPerRow_(bits_per_row), seed_(seed),
+      hammerLadder_(params.muH, params.sigmaH + params.sigmaRowH +
+                                    params.sigmaWordH),
+      pressLadder_(params.muP, params.sigmaP + params.sigmaRowP +
+                                   params.sigmaWordP),
+      retentionLadder_(params.muRet, params.sigmaRet)
 {
 }
 
@@ -102,10 +190,8 @@ ThresholdStore::acquire(const DieConfig &die,
     StoreRegistry &reg = registry();
     const std::string key = storeKeyOf(die, bits_per_row, seed);
     std::lock_guard<std::mutex> lock(reg.mutex);
-    if (auto it = reg.stores.find(key); it != reg.stores.end()) {
-        if (auto live = it->second.lock())
-            return live;
-    }
+    if (auto it = reg.stores.find(key); it != reg.stores.end())
+        return it->second;
     std::shared_ptr<const ThresholdStore> store(
         new ThresholdStore(params, bits_per_row, seed));
     reg.stores[key] = store;
@@ -149,6 +235,102 @@ ThresholdStore::buildRow(int bank, int row) const
         out.minTauRet = std::min(out.minTauRet, props.tauRet);
     }
     return out;
+}
+
+RowWordMasks
+ThresholdStore::buildWordMasks(int bank, int row) const
+{
+    const CellModelParams &p = params_;
+    RowWordMasks wm;
+    wm.numWords = std::size_t(bitsPerRow_ + 63) / 64;
+    wm.numGroups = (wm.numWords + 63) / 64;
+    wm.valid.assign(wm.numGroups, 0);
+    wm.hammer.assign(hammerLadder_.size() * wm.numGroups, 0);
+    wm.press.assign(pressLadder_.size() * wm.numGroups, 0);
+    wm.retention.assign(retentionLadder_.size() * wm.numGroups, 0);
+
+    const RowZ row_z = computeRowZ(seed_, bank, row);
+
+    // A word's minimum threshold per mechanism is the threshold of
+    // its minimum uniform draw (exp and probit are monotone; the
+    // shared row/word variance components factor out within a word),
+    // so the enumeration needs only three raw hash draws per cell and
+    // one probit/exp per word — ~5x cheaper than materializing every
+    // cell's properties.  The recorded bucket is padded one level
+    // down, giving a full factor-2 margin that swallows any floating-
+    // point monotonicity slop of that shortcut.
+    double row_min_p = 1e300;
+    double row_min_r = 1e300;
+    for (std::size_t w = 0; w < wm.numWords; ++w) {
+        double min_uh = 1.0;
+        double min_up = 1.0;
+        double min_ur = 1.0;
+        const int first = int(w) * 64;
+        const int last = std::min(bitsPerRow_, first + 64);
+        for (int bit = first; bit < last; ++bit) {
+            HashRng cell(hashU64(seed_, std::uint64_t(bank),
+                                 std::uint64_t(row),
+                                 std::uint64_t(bit)));
+            min_uh = std::min(min_uh, cell.uniform(TAG_UH));
+            min_up = std::min(min_up, cell.uniform(TAG_UP));
+            min_ur = std::min(min_ur, cell.uniform(TAG_RET));
+        }
+
+        const RowWordZ z = computeWordZ(row_z, seed_, bank, row, int(w));
+        const double min_h =
+            std::exp(p.muH + p.sigmaH * probit(min_uh) +
+                     p.sigmaRowH * z.rowH + p.sigmaWordH * z.wordH);
+        const double min_p =
+            std::exp(p.muP + p.sigmaP * probit(min_up) +
+                     p.sigmaRowP * z.rowP + p.sigmaWordP * z.wordP);
+        const double min_r =
+            std::exp(p.muRet + p.sigmaRet * probit(min_ur));
+        row_min_p = std::min(row_min_p, min_p);
+        row_min_r = std::min(row_min_r, min_r);
+
+        const std::size_t g = w / 64;
+        const std::uint64_t bit = std::uint64_t(1) << (w % 64);
+        wm.valid[g] |= bit;
+        // A word whose weakest cell sits at ladder level k occupies
+        // the cumulative masks of every level >= k (minus the safety
+        // pad).
+        auto firstLevel = [](const BucketLadder &l, double v) {
+            const std::size_t k = l.indexFor(v);
+            return k > 0 ? k - 1 : 0;
+        };
+        for (std::size_t k = firstLevel(hammerLadder_, min_h);
+             k < hammerLadder_.size(); ++k)
+            wm.hammer[k * wm.numGroups + g] |= bit;
+        for (std::size_t k = firstLevel(pressLadder_, min_p);
+             k < pressLadder_.size(); ++k)
+            wm.press[k * wm.numGroups + g] |= bit;
+        for (std::size_t k = firstLevel(retentionLadder_, min_r);
+             k < retentionLadder_.size(); ++k)
+            wm.retention[k * wm.numGroups + g] |= bit;
+    }
+    wm.minThetaPLow = 0.5 * row_min_p;
+    wm.minTauRetLow = 0.5 * row_min_r;
+    return wm;
+}
+
+const RowWordMasks &
+ThresholdStore::wordMasks(int bank, int row) const
+{
+    const std::uint64_t key = packRowKey(bank, row);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto it = wordMasks_.find(key); it != wordMasks_.end())
+            return *it->second;
+    }
+
+    // Built outside the lock; racing builders produce identical
+    // results (pure function of the key) and the loser is discarded.
+    auto built =
+        std::make_unique<RowWordMasks>(buildWordMasks(bank, row));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = wordMasks_.emplace(key, std::move(built));
+    (void)inserted;
+    return *it->second;
 }
 
 const RowCandidates &

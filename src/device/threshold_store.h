@@ -14,11 +14,19 @@
  *
  * A ThresholdStore owns that enumeration once per process: CellModel
  * instances constructed from the same (die, bits-per-row, seed) share
- * one store through a process-wide registry, and rows are built
- * lazily, under a mutex, in a structure-of-arrays layout.  Each row
- * also carries its minimum thresholds so evaluation can prove "no
- * cell of this row can flip under this dose" in O(1) and skip the
- * candidate scan entirely.
+ * one store through a process-wide registry (strong references — the
+ * store is a pure deterministic cache and outlives the short-lived
+ * Modules of engine tasks), and rows are built lazily, under a mutex,
+ * in a structure-of-arrays layout.  Two tiers exist per row:
+ *
+ *  - the candidate tier (RowCandidates): the weakest cells of the
+ *    row, with row-minimum thresholds for the O(1) cannot-flip proof
+ *    that gates ACmin-level evaluation;
+ *  - the word tier (RowWordMasks): per-64-bit-word occupancy bitmasks
+ *    over a geometric bucket ladder of thresholds, letting the
+ *    full-scan (BER/ECC) path prove "no cell of these 64 words can
+ *    flip at this damage bound" with one mask test, plus row-minimum
+ *    lower bounds that tighten the press/retention damage split.
  *
  * Determinism: row contents depend only on the store key, never on
  * build order or thread count, so sharing cannot change results.
@@ -33,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "device/die_config.h"
 
@@ -102,6 +111,64 @@ CellProps computeCellProps(const CellModelParams &params,
                            int bit);
 
 /**
+ * Shared row/word variance components of one cell's thresholds.  The
+ * full-scan fast path derives these once per row / per word instead
+ * of once per cell (they dominate the per-cell cost: four Box-Muller
+ * normals against two table hashes).
+ */
+struct RowWordZ
+{
+    double rowH;
+    double rowP;
+    double wordH;
+    double wordP;
+};
+
+/** The row-level variance components of (seed, bank, row). */
+struct RowZ
+{
+    double rowH;
+    double rowP;
+};
+
+/**
+ * These two helpers are the single source of the row/word draw
+ * sequence (key derivation, tags, the word-stream offset): the mask
+ * builder and the full-scan evaluator hoist computeRowZ out of their
+ * word loops and call computeWordZ per word, and computeRowWordZ
+ * composes them for the per-cell path — so the three users cannot
+ * drift apart, which the fast path's bit-identity depends on.
+ */
+RowZ computeRowZ(std::uint64_t seed, int bank, int row);
+RowWordZ computeWordZ(const RowZ &row_z, std::uint64_t seed, int bank,
+                      int row, int word_index);
+
+/** The full row/word variance context of (seed, bank, row, word). */
+RowWordZ computeRowWordZ(std::uint64_t seed, int bank, int row,
+                         int word_index);
+
+/**
+ * computeCellProps with the row/word context precomputed; @p cell
+ * must be HashRng(hashU64(seed, bank, row, bit)).  Produces doubles
+ * bit-identical to computeCellProps (same draws, same expressions).
+ */
+CellProps computeCellProps(const CellModelParams &params,
+                           const HashRng &cell, const RowWordZ &z);
+
+/**
+ * Conservative uniform-quantile cutoff for a log-normal threshold
+ * theta = exp(mu + sigma * probit(u) + shift): every cell whose
+ * uniform draw u is >= the returned value provably has theta >
+ * @p bound.  The cutoff carries a small cushion (covering the probit
+ * approximation and expression rounding), so cells near the boundary
+ * are kept — false positives only, never false negatives.  This is
+ * what lets the full-scan fast path discard most cells of an eligible
+ * word after three raw hash draws, before any probit/exp work.
+ */
+double weakQuantileCutoff(double bound, double mu, double sigma,
+                          double shift);
+
+/**
  * The weakest cells of one row, in bit order, as parallel arrays
  * (structure-of-arrays: the evaluation hot loop touches thetaH OR
  * thetaP/tauRet per cell, never all fields).
@@ -121,6 +188,92 @@ struct RowCandidates
     double minTauRet = 1e300;
 
     std::size_t size() const { return bit.size(); }
+};
+
+/**
+ * Geometric bucket ladder over a log-normal threshold distribution:
+ * edges at lo * 2^k, sized from (mu, sigma) so the selective query
+ * range of the word-occupancy tier is covered.  Queries above the top
+ * edge fall back to "every word eligible" (a plain full scan), which
+ * is conservative and only happens at doses that flip large parts of
+ * the row anyway.
+ */
+class BucketLadder
+{
+  public:
+    BucketLadder() = default;
+    BucketLadder(double mu, double sigma);
+
+    /**
+     * Smallest k with edge(k) >= @p bound (so an occupancy mask at
+     * level k contains every word whose minimum threshold is <=
+     * @p bound); size() when @p bound is above the top edge.
+     */
+    std::size_t indexFor(double bound) const;
+
+    std::size_t size() const { return edges_.size(); }
+    double edge(std::size_t k) const { return edges_[k]; }
+
+  private:
+    std::vector<double> edges_;
+};
+
+/**
+ * Word-level occupancy tier of one row: for every 64-bit data word,
+ * the bucket of its weakest hammer / press / retention cell, stored
+ * as cumulative bitmasks so a full-scan evaluation can test 64 words'
+ * "can any cell possibly flip at this damage bound?" with one 64-bit
+ * load per mechanism.  Bit w of group g refers to data word 64g + w.
+ */
+struct RowWordMasks
+{
+    std::size_t numWords = 0;   ///< ceil(bits_per_row / 64).
+    std::size_t numGroups = 0;  ///< ceil(numWords / 64).
+
+    /** Bit set for every existing word (the "all eligible" fallback). */
+    std::vector<std::uint64_t> valid;
+
+    /**
+     * Rigorous lower bounds on the row-wide minimum press/retention
+     * thresholds (the tracked per-word minima, halved — the same
+     * factor-2 margin as the bucket pad).  They cap how large any
+     * cell's press / retention damage term can be, which tightens
+     * the sum-split of the charged-branch test: a flip needs
+     * press + retention >= 0.5, so with retention capped at B the
+     * press term must reach 0.5 - B, not just the generic 0.25.
+     * (The hammer branch is a single term, so it has no split
+     * partner and needs no bound here.)
+     */
+    double minThetaPLow = 0.0;
+    double minTauRetLow = 0.0;
+
+    /**
+     * Flattened [bucket][group] cumulative occupancy per mechanism:
+     * bit w of hammer[k * numGroups + g] is set when word 64g + w
+     * holds a cell with thetaH <= hammer-ladder edge k (and likewise
+     * for press / retention).
+     */
+    std::vector<std::uint64_t> hammer;
+    std::vector<std::uint64_t> press;
+    std::vector<std::uint64_t> retention;
+
+    /**
+     * Occupancy of group @p g at ladder level @p k for one mechanism
+     * array: empty below the ladder (@p k == npos, i.e. a zero dose),
+     * everything above it (@p k == ladder size).
+     */
+    std::uint64_t
+    level(const std::vector<std::uint64_t> &mech, std::size_t k,
+          std::size_t ladder_size, std::size_t g) const
+    {
+        if (k == npos)
+            return 0;
+        if (k >= ladder_size)
+            return valid[g];
+        return mech[k * numGroups + g];
+    }
+
+    static constexpr std::size_t npos = std::size_t(-1);
 };
 
 /** Lazily built, mutex-protected candidate rows of one device model. */
@@ -150,6 +303,21 @@ class ThresholdStore
     /** Candidate list of a row; built on first use (thread-safe). */
     const RowCandidates &row(int bank, int row) const;
 
+    /**
+     * Word-occupancy tier of a row; built on first use (thread-safe),
+     * like the candidate tier.  One build costs the same enumeration
+     * as a single legacy full scan and is then shared by every full
+     * scan of the row across all CellModels of this store.
+     */
+    const RowWordMasks &wordMasks(int bank, int row) const;
+
+    const BucketLadder &hammerLadder() const { return hammerLadder_; }
+    const BucketLadder &pressLadder() const { return pressLadder_; }
+    const BucketLadder &retentionLadder() const
+    {
+        return retentionLadder_;
+    }
+
     int bitsPerRow() const { return bitsPerRow_; }
     std::uint64_t seed() const { return seed_; }
 
@@ -158,15 +326,23 @@ class ThresholdStore
                    std::uint64_t seed);
 
     RowCandidates buildRow(int bank, int row) const;
+    RowWordMasks buildWordMasks(int bank, int row) const;
 
     CellModelParams params_;
     int bitsPerRow_;
     std::uint64_t seed_;
 
+    BucketLadder hammerLadder_;
+    BucketLadder pressLadder_;
+    BucketLadder retentionLadder_;
+
     mutable std::mutex mutex_;
     mutable std::unordered_map<std::uint64_t,
                                std::unique_ptr<RowCandidates>>
         rows_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::unique_ptr<RowWordMasks>>
+        wordMasks_;
 };
 
 } // namespace rp::device

@@ -145,6 +145,13 @@ TEST(Stats, EmptyOnlineStats)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
     EXPECT_EQ(s.variance(), 0.0);
+    // An empty series has no extrema: NaN (rendered as an empty
+    // cell), never a fake 0 indistinguishable from a real zero.
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(-3.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), -3.0);
 }
 
 TEST(Stats, BoxSummaryPaperQuartileConvention)
@@ -188,6 +195,29 @@ TEST(Stats, HistogramBinningAndOverflow)
     EXPECT_DOUBLE_EQ(h.total(), 6.0);
     EXPECT_NEAR(h.fraction(0), 1.0 / 6.0, 1e-12);
     EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, HistogramRoutesNanToOverflow)
+{
+    // Regression: NaN fails both range guards and used to reach the
+    // double -> size_t bin cast (undefined behavior).
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::quiet_NaN(), 2.5);
+    EXPECT_DOUBLE_EQ(h.overflow(), 3.5);
+    EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_DOUBLE_EQ(h.count(i), 0.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.5);
+}
+
+TEST(Stats, NormCdfInvertsProbit)
+{
+    for (double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999})
+        EXPECT_NEAR(normCdf(probit(p)), p, 1e-7);
+    EXPECT_NEAR(normCdf(0.0), 0.5, 1e-15);
+    EXPECT_LT(normCdf(-10.0), 1e-20);
+    EXPECT_GT(normCdf(-10.0), 0.0);
 }
 
 TEST(Stats, LinearSlopeRecoversLine)
@@ -241,6 +271,10 @@ TEST(Table, CellFormatting)
     EXPECT_EQ(Table::toCell(12.0), "12");
     EXPECT_EQ(Table::toCell((long long)-5), "-5");
     EXPECT_EQ(Table::toCell(1234567.0), "1.23e+06");
+    // NaN ("no value", e.g. OnlineStats::min() of an empty series)
+    // renders as an empty cell in table and CSV output.
+    EXPECT_EQ(Table::toCell(std::numeric_limits<double>::quiet_NaN()),
+              "");
 }
 
 } // namespace

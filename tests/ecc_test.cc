@@ -56,6 +56,51 @@ TEST(Ecc, BucketBoundaries)
     EXPECT_EQ(stats.maxFlipsPerWord, 9u);
 }
 
+TEST(Ecc, DuplicateFlipsCountOnce)
+{
+    // Repeated observations of the same (row, bit) — e.g. one
+    // location scanned across several attempts — describe one
+    // erroneous cell and must not inflate the per-word flip count.
+    std::vector<VictimFlip> flips = {flipAt(1, 3), flipAt(1, 3),
+                                     flipAt(1, 3)};
+    auto stats = analyzeWordErrors(flips);
+    EXPECT_EQ(stats.totalErrorWords, 1u);
+    EXPECT_EQ(stats.maxFlipsPerWord, 1u);
+    auto secded = evaluateSecded(flips);
+    EXPECT_EQ(secded.corrected, 1u);
+    EXPECT_EQ(secded.silent, 0u);
+
+    // Two distinct bits observed twice each: still a 2-flip word.
+    std::vector<VictimFlip> two = {flipAt(2, 0), flipAt(2, 9),
+                                   flipAt(2, 9), flipAt(2, 0)};
+    EXPECT_EQ(analyzeWordErrors(two).maxFlipsPerWord, 2u);
+    EXPECT_EQ(evaluateSecded(two).detected, 1u);
+    EXPECT_EQ(evaluateChipkill(two, 8).detected, 1u);
+}
+
+TEST(Ecc, WordKeyPackingNearBoundary)
+{
+    // Regression for the (row << 20) | word_index packing: with word
+    // index 2^20 (bit 64 * 2^20) the old key for (row 2, word 2^20)
+    // collided with (row 3, word 0) and merged unrelated words.
+    const int boundary_bit = 64 * (1 << 20);
+    std::vector<VictimFlip> flips = {flipAt(2, boundary_bit),
+                                     flipAt(2, boundary_bit + 1),
+                                     flipAt(3, 0)};
+    auto stats = analyzeWordErrors(flips);
+    EXPECT_EQ(stats.totalErrorWords, 2u);
+    EXPECT_EQ(stats.words1to2, 2u);
+    EXPECT_EQ(stats.maxFlipsPerWord, 2u);
+    auto secded = evaluateSecded(flips);
+    EXPECT_EQ(secded.corrected, 1u); // row 3's single flip
+    EXPECT_EQ(secded.detected, 1u);  // row 2's double flip
+    EXPECT_EQ(secded.silent, 0u);    // the collision made a 3-flip word
+
+    // VictimFlip::id() uses the same packing; the same two flips must
+    // not alias either.
+    EXPECT_NE(flipAt(2, boundary_bit).id(), flipAt(3, 0).id());
+}
+
 TEST(Ecc, StatsMerge)
 {
     WordErrorStats a, b;

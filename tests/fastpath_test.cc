@@ -2,12 +2,17 @@
  * @file
  * Fast-path equivalence tests.
  *
- * The search fast path has two layers that must not change any
+ * The search fast path has three layers that must not change any
  * result:
  *
  *  - the candidate-path CellModel::evaluate (shared ThresholdStore,
  *    SoA scan, O(1) cannot-flip early exit) must report the same flip
  *    set as an exhaustive full scan at ACmin-level doses;
+ *  - the word-mask full scan (per-row occupancy masks + per-cell
+ *    uniform-quantile prefilter) must be bit-identical to the plain
+ *    per-bit reference loop (evaluateFullScanReference) at any dose,
+ *    and the (location, victim-chunk) BER task chunking must merge
+ *    back to the serial per-location scan;
  *  - the AttemptOracle-backed findAcmin / findTAggOnMin must be
  *    bit-identical to the program-replay implementation (which stays
  *    available behind SearchConfig::useOracle = false precisely so
@@ -16,6 +21,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/sink.h"
+#include "chr/ecc.h"
 #include "chr/oracle.h"
 #include "core/rowpress.h"
 
@@ -84,6 +97,176 @@ TEST(FastPath, CandidateEvaluateMatchesFullScanAtAcminDose)
         }
     }
     EXPECT_GT(flipping_cases, 0u);
+}
+
+TEST(FastPath, WordMaskFullScanMatchesReferenceScan)
+{
+    // The word-mask full scan must reproduce the plain per-bit loop
+    // bit-for-bit across every dose regime: zero-ish, retention-only,
+    // press-dominated (from ACmin-marginal up to far above the bucket
+    // ladder, where the masks degenerate to a plain full scan),
+    // hammer-dominated, and mixed.
+    for (const auto &die : {device::dieS8GbB(), device::dieM16GbF()}) {
+        device::CellModel model(die, 65536, 7);
+        std::size_t flips_seen = 0;
+
+        struct Regime
+        {
+            double press;
+            double hammer;
+            double retention;
+        };
+        const Regime regimes[] = {
+            {0.0, 0.0, 1e-9},      {0.0, 0.0, 4.0},
+            {1e9, 0.0, 0.0},       {1e12 * 8.0, 0.0, 0.0},
+            {1e12 * 200.0, 0.0, 0.0}, {1e12 * 5e4, 0.0, 0.0},
+            {0.0, 2e4, 0.0},       {0.0, 5e6, 0.0},
+            {1e12 * 40.0, 3e4, 0.01},
+        };
+        for (const Regime &r : regimes) {
+            device::DoseState dose;
+            dose.press[0] = r.press;
+            dose.press[1] = r.press * 0.1;
+            dose.hammer[0] = dose.hammer[1] = r.hammer;
+            device::RowContext ctx;
+            ctx.dose = &dose;
+            ctx.victimFill = 0x55;
+            ctx.aggrFill[0] = 0x55;
+            ctx.aggrFill[1] = 0xAA;
+            ctx.retentionSeconds = r.retention;
+            ctx.noiseSigma = 0.05;
+            ctx.noiseNonce = 987654;
+            for (double temp : {50.0, 80.0}) {
+                for (int row = 62; row < 67; ++row) {
+                    auto fast =
+                        model.evaluate(1, row, ctx, true, temp);
+                    std::vector<device::FlipRecord> ref;
+                    model.evaluateFullScanReference(1, row, ctx, temp,
+                                                    ref);
+                    ASSERT_EQ(fast.size(), ref.size())
+                        << die.id << " press=" << r.press
+                        << " hammer=" << r.hammer << " row=" << row;
+                    for (std::size_t i = 0; i < ref.size(); ++i) {
+                        EXPECT_EQ(fast[i].bit, ref[i].bit);
+                        EXPECT_EQ(fast[i].oneToZero, ref[i].oneToZero);
+                        EXPECT_EQ(fast[i].mechanism, ref[i].mechanism);
+                    }
+                    flips_seen += ref.size();
+                }
+            }
+        }
+        // The regimes must exercise real flips, not just empty scans.
+        EXPECT_GT(flips_seen, 100u) << die.id;
+    }
+}
+
+TEST(FastPath, ChunkedAttemptsMatchSerialAttempts)
+{
+    // (location, victim-chunk) engine tasks against the serial
+    // per-location scan, with more workers than locations so the
+    // chunking actually splits victim lists.
+    const auto mc = testConfig(3);
+    const std::vector<int> rows = chr::baseRowsOf(mc);
+    core::ExperimentEngine engine(
+        [] {
+            core::ExperimentEngine::Options o;
+            o.numThreads = 4;
+            return o;
+        }());
+    ASSERT_GT(engine.chunksPerTask(rows.size()), 1u);
+
+    for (auto kind : {chr::AccessKind::SingleSided,
+                      chr::AccessKind::DoubleSided}) {
+        auto chunked = chr::maxActivationAttempts(
+            mc, engine, rows, kind, chr::DataPattern::CheckerBoard,
+            7800_ns);
+        ASSERT_EQ(chunked.size(), rows.size());
+        std::size_t total = 0;
+        for (std::size_t li = 0; li < rows.size(); ++li) {
+            chr::Module serial(chr::locationConfig(mc, rows[li]));
+            auto expect = chr::maxActivationAttempt(
+                serial, 0, kind, chr::DataPattern::CheckerBoard,
+                7800_ns);
+            EXPECT_EQ(idsOf(chunked[li].flips), idsOf(expect.flips))
+                << chr::accessKindName(kind) << " row " << rows[li];
+            EXPECT_EQ(chunked[li].elapsed, expect.elapsed);
+            total += expect.flips.size();
+        }
+        EXPECT_GT(total, 0u) << chr::accessKindName(kind);
+    }
+}
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(FastPath, BerEccCsvByteIdenticalAcrossThreadCounts)
+{
+    // The fig25-shaped pipeline (chunked max-activation attempts ->
+    // word-error stats -> SECDED/Chipkill outcomes -> CSV sink) must
+    // write byte-identical artifacts at 1 and 4 threads.
+    const auto mc = testConfig(2);
+    const std::vector<int> rows = chr::baseRowsOf(mc);
+    const api::ExperimentInfo info{"fastpath_ber", "t", "t", "test"};
+
+    auto render = [&](int threads) {
+        core::ExperimentEngine engine(
+            [threads] {
+                core::ExperimentEngine::Options o;
+                o.numThreads = threads;
+                return o;
+            }());
+        // Unique per process: concurrent test binaries (e.g. release
+        // and sanitizer ctest runs sharing /tmp) must not clobber
+        // each other's artifact directories mid-write.
+        const fs::path dir = fs::temp_directory_path() /
+                             ("rp_fastpath_ber_p" +
+                              std::to_string(::getpid()) + "_t" +
+                              std::to_string(threads));
+        fs::remove_all(dir);
+        api::CsvSink sink(dir);
+        sink.beginExperiment(info);
+        api::Dataset table("ber ecc words");
+        table.header({"kind", "tAggON", "1-2", "3-8", ">8", "max",
+                      "secded silent", "chipkill silent"});
+        for (auto kind : {chr::AccessKind::SingleSided,
+                          chr::AccessKind::DoubleSided}) {
+            for (Time t : {7800_ns, 70200_ns}) {
+                auto attempts = chr::maxActivationAttempts(
+                    mc, engine, rows, kind,
+                    chr::DataPattern::CheckerBoard, t);
+                std::vector<chr::VictimFlip> flips;
+                for (auto &attempt : attempts)
+                    flips.insert(flips.end(), attempt.flips.begin(),
+                                 attempt.flips.end());
+                auto stats = chr::analyzeWordErrors(flips);
+                auto secded = chr::evaluateSecded(flips);
+                auto chipkill = chr::evaluateChipkill(flips, 8);
+                table.row({chr::accessKindName(kind), formatTime(t),
+                           api::cell(stats.words1to2),
+                           api::cell(stats.words3to8),
+                           api::cell(stats.wordsOver8),
+                           api::cell(stats.maxFlipsPerWord),
+                           api::cell(secded.silent),
+                           api::cell(chipkill.silent)});
+            }
+        }
+        sink.dataset(table);
+        sink.endExperiment();
+        return dir / info.id / "ber_ecc_words.csv";
+    };
+
+    const std::string csv1 = slurp(render(1));
+    const std::string csv4 = slurp(render(4));
+    ASSERT_FALSE(csv1.empty());
+    EXPECT_EQ(csv1, csv4);
 }
 
 TEST(FastPath, OracleAttemptMatchesReplayAttempt)
