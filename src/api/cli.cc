@@ -1,6 +1,6 @@
 #include "api/cli.h"
 
-#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -9,7 +9,9 @@
 
 #include "api/config.h"
 #include "api/context.h"
+#include "api/protocol.h"
 #include "api/registry.h"
+#include "api/service.h"
 #include "api/sink.h"
 #include "core/engine.h"
 
@@ -23,8 +25,14 @@ const char *const kUsage =
     "commands:\n"
     "  list [glob]          list registered experiments\n"
     "  run <id|glob>...     run experiments by name\n"
+    "  serve                long-lived service: jobs over NDJSON on\n"
+    "                       stdin/stdout (see --port for TCP)\n"
     "  bench [args]         run the google-benchmark micro-measurements\n"
     "  help                 show this message\n"
+    "\n"
+    "list options:\n"
+    "  --format FMT         table (ASCII, default) or json (machine-\n"
+    "                       readable ids + full option schemas)\n"
     "\n"
     "run options:\n"
     "  --all                select every registered experiment\n"
@@ -39,9 +47,15 @@ const char *const kUsage =
     "  --threads N          engine worker threads (0 = hardware)\n"
     "  --scale X            effort multiplier for heavy experiments\n"
     "\n"
+    "serve options:\n"
+    "  --jobs N             concurrent jobs in flight (default: 2)\n"
+    "  --port P             serve on TCP 127.0.0.1:P instead of stdio\n"
+    "\n"
     "Experiments may declare further options (e.g. fig06 --temp,\n"
     "fig15 --temp-step); an option not declared by every selected\n"
-    "experiment is rejected.\n";
+    "experiment is rejected.  `run` and `serve` share one execution\n"
+    "path (rp::api::Service), so a job's artifacts are byte-identical\n"
+    "whichever front-end produced them.\n";
 
 struct Flag
 {
@@ -58,6 +72,8 @@ struct ParsedArgs
     bool time = false;
     std::string out = "artifacts";
     std::string format = "table";
+    bool outSet = false;    ///< --out given explicitly.
+    bool formatSet = false; ///< --format given explicitly.
 };
 
 ParsedArgs
@@ -91,12 +107,15 @@ parseArgs(const std::vector<std::string> &args, std::size_t first)
         }
         if (key.empty())
             throw ConfigError("malformed flag '" + tok + "'");
-        if (key == "out")
+        if (key == "out") {
             parsed.out = value;
-        else if (key == "format")
+            parsed.outSet = true;
+        } else if (key == "format") {
             parsed.format = value;
-        else
+            parsed.formatSet = true;
+        } else {
             parsed.flags.push_back({key, value});
+        }
     }
     return parsed;
 }
@@ -142,22 +161,14 @@ selectExperiments(const ParsedArgs &parsed)
     return selected;
 }
 
-/** Config for one experiment: base + declared options, env + flags. */
-Config
-experimentConfig(const Experiment &exp, const std::vector<Flag> &flags)
+std::vector<std::pair<std::string, std::string>>
+overlayOf(const std::vector<Flag> &flags)
 {
-    ConfigSchema schema = baseSchema();
-    if (exp.declareOptions)
-        exp.declareOptions(schema);
-    Config config{std::move(schema)};
-    config.loadEnv();
-    for (const auto &flag : flags) {
-        if (!config.schema().find(flag.key))
-            throw ConfigError("experiment '" + exp.info.id +
-                              "' does not accept --" + flag.key);
-        config.set(flag.key, flag.value, ConfigLayer::Cli);
-    }
-    return config;
+    std::vector<std::pair<std::string, std::string>> overlay;
+    overlay.reserve(flags.size());
+    for (const Flag &flag : flags)
+        overlay.emplace_back(flag.key, flag.value);
+    return overlay;
 }
 
 int
@@ -167,9 +178,24 @@ cmdList(const std::vector<std::string> &args, std::ostream &out)
     if (!parsed.flags.empty())
         throw ConfigError("list does not accept --" +
                           parsed.flags.front().key);
+    if (parsed.outSet || parsed.time)
+        throw ConfigError(std::string("list does not accept --") +
+                          (parsed.outSet ? "out" : "time"));
     std::vector<std::string> patterns = parsed.positionals;
     if (patterns.empty() || parsed.all)
         patterns.push_back("*");
+
+    if (parsed.format == "json") {
+        // Machine-readable listing (ids, categories, and the full
+        // option schema of every experiment) — the same document the
+        // serve protocol's `list` verb returns.
+        writeJson(out, experimentListJson(patterns), 2);
+        out << "\n";
+        return 0;
+    }
+    if (parsed.format != "table")
+        throw ConfigError("list --format: expected table or json, got "
+                          "'" + parsed.format + "'");
 
     Dataset table("Registered experiments");
     table.header({"id", "category", "title", "paper reference"});
@@ -187,77 +213,61 @@ cmdList(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
+/**
+ * `rowpress run`: a thin in-process client of the Service — one job
+ * per selected experiment, submitted and awaited in order, tables on
+ * @p out.  Exactly the execution path `rowpress serve` uses, so run
+ * and serve artifacts cannot diverge.
+ */
 int
 cmdRun(const std::vector<std::string> &args, std::ostream &out,
        std::ostream &err)
 {
     const ParsedArgs parsed = parseArgs(args, 1);
     const auto selected = selectExperiments(parsed);
+    const auto overlay = overlayOf(parsed.flags);
 
-    // Engine options come from the base layer (identical for every
-    // selected experiment: base keys are shared and flags apply
-    // globally).
-    Config base{baseSchema()};
-    base.loadEnv();
-    for (const auto &flag : parsed.flags)
-        if (base.schema().find(flag.key))
-            base.set(flag.key, flag.value, ConfigLayer::Cli);
-
-    core::ExperimentEngine::Options engine_opts;
-    engine_opts.numThreads = base.getInt("threads");
-    engine_opts.rootSeed = std::uint64_t(base.getInt("seed"));
-    core::ExperimentEngine engine(engine_opts);
-
-    const std::filesystem::path out_dir(parsed.out);
-    std::vector<std::unique_ptr<ResultSink>> sinks;
-    for (const auto &format : splitList(parsed.format))
-        sinks.push_back(makeSink(format, out_dir, out));
-    if (sinks.empty())
+    const std::vector<std::string> formats = splitList(parsed.format);
+    if (formats.empty())
         throw ConfigError("--format: no formats in '" + parsed.format +
                           "'");
-    std::vector<ResultSink *> sink_ptrs;
-    for (const auto &sink : sinks)
-        sink_ptrs.push_back(sink.get());
 
     // Validate every selected experiment's config up front, so a
     // flag one of them rejects fails the whole invocation before any
     // experiment has run.
-    std::vector<Config> configs;
-    configs.reserve(selected.size());
     for (const Experiment *exp : selected)
-        configs.push_back(experimentConfig(*exp, parsed.flags));
+        (void)Service::resolveConfig(*exp, overlay);
 
+    Service service(Service::Options{/*workers=*/1});
     double total_secs = 0.0;
-    for (std::size_t ei = 0; ei < selected.size(); ++ei) {
-        const Experiment *exp = selected[ei];
-        ExperimentContext ctx(exp->info, std::move(configs[ei]),
-                              engine, sink_ptrs, out_dir);
-        ctx.begin();
-        const auto start = std::chrono::steady_clock::now();
-        try {
-            exp->run(ctx);
-        } catch (const ConfigError &) {
-            throw;
-        } catch (const std::exception &e) {
+    int threads = 0;
+    for (const Experiment *exp : selected) {
+        JobRequest request;
+        request.experiment = exp->info.id;
+        request.overlay = overlay;
+        request.formats = formats;
+        request.outDir = parsed.out;
+        request.tableStream = &out;
+        request.time = parsed.time;
+
+        const JobStatus status = service.wait(service.submit(request));
+        if (status.state == JobState::Failed) {
+            if (status.configError) {
+                err << "rowpress: " << status.error << "\n";
+                return 2;
+            }
             err << "rowpress: experiment '" << exp->info.id
-                << "' failed: " << e.what() << "\n";
+                << "' failed: " << status.error << "\n";
             return 1;
         }
-        const double secs =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        total_secs += secs;
-        if (parsed.time) {
-            for (ResultSink *sink : sink_ptrs)
-                sink->timing(secs * 1e3);
-        }
-        ctx.end();
+        total_secs += status.elapsedMs / 1e3;
+        threads = status.engineThreads;
         char line[160];
         std::snprintf(line, sizeof(line),
                       "[rowpress] %s completed in %.2f s on %d engine "
                       "thread(s)\n\n",
-                      exp->info.id.c_str(), secs, engine.numThreads());
+                      exp->info.id.c_str(), status.elapsedMs / 1e3,
+                      status.engineThreads);
         out << line;
     }
     if (parsed.time) {
@@ -265,10 +275,58 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
         std::snprintf(line, sizeof(line),
                       "[rowpress] total: %.2f s for %zu experiment(s) "
                       "on %d engine thread(s)\n",
-                      total_secs, selected.size(), engine.numThreads());
+                      total_secs, selected.size(), threads);
         out << line;
     }
     return 0;
+}
+
+int
+cmdServe(const std::vector<std::string> &args, std::ostream &out)
+{
+    const ParsedArgs parsed = parseArgs(args, 1);
+    if (!parsed.positionals.empty())
+        throw ConfigError(
+            "serve takes no experiment arguments (submit jobs over "
+            "the protocol instead)");
+    // The run-mode flags parseArgs absorbs generically are not serve
+    // options — rejecting them beats silently writing artifacts
+    // somewhere other than where the user asked.
+    if (parsed.outSet || parsed.formatSet)
+        throw ConfigError("serve does not accept --out/--format; each "
+                          "job carries its own \"out\"/\"formats\"");
+    if (parsed.time || parsed.all)
+        throw ConfigError(std::string("serve does not accept --") +
+                          (parsed.time ? "time" : "all"));
+    int port = -1;
+    int jobs = 2;
+    for (const Flag &flag : parsed.flags) {
+        if (flag.key == "port") {
+            port = int(parseInt(flag.value, "--port"));
+            // 0 would bind an ephemeral port the log line cannot
+            // announce; require an explicit one.
+            if (port < 1 || port > 65535)
+                throw ConfigError("--port: expected 1..65535");
+        } else if (flag.key == "jobs") {
+            jobs = int(parseInt(flag.value, "--jobs"));
+            if (jobs < 1)
+                throw ConfigError("--jobs: must be >= 1");
+        } else {
+            throw ConfigError("serve does not accept --" + flag.key);
+        }
+    }
+
+#if defined(SIGPIPE)
+    // A client that stops reading (e.g. `... | rowpress serve |
+    // head`) must surface as a stream error, not kill the server
+    // mid-job by the default SIGPIPE action.  (TCP writes are
+    // additionally covered by MSG_NOSIGNAL/SO_NOSIGPIPE.)
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+    Service service(Service::Options{jobs});
+    if (port >= 0)
+        return serveTcp(service, port, out);
+    return serveSession(service, std::cin, out);
 }
 
 } // namespace
@@ -287,6 +345,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             return cmdList(args, out);
         if (args[0] == "run")
             return cmdRun(args, out, err);
+        if (args[0] == "serve")
+            return cmdServe(args, out);
         err << "rowpress: unknown command '" << args[0] << "'\n\n"
             << kUsage;
         return 2;

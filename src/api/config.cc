@@ -138,6 +138,29 @@ Config::getString(const std::string &key) const
     return values_.at(key).value;
 }
 
+const char *
+configLayerName(ConfigLayer layer)
+{
+    switch (layer) {
+    case ConfigLayer::Default: return "default";
+    case ConfigLayer::Env: return "env";
+    case ConfigLayer::Cli: return "cli";
+    }
+    return "unknown";
+}
+
+std::vector<ConfigValue>
+Config::resolved() const
+{
+    // values_ is an ordered map, so the listing is sorted by key and
+    // deterministic for a given schema + layering.
+    std::vector<ConfigValue> out;
+    out.reserve(values_.size());
+    for (const auto &[key, entry] : values_)
+        out.push_back({key, entry.value, configLayerName(entry.origin)});
+    return out;
+}
+
 ConfigLayer
 Config::origin(const std::string &key) const
 {

@@ -35,12 +35,29 @@ enum class OptionType
     Bool,
 };
 
-/** The layer a Config value came from. */
+/**
+ * The layer a Config value came from.  Cli is also the layer of a
+ * service job's config overlay — a serve submit's {"temp": "65"} and
+ * `rowpress run --temp 65` are the same layer by design, so the
+ * resolved config (and the metadata embedded in result.json) is
+ * identical whichever way the job arrived.
+ */
 enum class ConfigLayer
 {
     Default = 0,
     Env = 1,
     Cli = 2,
+};
+
+/** Lower-case name of a layer ("default", "env", "cli"). */
+const char *configLayerName(ConfigLayer layer);
+
+/** One fully-resolved configuration entry (key, value, origin layer). */
+struct ConfigValue
+{
+    std::string key;
+    std::string value;
+    std::string origin; ///< configLayerName of the supplying layer.
 };
 
 /** Declaration of one configuration option. */
@@ -99,6 +116,14 @@ class Config
 
     /** The layer that supplied the current value of @p key. */
     ConfigLayer origin(const std::string &key) const;
+
+    /**
+     * Every declared key with its current textual value and origin
+     * layer, sorted by key.  This is the "fully resolved config" the
+     * service embeds in result.json and streams with Started events,
+     * so any artifact is reproducible from its own metadata.
+     */
+    std::vector<ConfigValue> resolved() const;
 
   private:
     struct Entry

@@ -31,12 +31,12 @@ baseSchema()
 
 ExperimentContext::ExperimentContext(ExperimentInfo info, Config config,
                                      core::ExperimentEngine &engine,
-                                     std::vector<ResultSink *> sinks,
+                                     JobEventEmitter emit,
                                      std::filesystem::path out_dir)
     : info_(std::move(info)),
       config_(std::move(config)),
       engine_(engine),
-      sinks_(std::move(sinks)),
+      emit_(std::move(emit)),
       outDir_(std::move(out_dir))
 {
 }
@@ -124,31 +124,21 @@ ExperimentContext::moduleConfig(const device::DieConfig &die,
 }
 
 void
-ExperimentContext::begin()
-{
-    for (ResultSink *sink : sinks_)
-        sink->beginExperiment(info_);
-}
-
-void
-ExperimentContext::end()
-{
-    for (ResultSink *sink : sinks_)
-        sink->endExperiment();
-}
-
-void
 ExperimentContext::emit(const Dataset &d)
 {
-    for (ResultSink *sink : sinks_)
-        sink->dataset(d);
+    JobEvent event;
+    event.type = JobEventType::Dataset;
+    event.dataset = &d;
+    emit_(std::move(event));
 }
 
 void
 ExperimentContext::note(const std::string &text)
 {
-    for (ResultSink *sink : sinks_)
-        sink->note(text);
+    JobEvent event;
+    event.type = JobEventType::Note;
+    event.text = text;
+    emit_(std::move(event));
 }
 
 void
@@ -172,8 +162,11 @@ ExperimentContext::rawCsv(
     const std::string &name,
     const std::function<void(std::ostream &)> &writer)
 {
-    for (ResultSink *sink : sinks_)
-        sink->rawCsv(name, writer);
+    JobEvent event;
+    event.type = JobEventType::RawCsv;
+    event.name = name;
+    event.bodyWriter = writer;
+    emit_(std::move(event));
 }
 
 void

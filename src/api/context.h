@@ -1,8 +1,9 @@
 /**
  * @file
  * ExperimentContext: everything a registered experiment's emit
- * function needs, bundled — its validated Config, the shared
- * core::ExperimentEngine, the root seed, and the attached ResultSinks.
+ * function needs, bundled — its validated Config, the job's
+ * core::ExperimentEngine, the root seed, and the job-event emitter
+ * that carries every emitted result to the attached output backends.
  *
  * The context also centralizes the helpers the old per-figure
  * binaries each re-implemented (die-set selection, ModuleConfig
@@ -19,8 +20,8 @@
 
 #include "api/config.h"
 #include "api/dataset.h"
+#include "api/job.h"
 #include "api/registry.h"
-#include "api/sink.h"
 #include "chr/experiments.h"
 #include "chr/overlap.h"
 #include "core/engine.h"
@@ -38,9 +39,16 @@ ConfigSchema baseSchema();
 class ExperimentContext
 {
   public:
+    /**
+     * @p emit receives every result the experiment produces as a
+     * typed JobEvent (Dataset / Note / RawCsv) — the Service stamps
+     * the job identity and fans the stream out to the attached
+     * ResultSinks and protocol observers.  The context never talks
+     * to a sink directly; the event stream is the one output path.
+     */
     ExperimentContext(ExperimentInfo info, Config config,
                       core::ExperimentEngine &engine,
-                      std::vector<ResultSink *> sinks,
+                      JobEventEmitter emit,
                       std::filesystem::path out_dir = "artifacts");
 
     const ExperimentInfo &info() const { return info_; }
@@ -96,9 +104,6 @@ class ExperimentContext
 
     // ---- result emission --------------------------------------------
 
-    void begin(); ///< beginExperiment on every sink (CLI calls).
-    void end();   ///< endExperiment on every sink (CLI calls).
-
     void emit(const Dataset &d);
     void note(const std::string &text);
     void notef(const char *fmt, ...)
@@ -129,7 +134,7 @@ class ExperimentContext
     ExperimentInfo info_;
     Config config_;
     core::ExperimentEngine &engine_;
-    std::vector<ResultSink *> sinks_;
+    JobEventEmitter emit_;
     std::filesystem::path outDir_;
 };
 

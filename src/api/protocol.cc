@@ -1,0 +1,1129 @@
+#include "api/protocol.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "api/context.h"
+#include "api/service.h"
+#include "api/sink.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ROWPRESS_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace rp::api {
+
+// ---- JsonValue -------------------------------------------------------
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(const std::string &raw_text)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.text = raw_text;
+    return v;
+}
+
+JsonValue
+JsonValue::number(long long n)
+{
+    return number(std::to_string(n));
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", d);
+    return number(std::string(buf));
+}
+
+JsonValue
+JsonValue::string(const std::string &s)
+{
+    JsonValue v;
+    v.kind = Kind::String;
+    v.text = s;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue &
+JsonValue::add(const std::string &key, JsonValue v)
+{
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    items.push_back(std::move(v));
+    return *this;
+}
+
+std::string
+JsonValue::scalarText(const std::string &what) const
+{
+    switch (kind) {
+    case Kind::String:
+    case Kind::Number:
+        return text;
+    case Kind::Bool:
+        return boolean ? "1" : "0";
+    default:
+        throw ConfigError(what +
+                          ": expected a scalar (string/number/bool)");
+    }
+}
+
+// ---- parser ----------------------------------------------------------
+
+namespace {
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw ConfigError("protocol: malformed JSON at offset " +
+                          std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("expected '") + word + "'");
+            ++pos_;
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= unsigned(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+            ++pos_;
+        }
+        return out;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xC0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += char(0xE0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3F));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string
+    stringBody()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const unsigned char c = (unsigned char)text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return out;
+            }
+            if (c == '\\') {
+                ++pos_;
+                const char e = peek();
+                ++pos_;
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned cp = hex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // Surrogate pair.
+                        if (!consume('\\') || !consume('u'))
+                            fail("unpaired surrogate");
+                        const unsigned lo = hex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            fail("bad low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        // A lone low surrogate would encode to
+                        // invalid UTF-8; reject like a lone high one.
+                        fail("unpaired surrogate");
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                }
+                default:
+                    fail("bad escape");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                fail("raw control character in string");
+            out += char(c);
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string raw = text_.substr(start, pos_ - start);
+        if (!looksNumeric(raw))
+            fail("bad number '" + raw + "'");
+        return JsonValue::number(raw);
+    }
+
+    JsonValue
+    value(int depth)
+    {
+        if (depth > 32)
+            fail("nesting too deep");
+        skipWs();
+        const char c = peek();
+        if (c == '{') {
+            ++pos_;
+            JsonValue obj = JsonValue::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            for (;;) {
+                skipWs();
+                std::string key = stringBody();
+                skipWs();
+                expect(':');
+                obj.add(std::move(key), value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            JsonValue arr = JsonValue::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            for (;;) {
+                arr.push(value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"')
+            return JsonValue::string(stringBody());
+        if (c == 't') {
+            literal("true");
+            return JsonValue::makeBool(true);
+        }
+        if (c == 'f') {
+            literal("false");
+            return JsonValue::makeBool(false);
+        }
+        if (c == 'n') {
+            literal("null");
+            return JsonValue::makeNull();
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return numberValue();
+        fail("unexpected character");
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+// ---- serializer ------------------------------------------------------
+
+namespace {
+
+void
+writeJsonTo(std::ostream &os, const JsonValue &v, int indent, int depth)
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(std::size_t(indent) * std::size_t(depth + 1),
+                             ' ')
+               : "";
+    const std::string closing =
+        pretty ? std::string(std::size_t(indent) * std::size_t(depth),
+                             ' ')
+               : "";
+    const char *nl = pretty ? "\n" : "";
+    const char *colon = pretty ? ": " : ":";
+
+    switch (v.kind) {
+    case JsonValue::Kind::Null:
+        os << "null";
+        break;
+    case JsonValue::Kind::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+    case JsonValue::Kind::Number:
+        os << (looksNumeric(v.text) ? v.text : "0");
+        break;
+    case JsonValue::Kind::String:
+        os << '"' << jsonEscape(v.text) << '"';
+        break;
+    case JsonValue::Kind::Array:
+        if (v.items.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            os << pad;
+            writeJsonTo(os, v.items[i], indent, depth + 1);
+            os << (i + 1 < v.items.size() ? "," : "") << nl;
+        }
+        os << closing << ']';
+        break;
+    case JsonValue::Kind::Object:
+        if (v.members.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < v.members.size(); ++i) {
+            os << pad << '"' << jsonEscape(v.members[i].first) << '"'
+               << colon;
+            writeJsonTo(os, v.members[i].second, indent, depth + 1);
+            os << (i + 1 < v.members.size() ? "," : "") << nl;
+        }
+        os << closing << '}';
+        break;
+    }
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const JsonValue &value, int indent)
+{
+    writeJsonTo(os, value, indent, 0);
+}
+
+std::string
+toJson(const JsonValue &value, int indent)
+{
+    std::ostringstream os;
+    writeJson(os, value, indent);
+    return os.str();
+}
+
+// ---- experiment listing ----------------------------------------------
+
+JsonValue
+experimentListJson(const std::vector<std::string> &patterns)
+{
+    std::vector<std::string> pats = patterns;
+    if (pats.empty())
+        pats.push_back("*");
+
+    JsonValue arr = JsonValue::array();
+    for (const Experiment *exp : ExperimentRegistry::instance().list()) {
+        bool matched = false;
+        for (const auto &pattern : pats)
+            matched = matched || globMatch(pattern, exp->info.id);
+        if (!matched)
+            continue;
+
+        JsonValue e = JsonValue::object();
+        e.add("id", JsonValue::string(exp->info.id));
+        e.add("category", JsonValue::string(exp->info.category));
+        e.add("title", JsonValue::string(exp->info.title));
+        e.add("paper_ref", JsonValue::string(exp->info.paperRef));
+
+        ConfigSchema schema = baseSchema();
+        if (exp->declareOptions)
+            exp->declareOptions(schema);
+        JsonValue opts = JsonValue::array();
+        for (const OptionSpec &spec : schema.options()) {
+            JsonValue o = JsonValue::object();
+            o.add("key", JsonValue::string(spec.key));
+            const char *type = "string";
+            switch (spec.type) {
+            case OptionType::Int: type = "int"; break;
+            case OptionType::Double: type = "double"; break;
+            case OptionType::Bool: type = "bool"; break;
+            case OptionType::String: type = "string"; break;
+            }
+            o.add("type", JsonValue::string(type));
+            o.add("default", JsonValue::string(spec.defaultValue));
+            if (!spec.envVar.empty())
+                o.add("env", JsonValue::string(spec.envVar));
+            o.add("help", JsonValue::string(spec.help));
+            if (spec.hasMin)
+                o.add("min", JsonValue::number(spec.minValue));
+            opts.push(std::move(o));
+        }
+        e.add("options", std::move(opts));
+        arr.push(std::move(e));
+    }
+
+    JsonValue root = JsonValue::object();
+    root.add("experiments", std::move(arr));
+    return root;
+}
+
+// ---- events ----------------------------------------------------------
+
+std::string
+jobEventLine(const JobEvent &event)
+{
+    JsonValue line = JsonValue::object();
+    auto stamp = [&line, &event](const char *name) {
+        line.add("event", JsonValue::string(name));
+        line.add("job", JsonValue::number((long long)event.job));
+        line.add("experiment", JsonValue::string(event.experiment));
+    };
+    switch (event.type) {
+    case JobEventType::Queued:
+        stamp("queued");
+        break;
+    case JobEventType::Started: {
+        stamp("started");
+        JsonValue config = JsonValue::object();
+        for (const ConfigValue &kv : event.config) {
+            JsonValue entry = JsonValue::object();
+            entry.add("value", JsonValue::string(kv.value));
+            entry.add("origin", JsonValue::string(kv.origin));
+            config.add(kv.key, std::move(entry));
+        }
+        line.add("config", std::move(config));
+        break;
+    }
+    case JobEventType::Progress:
+        stamp("progress");
+        line.add("done", JsonValue::number((long long)event.done));
+        line.add("total", JsonValue::number((long long)event.total));
+        break;
+    case JobEventType::Dataset:
+        stamp("dataset");
+        if (event.dataset) {
+            line.add("name", JsonValue::string(event.dataset->name));
+            line.add("rows", JsonValue::number(
+                                 (long long)event.dataset->rows.size()));
+        }
+        break;
+    case JobEventType::Note:
+        stamp("note");
+        line.add("text", JsonValue::string(event.text));
+        break;
+    case JobEventType::RawCsv:
+        // Name only: rendering the body just to report its size
+        // would force the artifact to be built even for consumers
+        // that never persist it.
+        stamp("artifact");
+        line.add("name", JsonValue::string(event.name));
+        break;
+    case JobEventType::Timing:
+        stamp("timing");
+        line.add("elapsed_ms", JsonValue::number(event.elapsedMs));
+        break;
+    case JobEventType::Finished:
+        stamp("finished");
+        line.add("state",
+                 JsonValue::string(jobStateName(event.state)));
+        if (!event.error.empty())
+            line.add("error", JsonValue::string(event.error));
+        line.add("elapsed_ms", JsonValue::number(event.elapsedMs));
+        break;
+    }
+    return toJson(line);
+}
+
+// ---- serve session ---------------------------------------------------
+
+namespace {
+
+/** One NDJSON client session over arbitrary streams. */
+class ProtocolSession
+{
+  public:
+    ProtocolSession(Service &service, std::istream &in,
+                    std::ostream &out)
+        : service_(service), in_(in), out_(out)
+    {
+    }
+
+    /** Returns true when the client requested service shutdown. */
+    bool
+    run(bool eof_is_shutdown)
+    {
+        // Events are enqueued by the service's dispatch path and
+        // written by a dedicated writer thread: the observer must
+        // never block on client I/O, or one client that stops
+        // reading its socket would stall every job in the service
+        // (event dispatch is serialized process-wide).
+        std::thread writer([this] { writerLoop(); });
+        const std::uint64_t observer =
+            service_.addObserver([this](const JobEvent &event) {
+                enqueue(jobEventLine(event),
+                        /*critical=*/event.type ==
+                            JobEventType::Finished);
+            });
+
+        bool shutdown_requested = false;
+        bool force = false;
+        std::string text;
+        while (std::getline(in_, text)) {
+            if (text.empty() ||
+                text.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            JsonValue response = JsonValue::object();
+            if (handle(text, response, &shutdown_requested, &force))
+                writeLine(toJson(response));
+            if (shutdown_requested)
+                break;
+        }
+
+        if (shutdown_requested || eof_is_shutdown) {
+            // Drain before detaching so every submitted job's event
+            // stream (and artifacts) completes — `printf ... | serve`
+            // runs everything it was fed.  A forced shutdown cancels
+            // instead.
+            if (force)
+                service_.shutdownNow();
+            else
+                service_.shutdown();
+        }
+        service_.removeObserver(observer);
+        // No more producers: flush what is queued, then stop.
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            writerStop_ = true;
+        }
+        queueCv_.notify_all();
+        writer.join();
+        return shutdown_requested;
+    }
+
+    bool
+    failed() const
+    {
+        return out_.fail();
+    }
+
+  private:
+    /** Event lines a slow client may buffer before we drop (~a few
+     *  MB worst case); overflow is reported on the stream once the
+     *  client catches up, so a reader can tell the stream has gaps. */
+    static constexpr std::size_t kMaxQueuedEvents = 65536;
+
+    void
+    enqueue(std::string line, bool critical)
+    {
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            // Terminal (finished) events are exempt from the drop:
+            // clients correlate on them (the documented pattern), so
+            // a job's outcome must survive an overflow even if its
+            // progress/dataset lines did not.  The exemption is
+            // bounded by jobs in flight, not event volume.
+            if (!critical && queue_.size() >= kMaxQueuedEvents) {
+                ++dropped_;
+                return;
+            }
+            queue_.push_back(std::move(line));
+        }
+        queueCv_.notify_one();
+    }
+
+    void
+    writerLoop()
+    {
+        for (;;) {
+            std::string line;
+            std::uint64_t dropped = 0;
+            {
+                std::unique_lock<std::mutex> lock(queueMutex_);
+                queueCv_.wait(lock, [this] {
+                    return writerStop_ || !queue_.empty() ||
+                           dropped_ != 0;
+                });
+                if (!queue_.empty()) {
+                    line = std::move(queue_.front());
+                    queue_.pop_front();
+                } else if (dropped_ != 0) {
+                    dropped = dropped_;
+                    dropped_ = 0;
+                } else {
+                    return; // stop requested and fully drained
+                }
+            }
+            if (dropped != 0) {
+                JsonValue overflow = JsonValue::object();
+                overflow.add("event", JsonValue::string("overflow"));
+                overflow.add("dropped",
+                             JsonValue::number((long long)dropped));
+                writeLine(toJson(overflow));
+            } else {
+                writeLine(line);
+            }
+        }
+    }
+
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(outMutex_);
+        out_ << line << "\n";
+        out_.flush();
+    }
+
+    /** Returns false when no response should be written (never today). */
+    bool
+    handle(const std::string &text, JsonValue &response,
+           bool *shutdown_requested, bool *force)
+    {
+        std::string op;
+        JsonValue tag;
+        bool has_tag = false;
+        try {
+            const JsonValue request = parseJson(text);
+            if (request.kind != JsonValue::Kind::Object)
+                throw ConfigError("protocol: request is not an object");
+            if (const JsonValue *t = request.find("tag")) {
+                tag = *t;
+                has_tag = true;
+            }
+            const JsonValue *opv = request.find("op");
+            if (!opv || opv->kind != JsonValue::Kind::String)
+                throw ConfigError(
+                    "protocol: request needs a string \"op\"");
+            op = opv->text;
+            response.add("ok", JsonValue::makeBool(true));
+            response.add("op", JsonValue::string(op));
+            if (has_tag)
+                response.add("tag", tag);
+
+            if (op == "submit") {
+                rejectUnknownMembers(request,
+                                     {"op", "tag", "experiment",
+                                      "config", "formats", "out",
+                                      "time"});
+                opSubmit(request, response);
+            } else if (op == "status") {
+                rejectUnknownMembers(request, {"op", "tag", "job"});
+                opStatus(request, response);
+            } else if (op == "list") {
+                rejectUnknownMembers(request, {"op", "tag", "glob"});
+                opList(request, response);
+            } else if (op == "cancel") {
+                rejectUnknownMembers(request, {"op", "tag", "job"});
+                opCancel(request, response);
+            } else if (op == "cache") {
+                rejectUnknownMembers(request, {"op", "tag", "evict"});
+                opCache(request, response);
+            } else if (op == "shutdown") {
+                rejectUnknownMembers(request, {"op", "tag", "force"});
+                *force = boolMember(request, "force");
+                *shutdown_requested = true;
+            } else {
+                throw ConfigError("protocol: unknown op '" + op + "'");
+            }
+        } catch (const std::exception &e) {
+            response = JsonValue::object();
+            response.add("ok", JsonValue::makeBool(false));
+            if (!op.empty())
+                response.add("op", JsonValue::string(op));
+            // Echo the tag on errors too: correlation matters most
+            // when a pipelined request fails.
+            if (has_tag)
+                response.add("tag", tag);
+            response.add("error", JsonValue::string(e.what()));
+        }
+        return true;
+    }
+
+    /**
+     * Boolean member or absent; any other kind (a "1" instead of
+     * true) errors rather than silently meaning false.
+     */
+    static bool
+    boolMember(const JsonValue &request, const char *key)
+    {
+        const JsonValue *v = request.find(key);
+        if (!v)
+            return false;
+        if (v->kind != JsonValue::Kind::Bool)
+            throw ConfigError(std::string("protocol: \"") + key +
+                              "\" must be true or false");
+        return v->boolean;
+    }
+
+    /**
+     * The same hard unknown-key rejection the Config layer applies:
+     * a typo'd member ("format" for "formats", "outdir" for "out")
+     * must error, never silently run the defaults.
+     */
+    static void
+    rejectUnknownMembers(const JsonValue &request,
+                         std::initializer_list<const char *> known)
+    {
+        for (const auto &[key, value] : request.members) {
+            (void)value;
+            bool ok = false;
+            for (const char *k : known)
+                ok = ok || key == k;
+            if (!ok)
+                throw ConfigError("protocol: unknown member \"" + key +
+                                  "\" for this op");
+        }
+    }
+
+    std::uint64_t
+    jobIdOf(const JsonValue &request)
+    {
+        const JsonValue *job = request.find("job");
+        if (!job || job->kind != JsonValue::Kind::Number)
+            throw ConfigError("protocol: op needs a numeric \"job\"");
+        return std::uint64_t(
+            parseInt(job->text, "protocol: \"job\""));
+    }
+
+    void
+    opSubmit(const JsonValue &request, JsonValue &response)
+    {
+        JobRequest job;
+        const JsonValue *exp = request.find("experiment");
+        if (!exp || exp->kind != JsonValue::Kind::String)
+            throw ConfigError(
+                "protocol: submit needs a string \"experiment\"");
+        job.experiment = exp->text;
+        if (const JsonValue *config = request.find("config")) {
+            if (config->kind != JsonValue::Kind::Object)
+                throw ConfigError(
+                    "protocol: \"config\" must be an object");
+            for (const auto &[key, value] : config->members)
+                job.overlay.emplace_back(
+                    key, value.scalarText("protocol: config." + key));
+        }
+        if (const JsonValue *formats = request.find("formats")) {
+            if (formats->kind != JsonValue::Kind::Array)
+                throw ConfigError(
+                    "protocol: \"formats\" must be an array");
+            job.formats.clear();
+            for (const JsonValue &f : formats->items)
+                job.formats.push_back(
+                    f.scalarText("protocol: formats[]"));
+        }
+        if (const JsonValue *out = request.find("out")) {
+            if (out->kind != JsonValue::Kind::String)
+                throw ConfigError("protocol: \"out\" must be a string");
+            job.outDir = out->text;
+        }
+        job.time = boolMember(request, "time");
+        const std::uint64_t id = service_.submit(job);
+        response.add("job", JsonValue::number((long long)id));
+    }
+
+    static JsonValue
+    statusJson(const JobStatus &st)
+    {
+        JsonValue v = JsonValue::object();
+        v.add("job", JsonValue::number((long long)st.id));
+        v.add("experiment", JsonValue::string(st.experiment));
+        v.add("state", JsonValue::string(jobStateName(st.state)));
+        if (!st.error.empty())
+            v.add("error", JsonValue::string(st.error));
+        v.add("done", JsonValue::number((long long)st.done));
+        v.add("total", JsonValue::number((long long)st.total));
+        v.add("elapsed_ms", JsonValue::number(st.elapsedMs));
+        v.add("threads", JsonValue::number((long long)st.engineThreads));
+        return v;
+    }
+
+    static JsonValue
+    warmCacheJson()
+    {
+        const auto stats = Service::warmCacheStats();
+        JsonValue v = JsonValue::object();
+        v.add("stores", JsonValue::number((long long)stats.stores));
+        v.add("hits", JsonValue::number((long long)stats.hits));
+        v.add("misses", JsonValue::number((long long)stats.misses));
+        v.add("evictions",
+              JsonValue::number((long long)stats.evictions));
+        v.add("candidate_rows",
+              JsonValue::number((long long)stats.totals.candidateRows));
+        v.add("candidate_cells",
+              JsonValue::number((long long)stats.totals.candidateCells));
+        v.add("word_mask_rows",
+              JsonValue::number((long long)stats.totals.wordMaskRows));
+        v.add("approx_bytes",
+              JsonValue::number((long long)stats.totals.approxBytes));
+        return v;
+    }
+
+    void
+    opStatus(const JsonValue &request, JsonValue &response)
+    {
+        if (request.find("job")) {
+            const JobStatus st = service_.status(jobIdOf(request));
+            for (auto &member : statusJson(st).members)
+                response.add(member.first, std::move(member.second));
+            return;
+        }
+        JsonValue jobs = JsonValue::array();
+        for (const JobStatus &st : service_.jobs())
+            jobs.push(statusJson(st));
+        response.add("jobs", std::move(jobs));
+        response.add("warm_cache", warmCacheJson());
+    }
+
+    void
+    opList(const JsonValue &request, JsonValue &response)
+    {
+        std::vector<std::string> patterns;
+        if (const JsonValue *glob = request.find("glob")) {
+            if (glob->kind != JsonValue::Kind::String)
+                throw ConfigError(
+                    "protocol: \"glob\" must be a string");
+            patterns.push_back(glob->text);
+        }
+        JsonValue listing = experimentListJson(patterns);
+        for (auto &member : listing.members)
+            response.add(member.first, std::move(member.second));
+    }
+
+    void
+    opCancel(const JsonValue &request, JsonValue &response)
+    {
+        const std::uint64_t id = jobIdOf(request);
+        const bool cancelled = service_.cancel(id);
+        response.add("job", JsonValue::number((long long)id));
+        response.add("cancelled", JsonValue::makeBool(cancelled));
+    }
+
+    void
+    opCache(const JsonValue &request, JsonValue &response)
+    {
+        if (boolMember(request, "evict"))
+            response.add("evicted",
+                         JsonValue::number(
+                             (long long)Service::evictWarmCache()));
+        response.add("warm_cache", warmCacheJson());
+    }
+
+    Service &service_;
+    std::istream &in_;
+    std::ostream &out_;
+    std::mutex outMutex_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<std::string> queue_;
+    std::uint64_t dropped_ = 0;
+    bool writerStop_ = false;
+};
+
+} // namespace
+
+int
+serveSession(Service &service, std::istream &in, std::ostream &out)
+{
+    ProtocolSession session(service, in, out);
+    session.run(/*eof_is_shutdown=*/true);
+    return session.failed() ? 1 : 0;
+}
+
+// ---- TCP front-end ---------------------------------------------------
+
+#if ROWPRESS_HAVE_SOCKETS
+
+namespace {
+
+/** Minimal read/write streambuf over a connected socket fd. */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(int fd) : fd_(fd)
+    {
+        setg(inBuf_, inBuf_, inBuf_);
+    }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        if (gptr() < egptr())
+            return traits_type::to_int_type(*gptr());
+        ssize_t n;
+        do {
+            n = ::read(fd_, inBuf_, sizeof(inBuf_));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return traits_type::eof();
+        setg(inBuf_, inBuf_, inBuf_ + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch == traits_type::eof())
+            return traits_type::not_eof(ch);
+        const char c = char(ch);
+        return writeAll(&c, 1) ? ch : traits_type::eof();
+    }
+
+    std::streamsize
+    xsputn(const char *data, std::streamsize n) override
+    {
+        return writeAll(data, std::size_t(n)) ? n : 0;
+    }
+
+  private:
+    bool
+    writeAll(const char *data, std::size_t n)
+    {
+        while (n > 0) {
+            // MSG_NOSIGNAL: a peer that hung up must produce EPIPE
+            // (ending this session), not SIGPIPE (whose default
+            // action would kill the whole long-lived server).
+#if defined(MSG_NOSIGNAL)
+            const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+#else
+            const ssize_t w = ::write(fd_, data, n);
+#endif
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w <= 0)
+                return false;
+            data += std::size_t(w);
+            n -= std::size_t(w);
+        }
+        return true;
+    }
+
+    int fd_;
+    char inBuf_[4096];
+};
+
+} // namespace
+
+int
+serveTcp(Service &service, int port, std::ostream &log)
+{
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0)
+        throw ConfigError("serve: cannot create socket");
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::bind(listener, (const sockaddr *)&addr, sizeof(addr)) != 0 ||
+        ::listen(listener, 4) != 0) {
+        ::close(listener);
+        throw ConfigError("serve: cannot bind 127.0.0.1:" +
+                          std::to_string(port));
+    }
+    log << "[rowpress] serving on 127.0.0.1:" << port << "\n";
+    log.flush();
+
+    bool shutdown_requested = false;
+    bool accept_failed = false;
+    while (!shutdown_requested) {
+        const int conn = ::accept(listener, nullptr, nullptr);
+        if (conn < 0) {
+            // A harmless signal (profiler timer, window resize) must
+            // not take the whole long-lived server down.
+            if (errno == EINTR)
+                continue;
+            log << "[rowpress] accept failed; server exiting\n";
+            accept_failed = true;
+            break;
+        }
+#if defined(SO_NOSIGPIPE)
+        // BSD/macOS equivalent of MSG_NOSIGNAL.
+        const int no_sigpipe = 1;
+        ::setsockopt(conn, SOL_SOCKET, SO_NOSIGPIPE, &no_sigpipe,
+                     sizeof(no_sigpipe));
+#endif
+        FdStreamBuf buf(conn);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        ProtocolSession session(service, in, out);
+        // A client hang-up only ends its session; the service (and
+        // its warm caches and job history) persists for the next
+        // connection.  Only an explicit shutdown op ends the server.
+        shutdown_requested = session.run(/*eof_is_shutdown=*/false);
+        ::close(conn);
+    }
+    ::close(listener);
+    // Exit status distinguishes the explicit shutdown op (clean)
+    // from an abnormal accept failure, for restart-on-failure
+    // supervisors.
+    return accept_failed ? 1 : 0;
+}
+
+#else // !ROWPRESS_HAVE_SOCKETS
+
+int
+serveTcp(Service &, int, std::ostream &)
+{
+    throw ConfigError("serve: --port is not supported on this platform "
+                      "(no POSIX sockets); use stdin/stdout mode");
+}
+
+#endif
+
+} // namespace rp::api

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The `rowpress serve` wire protocol: line-delimited JSON over
+ * stdin/stdout (and, optionally, a TCP socket).
+ *
+ * Requests are one JSON object per line with an "op" member:
+ *
+ *   {"op":"submit","experiment":"fig06","config":{"temp":"65"},
+ *    "formats":["csv","json"],"out":"artifacts/job1"}
+ *   {"op":"status"}            {"op":"status","job":3}
+ *   {"op":"list","glob":"fig*"}
+ *   {"op":"cancel","job":3}
+ *   {"op":"cache"}             {"op":"cache","evict":true}
+ *   {"op":"shutdown"}          {"op":"shutdown","force":true}
+ *
+ * Every request gets exactly one single-line response object with
+ * "ok" (and "error" when false); an optional "tag" member is echoed
+ * verbatim for client-side correlation.  Job lifecycle is streamed
+ * asynchronously as event lines ({"event":"queued"|"started"|
+ * "progress"|"dataset"|"note"|"artifact"|"finished",...}) interleaved
+ * between responses; lines are atomic, so a line-oriented client
+ * never sees a torn message.
+ *
+ * This header also hosts the minimal JSON value model the protocol
+ * parses into / serializes from — deliberately tiny (objects, arrays,
+ * strings, raw-text numbers, bools, null) so the repo takes no
+ * dependency for it.
+ */
+
+#ifndef ROWPRESS_API_PROTOCOL_H
+#define ROWPRESS_API_PROTOCOL_H
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/job.h"
+
+namespace rp::api {
+
+class Service;
+
+/** Minimal JSON document value (parse result / response builder). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /**
+     * String contents (Kind::String) or the raw numeric text exactly
+     * as parsed/given (Kind::Number) — numbers round-trip textually,
+     * so "65" never turns into "65.000000" on the way to a Config.
+     */
+    std::string text;
+    std::vector<JsonValue> items; ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue number(const std::string &raw_text);
+    static JsonValue number(long long v);
+    static JsonValue number(double v);
+    static JsonValue string(const std::string &s);
+    static JsonValue array();
+    static JsonValue object();
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    JsonValue &add(const std::string &key, JsonValue v); ///< Object.
+    JsonValue &push(JsonValue v);                        ///< Array.
+
+    /**
+     * Scalar as the text a Config accepts: string/number text,
+     * "1"/"0" for bools.  Throws ConfigError for arrays/objects/null.
+     */
+    std::string scalarText(const std::string &what) const;
+};
+
+/**
+ * Parse one complete JSON document from @p text (trailing whitespace
+ * allowed, nothing else).  Throws ConfigError on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Serialize: compact single-line form when @p indent < 0 (the wire
+ * format), pretty-printed with @p indent spaces per level otherwise.
+ */
+void writeJson(std::ostream &os, const JsonValue &value,
+               int indent = -1);
+std::string toJson(const JsonValue &value, int indent = -1);
+
+/**
+ * Machine-readable experiment/option listing: every registered
+ * experiment matching any of @p patterns (globs), with its full
+ * option schema (base + declared).  Shared by `rowpress list
+ * --format json` and the serve protocol's `list` verb.
+ */
+JsonValue experimentListJson(const std::vector<std::string> &patterns);
+
+/** The event line for @p event (no trailing newline). */
+std::string jobEventLine(const JobEvent &event);
+
+/**
+ * Run one protocol session: read request lines from @p in until EOF
+ * or a shutdown request, writing responses and the job-event stream
+ * to @p out.  EOF and plain shutdown drain in-flight jobs before
+ * returning (so `printf ... | rowpress serve` runs everything);
+ * {"op":"shutdown","force":true} cancels instead.  Returns the
+ * process exit code (0, or 1 after an I/O failure on @p out).
+ */
+int serveSession(Service &service, std::istream &in, std::ostream &out);
+
+/**
+ * Serve over TCP: accept connections on 127.0.0.1:@p port, one
+ * protocol session per connection (sequentially; the Service outlives
+ * sessions, so warm caches and job history persist across them).
+ * Returns when a session requests shutdown.  Only built on POSIX;
+ * throws ConfigError elsewhere or when the port cannot be bound.
+ */
+int serveTcp(Service &service, int port, std::ostream &log);
+
+} // namespace rp::api
+
+#endif // ROWPRESS_API_PROTOCOL_H

@@ -1,0 +1,552 @@
+#include "api/service.h"
+
+#include <chrono>
+#include <iterator>
+#include <utility>
+
+#include "api/context.h"
+
+namespace rp::api {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Finished: return "finished";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+Service::Service(Options opts)
+{
+    const int n = opts.workers > 0 ? opts.workers : 1;
+    workers_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Service::~Service()
+{
+    shutdownNow();
+}
+
+const Experiment &
+Service::findExperiment(const std::string &id)
+{
+    const Experiment *exp = ExperimentRegistry::instance().find(id);
+    if (!exp)
+        throw ConfigError("unknown experiment '" + id +
+                          "' (see 'rowpress list'; jobs take exact "
+                          "ids, not globs)");
+    return *exp;
+}
+
+Config
+Service::resolveConfig(
+    const Experiment &exp,
+    const std::vector<std::pair<std::string, std::string>> &overlay)
+{
+    ConfigSchema schema = baseSchema();
+    if (exp.declareOptions)
+        exp.declareOptions(schema);
+    Config config{std::move(schema)};
+    config.loadEnv();
+    for (const auto &[key, value] : overlay) {
+        if (!config.schema().find(key))
+            throw ConfigError("experiment '" + exp.info.id +
+                              "' does not accept --" + key);
+        config.set(key, value, ConfigLayer::Cli);
+    }
+    return config;
+}
+
+device::ThresholdStoreRegistryStats
+Service::warmCacheStats()
+{
+    return device::ThresholdStore::registryStats();
+}
+
+std::size_t
+Service::evictWarmCache()
+{
+    return device::ThresholdStore::evictRegistry();
+}
+
+std::uint64_t
+Service::submit(const JobRequest &request)
+{
+    const Experiment &exp = findExperiment(request.experiment);
+    Config config = resolveConfig(exp, request.overlay);
+
+    // Build the sinks up front so a bad format (or "table" without a
+    // stream to render on) fails the submission, not the run.
+    if (request.formats.empty())
+        throw ConfigError("job for '" + request.experiment +
+                          "': no output formats");
+    std::vector<std::unique_ptr<ResultSink>> sinks;
+    // Valid, silently-discarding stream for the file-sink formats
+    // that never render to it (a null streambuf sets badbit on use).
+    static std::ostream null_stream(nullptr);
+    for (const std::string &format : request.formats) {
+        if (format == "table" && !request.tableStream)
+            throw ConfigError(
+                "format 'table' needs an output stream (serve jobs "
+                "have none; use csv/json artifacts instead)");
+        std::ostream &os =
+            request.tableStream ? *request.tableStream : null_stream;
+        sinks.push_back(makeSink(format, request.outDir, os));
+    }
+
+    Job *job_ptr = nullptr;
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw ConfigError("service is shutting down");
+        // Bound the job history: drop the oldest terminal jobs once
+        // past the cap, so a long-lived service's memory tracks jobs
+        // in flight, not total jobs ever submitted.
+        for (auto it = jobs_.begin();
+             jobs_.size() >= kMaxJobHistory && it != jobs_.end();) {
+            Job &old = *it->second;
+            const bool terminal = old.state != JobState::Queued &&
+                                  old.state != JobState::Running &&
+                                  old.eventsDone;
+            it = terminal ? jobs_.erase(it) : std::next(it);
+        }
+        id = ++lastId_;
+        auto job = std::make_unique<Job>(id, request, std::move(config));
+        job->sinks = std::move(sinks);
+        job_ptr = job.get();
+        jobs_[id] = std::move(job);
+    }
+
+    // Queued precedes the scheduler pickup, so a job's event stream
+    // always opens with it: dispatch before the job becomes runnable.
+    JobEvent event;
+    event.type = JobEventType::Queued;
+    dispatch(*job_ptr, std::move(event));
+
+    bool accepted = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Recheck: a shutdown() may have joined the workers while the
+        // Queued event was being dispatched, and a push now would
+        // leave the job runnable with nobody to run it (wait() would
+        // block forever) — such a racing submission comes back
+        // cancelled.  A concurrent cancel() may also have flipped the
+        // state; since the job was not enqueued yet, delivery of its
+        // Finished event is ours either way, which keeps the event
+        // stream opening with Queued.
+        if (!stopping_ && job_ptr->state == JobState::Queued) {
+            queue_.push_back(job_ptr);
+            job_ptr->enqueued = true;
+            accepted = true;
+        } else if (job_ptr->state == JobState::Queued) {
+            job_ptr->state = JobState::Cancelled;
+        }
+    }
+    if (accepted) {
+        queueCv_.notify_one();
+        return id;
+    }
+    deliverCancelledFinish(*job_ptr);
+    return id;
+}
+
+void
+Service::deliverCancelledFinish(Job &job)
+{
+    JobEvent event;
+    event.type = JobEventType::Finished;
+    event.state = JobState::Cancelled;
+    try {
+        dispatch(job, std::move(event));
+    } catch (const std::exception &) {
+        // Cancelled jobs finalize nothing; a sink error here has no
+        // outcome to report into.
+    }
+    releaseSinks(job);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.eventsDone = true;
+    }
+    jobsCv_.notify_all();
+}
+
+JobStatus
+Service::statusOf(const Job &job) const
+{
+    JobStatus st;
+    st.id = job.id;
+    st.experiment = job.req.experiment;
+    st.state = job.state;
+    st.error = job.error;
+    st.configError = job.configError;
+    st.done = job.done.load(std::memory_order_relaxed);
+    st.total = job.total.load(std::memory_order_relaxed);
+    st.elapsedMs = job.elapsedMs;
+    st.engineThreads = job.engineThreads;
+    return st;
+}
+
+JobStatus
+Service::status(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        throw ConfigError("unknown job " + std::to_string(id));
+    return statusOf(*it->second);
+}
+
+std::vector<JobStatus>
+Service::jobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobStatus> out;
+    out.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_) {
+        (void)id;
+        out.push_back(statusOf(*job));
+    }
+    return out;
+}
+
+bool
+Service::cancel(std::uint64_t id)
+{
+    Job *to_finish = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false;
+        Job &job = *it->second;
+        switch (job.state) {
+        case JobState::Queued:
+            // Flipping the state under the lock makes this cancel
+            // exclusive (a racing cancel/submit sees non-Queued);
+            // wait() still blocks until eventsDone, which
+            // deliverCancelledFinish sets only after the Finished
+            // event has reached every sink and observer.
+            job.state = JobState::Cancelled;
+            if (!job.enqueued)
+                // The submitting thread has not pushed the job yet
+                // (it may still be dispatching the Queued event); its
+                // recheck sees the flip and delivers Finished after
+                // Queued, preserving stream order.
+                return true;
+            for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+                if (*qit == &job) {
+                    queue_.erase(qit);
+                    break;
+                }
+            }
+            to_finish = &job;
+            break;
+        case JobState::Running:
+            // Fires at the job engine's next task boundary; the
+            // worker reports Cancelled when CancelledError unwinds.
+            job.cancelToken->store(true);
+            return true;
+        default:
+            return false;
+        }
+    }
+    deliverCancelledFinish(*to_finish);
+    return true;
+}
+
+JobStatus
+Service::wait(std::uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Re-resolve per wake: the history cap may prune a job that
+        // went terminal while we slept (only terminal jobs are ever
+        // pruned, so an erased id means the wait is over — but its
+        // outcome is gone with the history).
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            throw ConfigError("unknown job " + std::to_string(id) +
+                              " (never submitted, or pruned from the "
+                              "job history)");
+        Job &job = *it->second;
+        if (job.state != JobState::Queued &&
+            job.state != JobState::Running && job.eventsDone)
+            return statusOf(job);
+        jobsCv_.wait(lock);
+    }
+}
+
+void
+Service::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobsCv_.wait(lock, [this] {
+        for (const auto &[id, job] : jobs_) {
+            (void)id;
+            if (job->state == JobState::Queued ||
+                job->state == JobState::Running || !job->eventsDone)
+                return false;
+        }
+        return true;
+    });
+}
+
+void
+Service::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+void
+Service::shutdownNow()
+{
+    std::vector<Job *> to_finish;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        for (Job *job : queue_) {
+            job->state = JobState::Cancelled;
+            to_finish.push_back(job);
+        }
+        queue_.clear();
+        for (const auto &[id, job] : jobs_) {
+            (void)id;
+            if (job->state == JobState::Running)
+                job->cancelToken->store(true);
+        }
+    }
+    for (Job *job : to_finish)
+        deliverCancelledFinish(*job);
+    jobsCv_.notify_all();
+    queueCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+std::uint64_t
+Service::addObserver(Observer fn)
+{
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    observers_.emplace_back(++lastObserver_, std::move(fn));
+    return lastObserver_;
+}
+
+void
+Service::removeObserver(std::uint64_t handle)
+{
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+        if (it->first == handle) {
+            observers_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Service::dispatch(Job &job, JobEvent &&event)
+{
+    event.job = job.id;
+    event.experiment = job.req.experiment;
+    // A job emits its events sequentially (the scheduler worker, or
+    // its engine's progress hook while that worker blocks in run()),
+    // so per-job order is inherent; the locks only serialize sink
+    // teardown (per job) and the shared observer list (process-wide,
+    // but observers are enqueue-only and cheap).
+    {
+        std::lock_guard<std::mutex> lock(job.sinkMutex);
+        for (const auto &sink : job.sinks)
+            applyJobEvent(*sink, event);
+    }
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    for (const auto &[handle, observer] : observers_) {
+        (void)handle;
+        observer(event);
+    }
+}
+
+void
+Service::finishJob(Job &job, JobState state, std::string error,
+                   bool config_error)
+{
+    JobEvent event;
+    event.type = JobEventType::Finished;
+    event.state = state;
+    event.error = error;
+    event.elapsedMs = job.elapsedMs;
+    // Finalize sinks (a successful Finished writes result.json etc.)
+    // BEFORE eventsDone flips, so wait() returning implies the
+    // artifacts are complete on disk and the event stream is closed.
+    // A sink that throws here (unwritable out dir, disk full) runs on
+    // a scheduler worker with no other handler — swallow it into the
+    // job's outcome instead of std::terminate'ing the service.
+    try {
+        dispatch(job, std::move(event));
+    } catch (const std::exception &e) {
+        if (state == JobState::Finished) {
+            state = JobState::Failed;
+            error = std::string("finalizing outputs failed: ") +
+                    e.what();
+            config_error = false;
+        }
+    }
+    // The job is terminal: drop its sinks now.  JsonSink retains
+    // every dataset/note until destruction, so a long-lived service
+    // would otherwise keep each job's full result set in memory
+    // forever (status metadata stays, it is small).  The swap takes
+    // the dispatch lock — dispatch() iterates this vector under it.
+    releaseSinks(job);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.state = state;
+        job.eventsDone = true;
+        job.error = std::move(error);
+        job.configError = config_error;
+    }
+    jobsCv_.notify_all();
+}
+
+void
+Service::releaseSinks(Job &job)
+{
+    std::vector<std::unique_ptr<ResultSink>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(job.sinkMutex);
+        doomed.swap(job.sinks);
+    }
+    // Destruction happens outside the lock.
+}
+
+void
+Service::workerLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = queue_.front();
+            queue_.pop_front();
+            // A cancel() can race the window between a submission's
+            // Queued event and its queue push; the job is terminal
+            // already, so drop it rather than run it.
+            if (job->state != JobState::Queued)
+                continue;
+            job->state = JobState::Running;
+        }
+        executeJob(*job);
+    }
+}
+
+void
+Service::executeJob(Job &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+    JobState final_state = JobState::Finished;
+    std::string error;
+    bool config_error = false;
+
+    try {
+        const Experiment &exp = findExperiment(job.req.experiment);
+
+        JobEvent started;
+        started.type = JobEventType::Started;
+        started.info = exp.info;
+        started.config = job.config.resolved();
+        dispatch(job, std::move(started));
+
+        core::ExperimentEngine::Options eopts;
+        eopts.numThreads = job.config.getInt("threads");
+        eopts.rootSeed = std::uint64_t(job.config.getInt("seed"));
+        eopts.cancel = job.cancelToken;
+        eopts.progress = [this, &job](std::size_t done,
+                                      std::size_t total) {
+            job.done.store(done, std::memory_order_relaxed);
+            job.total.store(total, std::memory_order_relaxed);
+            // Deterministic throttle (a pure function of done/total):
+            // ~16 updates per task set plus the final one, so the
+            // protocol stream stays readable on thousand-task jobs.
+            const std::size_t buckets = 16;
+            if (done != total &&
+                (done * buckets) / total == ((done - 1) * buckets) / total)
+                return;
+            JobEvent event;
+            event.type = JobEventType::Progress;
+            event.done = done;
+            event.total = total;
+            dispatch(job, std::move(event));
+        };
+        core::ExperimentEngine engine(eopts);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job.engineThreads = engine.numThreads();
+        }
+
+        ExperimentContext ctx(
+            exp.info, job.config, engine,
+            [this, &job](JobEvent &&event) {
+                dispatch(job, std::move(event));
+            },
+            job.req.outDir);
+
+        exp.run(ctx);
+    } catch (const core::CancelledError &) {
+        final_state = JobState::Cancelled;
+    } catch (const ConfigError &e) {
+        final_state = JobState::Failed;
+        error = e.what();
+        config_error = true;
+    } catch (const std::exception &e) {
+        final_state = JobState::Failed;
+        error = e.what();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.elapsedMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    }
+
+    if (final_state == JobState::Finished && job.req.time) {
+        JobEvent timing;
+        timing.type = JobEventType::Timing;
+        timing.elapsedMs = job.elapsedMs;
+        try {
+            dispatch(job, std::move(timing));
+        } catch (const std::exception &e) {
+            final_state = JobState::Failed;
+            error = std::string("emitting timing failed: ") + e.what();
+        }
+    }
+
+    finishJob(job, final_state, std::move(error), config_error);
+}
+
+} // namespace rp::api

@@ -16,6 +16,12 @@ ResultSink::beginExperiment(const ExperimentInfo &info)
 }
 
 void
+ResultSink::resolvedConfig(const std::vector<ConfigValue> &config)
+{
+    (void)config;
+}
+
+void
 ResultSink::note(const std::string &text)
 {
     (void)text;
@@ -205,8 +211,15 @@ void
 JsonSink::beginExperiment(const ExperimentInfo &info)
 {
     info_ = info;
+    config_.clear();
     datasets_.clear();
     notes_.clear();
+}
+
+void
+JsonSink::resolvedConfig(const std::vector<ConfigValue> &config)
+{
+    config_ = config;
 }
 
 void
@@ -238,6 +251,21 @@ JsonSink::endExperiment()
        << "\",\n";
     os << "  \"category\": \"" << jsonEscape(info_.category)
        << "\",\n";
+    if (!config_.empty()) {
+        // The fully resolved config (defaults < env < overlay): the
+        // values this run actually used, so the artifact reproduces
+        // with `rowpress run <experiment>` plus the non-default keys.
+        os << "  \"config\": {";
+        for (std::size_t i = 0; i < config_.size(); ++i) {
+            const ConfigValue &kv = config_[i];
+            os << (i ? ",\n             " : "\n             ");
+            os << '"' << jsonEscape(kv.key) << "\": {\"value\": ";
+            writeJsonValue(os, kv.value);
+            os << ", \"origin\": \"" << jsonEscape(kv.origin)
+               << "\"}";
+        }
+        os << "\n  },\n";
+    }
     os << "  \"datasets\": [";
     for (std::size_t di = 0; di < datasets_.size(); ++di) {
         const Dataset &d = datasets_[di];
@@ -268,6 +296,47 @@ JsonSink::endExperiment()
            << jsonEscape(notes_[i]) << '"';
     }
     os << "]\n}\n";
+    // The artifact is on disk; keeping the collected results alive
+    // for the sink's remaining lifetime would only hold memory (a
+    // long-lived service finishes many experiments per process).
+    config_.clear();
+    datasets_.clear();
+    notes_.clear();
+}
+
+// ---- event dispatch --------------------------------------------------
+
+void
+applyJobEvent(ResultSink &sink, const JobEvent &event)
+{
+    switch (event.type) {
+    case JobEventType::Queued:
+    case JobEventType::Progress:
+        break;
+    case JobEventType::Started:
+        sink.beginExperiment(event.info);
+        sink.resolvedConfig(event.config);
+        break;
+    case JobEventType::Dataset:
+        if (event.dataset)
+            sink.dataset(*event.dataset);
+        break;
+    case JobEventType::Note:
+        sink.note(event.text);
+        break;
+    case JobEventType::RawCsv:
+        // Streams the lazy writer straight through: only sinks that
+        // persist CSV ever render the body.
+        sink.rawCsv(event.name, event.bodyWriter);
+        break;
+    case JobEventType::Timing:
+        sink.timing(event.elapsedMs);
+        break;
+    case JobEventType::Finished:
+        if (event.state == JobState::Finished)
+            sink.endExperiment();
+        break;
+    }
 }
 
 // ---- factory ---------------------------------------------------------

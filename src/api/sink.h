@@ -30,11 +30,20 @@
 #include <vector>
 
 #include "api/dataset.h"
+#include "api/job.h"
 #include "api/registry.h"
 
 namespace rp::api {
 
-/** Output backend interface; methods arrive in emission order. */
+/**
+ * Output backend interface; methods arrive in emission order.
+ *
+ * Since the Service redesign, sinks are consumers of the typed
+ * JobEvent stream: the Service translates a job's events onto these
+ * virtuals through applyJobEvent(), which is the only call path in
+ * `rowpress run` and `rowpress serve` alike.  The virtuals survive as
+ * the rendering interface (and for tests that drive a sink directly).
+ */
 class ResultSink
 {
   public:
@@ -44,6 +53,13 @@ class ResultSink
     virtual std::string formatName() const = 0;
 
     virtual void beginExperiment(const ExperimentInfo &info);
+    /**
+     * The job's fully resolved Config (defaults < env < overlay),
+     * delivered right after beginExperiment.  JsonSink embeds it in
+     * result.json so every artifact is reproducible from its own
+     * metadata; default: ignored.
+     */
+    virtual void resolvedConfig(const std::vector<ConfigValue> &config);
     virtual void dataset(const Dataset &d) = 0;
     /** Free-form commentary (paper-shape notes); default: ignored. */
     virtual void note(const std::string &text);
@@ -111,6 +127,7 @@ class JsonSink : public ResultSink
 
     std::string formatName() const override { return "json"; }
     void beginExperiment(const ExperimentInfo &info) override;
+    void resolvedConfig(const std::vector<ConfigValue> &config) override;
     void dataset(const Dataset &d) override;
     void note(const std::string &text) override;
     void endExperiment() override;
@@ -118,9 +135,20 @@ class JsonSink : public ResultSink
   private:
     std::filesystem::path outDir_;
     ExperimentInfo info_;
+    std::vector<ConfigValue> config_;
     std::vector<Dataset> datasets_;
     std::vector<std::string> notes_;
 };
+
+/**
+ * Translate one JobEvent onto a ResultSink: Started maps to
+ * beginExperiment + resolvedConfig, Dataset/Note/RawCsv/Timing to
+ * their virtuals, and a successful Finished to endExperiment (a
+ * failed or cancelled job never finalizes its sinks, matching the
+ * pre-service CLI behavior of leaving no result.json on failure).
+ * Queued and Progress events render nothing.
+ */
+void applyJobEvent(ResultSink &sink, const JobEvent &event);
 
 /** JSON string escaping (exposed for tests). */
 std::string jsonEscape(const std::string &s);

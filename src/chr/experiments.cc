@@ -167,33 +167,57 @@ acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,
     const std::vector<int> rows = baseRowsOf(mc);
     const std::size_t n_rows = rows.size();
 
-    // One task per location, reusing one Module across the whole
-    // tAggON sweep: the oracle-backed search never mutates the task's
-    // platform, so every sweep point still sees the pristine state a
-    // per-point Module used to provide (results are bit-identical),
-    // while the threshold store and module setup are paid once.
+    // (location, tAggON-chunk) tasks: when the engine has more
+    // workers than locations, each location's sweep is split into
+    // contiguous tAggON slices so the task set can occupy every
+    // worker (the same re-chunking maxActivationAttempts uses for
+    // full scans).  Each task runs its slice on a private
+    // single-location Module; the oracle-backed search never mutates
+    // the platform, so a fresh Module per slice sees exactly the
+    // pristine state the one-module-per-location driver provided —
+    // results are bit-identical at any chunk count, while the store
+    // build is still shared through the keyed registry.
     SearchConfig task_cfg = cfg;
     task_cfg.useOracle = true;
-    auto results = engine.map<std::vector<LocationResult>>(
-        n_rows, [&](const core::TaskContext &ctx) {
-            const int row = rows[ctx.index];
+
+    struct TaskDesc
+    {
+        std::size_t loc;
+        std::size_t first;
+        std::size_t last;
+    };
+    const std::size_t split = engine.chunksPerTask(n_rows);
+    std::vector<TaskDesc> descs;
+    for (std::size_t ri = 0; ri < n_rows; ++ri) {
+        for (const auto &[first, last] :
+             core::splitRanges(t_agg_ons.size(), split))
+            descs.push_back({ri, first, last});
+    }
+
+    auto pieces = engine.map<std::vector<LocationResult>>(
+        descs.size(), [&](const core::TaskContext &ctx) {
+            const TaskDesc &d = descs[ctx.index];
+            const int row = rows[d.loc];
             Module local(locationConfig(mc, row));
-            std::vector<LocationResult> per_point;
-            per_point.reserve(t_agg_ons.size());
-            for (Time t : t_agg_ons)
-                per_point.push_back(acminAtLocation(
-                    local, row, t, kind, pattern, task_cfg));
-            return per_point;
+            std::vector<LocationResult> slice;
+            slice.reserve(d.last - d.first);
+            for (std::size_t ti = d.first; ti < d.last; ++ti)
+                slice.push_back(acminAtLocation(
+                    local, row, t_agg_ons[ti], kind, pattern,
+                    task_cfg));
+            return slice;
         });
 
-    std::vector<SweepPoint> points;
-    points.reserve(t_agg_ons.size());
-    for (std::size_t ti = 0; ti < t_agg_ons.size(); ++ti) {
-        SweepPoint point;
-        point.tAggOn = t_agg_ons[ti];
-        for (std::size_t ri = 0; ri < n_rows; ++ri)
-            point.locations.push_back(std::move(results[ri][ti]));
-        points.push_back(std::move(point));
+    std::vector<SweepPoint> points(t_agg_ons.size());
+    for (std::size_t ti = 0; ti < t_agg_ons.size(); ++ti)
+        points[ti].tAggOn = t_agg_ons[ti];
+    // descs iterate locations in row order, so per-point location
+    // lists assemble in the same order as the serial driver.
+    for (std::size_t di = 0; di < descs.size(); ++di) {
+        const TaskDesc &d = descs[di];
+        for (std::size_t ti = d.first; ti < d.last; ++ti)
+            points[ti].locations.push_back(
+                std::move(pieces[di][ti - d.first]));
     }
     return points;
 }

@@ -109,8 +109,9 @@ SweepPoint acminPoint(Module &module, Time t_agg_on, AccessKind kind,
                       const SearchConfig &cfg = {});
 
 /**
- * Engine-parallel form: one task per tested location, each on a
- * private single-location Module (see locationConfig).
+ * Engine-parallel form: (location, tAggON-chunk) tasks, each on a
+ * private single-location Module (see locationConfig and the
+ * re-chunking notes on acminSweep).
  */
 SweepPoint acminPoint(const ModuleConfig &mc,
                       core::ExperimentEngine &engine, Time t_agg_on,
@@ -126,9 +127,13 @@ acminSweep(Module &module, const std::vector<Time> &t_agg_ons,
            const SearchConfig &cfg = {});
 
 /**
- * Engine-parallel sweep: the (tAggON x location) grid is flattened
- * into one task set so every point of every sweep step runs
- * concurrently.
+ * Engine-parallel sweep: (location, tAggON-chunk) tasks — when the
+ * engine has more workers than locations, each location's sweep is
+ * split into contiguous tAggON slices (ExperimentEngine::chunksPerTask
+ * + core::splitRanges) so sweep jobs scale past numLocations on
+ * many-core hosts.  Each task runs on a private single-location
+ * Module and the oracle-backed search never mutates the platform, so
+ * any chunking is bit-identical to the serial per-location sweep.
  */
 std::vector<SweepPoint>
 acminSweep(const ModuleConfig &mc, core::ExperimentEngine &engine,

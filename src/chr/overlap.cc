@@ -103,18 +103,28 @@ overlapViaEngine(
     std::vector<std::uint64_t> ret_ids;
     std::vector<core::ExperimentEngine::Task> tasks;
     if (module_per_location) {
-        // One task per location covering the whole grid on one Module
-        // (safe when cell_flips never mutates the platform, i.e. the
-        // oracle-backed ACmin search).
-        tasks.reserve(n_rows + 1);
+        // (location, grid-chunk) tasks (safe when cell_flips never
+        // mutates the platform, i.e. the oracle-backed ACmin search):
+        // each task measures a contiguous slice of the grid on a
+        // private Module, so the set scales past numLocations on
+        // many-core hosts (ExperimentEngine::chunksPerTask +
+        // core::splitRanges, like the acmin-sweep driver).  A fresh
+        // Module per slice sees the same pristine state as the old
+        // one-module-per-location task — bit-identical results.
+        const std::size_t split = engine.chunksPerTask(n_rows + 1);
+        const auto ranges = core::splitRanges(grid.size(), split);
+        tasks.reserve(n_rows * ranges.size() + 1);
         for (std::size_t ri = 0; ri < n_rows; ++ri) {
-            tasks.push_back([&, ri](const core::TaskContext &) {
-                const int row = rows[ri];
-                Module local(locationConfig(mc, row));
-                for (std::size_t ti = 0; ti < grid.size(); ++ti)
-                    cells[ti * n_rows + ri] =
-                        cell_flips(local, row, grid[ti]);
-            });
+            for (const auto &[first, last] : ranges) {
+                tasks.push_back([&, ri, first = first,
+                                 last = last](const core::TaskContext &) {
+                    const int row = rows[ri];
+                    Module local(locationConfig(mc, row));
+                    for (std::size_t ti = first; ti < last; ++ti)
+                        cells[ti * n_rows + ri] =
+                            cell_flips(local, row, grid[ti]);
+                });
+            }
         }
     } else {
         // One task (and one pristine Module) per grid cell, for

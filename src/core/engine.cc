@@ -25,7 +25,8 @@ ExperimentEngine::defaultThreadCount()
 ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options()) {}
 
 ExperimentEngine::ExperimentEngine(Options opts)
-    : rootSeed_(opts.rootSeed)
+    : rootSeed_(opts.rootSeed), cancel_(std::move(opts.cancel)),
+      defaultProgress_(std::move(opts.progress))
 {
     const int n =
         opts.numThreads > 0 ? opts.numThreads : defaultThreadCount();
@@ -72,10 +73,15 @@ ExperimentEngine::run(std::vector<Task> tasks, const RunOptions &opts)
     // One task set at a time; concurrent callers queue up here.
     std::lock_guard<std::mutex> run_lock(runMutex_);
 
+    // Cancellation point: a cancelled job never starts another task
+    // set (the per-task checks in execute() cover sets in flight).
+    if (cancelRequested())
+        throw CancelledError();
+
     RunState state;
     state.tasks = std::move(tasks);
     state.rootSeed = opts.rootSeed ? opts.rootSeed : rootSeed_;
-    state.progress = opts.progress;
+    state.progress = opts.progress ? opts.progress : defaultProgress_;
 
     // Deal tasks round-robin into the per-worker deques.
     const std::size_t n_workers = queues_.size();
@@ -138,6 +144,16 @@ ExperimentEngine::execute(int id, std::size_t task_index)
     bool skip;
     {
         std::lock_guard<std::mutex> lock(state.doneMutex);
+        // Cancellation point: between any two tasks of a set.  The
+        // token fires asynchronously (Service::cancel); the first
+        // worker to notice records CancelledError as the run's
+        // outcome and every remaining task is skipped.
+        if (!state.cancelled && cancelRequested()) {
+            state.cancelled = true;
+            if (!state.firstError)
+                state.firstError =
+                    std::make_exception_ptr(CancelledError());
+        }
         skip = state.cancelled;
     }
 

@@ -28,11 +28,20 @@
  *
  * The default thread count honours the `RP_THREADS` environment
  * variable and falls back to the hardware concurrency.
+ *
+ * Job-scoped task groups: the api::Service constructs one engine per
+ * job, so an engine doubles as the job's task group — its Options
+ * carry the job's cancel token (checked at every task boundary, the
+ * engine's cancellation points) and the job's default progress hook
+ * (streamed as Progress events).  Engines of concurrent jobs are
+ * fully independent; results stay a pure function of the task set
+ * and root seed regardless of what other jobs run.
  */
 
 #ifndef ROWPRESS_CORE_ENGINE_H
 #define ROWPRESS_CORE_ENGINE_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -40,6 +49,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -47,6 +57,25 @@
 #include "common/rng.h"
 
 namespace rp::core {
+
+/**
+ * Thrown out of ExperimentEngine::run when the engine's cancel token
+ * fires: remaining tasks of the set are skipped and the run call
+ * site unwinds.  The api::Service maps it to JobState::Cancelled.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    CancelledError() : std::runtime_error("task set cancelled") {}
+};
+
+/**
+ * Shared cancellation flag: setting it to true makes every engine
+ * bound to it abandon its task set at the next task boundary (the
+ * engine's cancellation points).  One token per job scopes
+ * cancellation to that job's task group without touching others.
+ */
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
 
 /** Per-task execution context handed to every task. */
 struct TaskContext
@@ -68,6 +97,21 @@ class ExperimentEngine
         int numThreads = 0;
         /** Root of the per-task seed derivation. */
         std::uint64_t rootSeed = 1;
+        /**
+         * Job-scoped cancel token: when set and fired, every run on
+         * this engine aborts at the next task boundary by rethrowing
+         * CancelledError (results of already-finished tasks are
+         * discarded with the run).  An engine owned by one service
+         * job is that job's task group; the token cancels exactly it.
+         */
+        CancelToken cancel;
+        /**
+         * Default progress hook, invoked serially as (done, total)
+         * for every run that does not pass its own
+         * RunOptions::progress.  The service wires this to the job's
+         * Progress event stream so drivers need no per-call plumbing.
+         */
+        std::function<void(std::size_t, std::size_t)> progress;
     };
 
     /** Per-run options. */
@@ -170,7 +214,14 @@ class ExperimentEngine
     bool claimTask(int id, std::size_t *out);
     void execute(int id, std::size_t task_index);
 
+    bool cancelRequested() const
+    {
+        return cancel_ && cancel_->load(std::memory_order_relaxed);
+    }
+
     std::uint64_t rootSeed_;
+    CancelToken cancel_;
+    std::function<void(std::size_t, std::size_t)> defaultProgress_;
 
     std::vector<std::thread> workers_;
     std::vector<std::unique_ptr<WorkerQueue>> queues_;

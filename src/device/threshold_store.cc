@@ -160,6 +160,11 @@ struct StoreRegistry
     std::unordered_map<std::string,
                        std::shared_ptr<const ThresholdStore>>
         stores;
+
+    // Warm-cache accounting for the service layer's cache report.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
 };
 
 StoreRegistry &
@@ -190,12 +195,82 @@ ThresholdStore::acquire(const DieConfig &die,
     StoreRegistry &reg = registry();
     const std::string key = storeKeyOf(die, bits_per_row, seed);
     std::lock_guard<std::mutex> lock(reg.mutex);
-    if (auto it = reg.stores.find(key); it != reg.stores.end())
+    if (auto it = reg.stores.find(key); it != reg.stores.end()) {
+        ++reg.hits;
         return it->second;
+    }
+    ++reg.misses;
     std::shared_ptr<const ThresholdStore> store(
         new ThresholdStore(params, bits_per_row, seed));
     reg.stores[key] = store;
     return store;
+}
+
+ThresholdStoreStats
+ThresholdStore::stats() const
+{
+    ThresholdStoreStats out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.candidateRows = rows_.size();
+    for (const auto &[key, row] : rows_) {
+        (void)key;
+        out.candidateCells += row->size();
+        out.approxBytes +=
+            sizeof(RowCandidates) +
+            row->size() * (sizeof(std::int32_t) + 3 * sizeof(double) +
+                           2 * sizeof(std::uint8_t));
+    }
+    out.wordMaskRows = wordMasks_.size();
+    for (const auto &[key, masks] : wordMasks_) {
+        (void)key;
+        out.approxBytes +=
+            sizeof(RowWordMasks) +
+            (masks->valid.size() + masks->hammer.size() +
+             masks->press.size() + masks->retention.size()) *
+                sizeof(std::uint64_t);
+    }
+    return out;
+}
+
+ThresholdStoreRegistryStats
+ThresholdStore::registryStats()
+{
+    StoreRegistry &reg = registry();
+    ThresholdStoreRegistryStats out;
+    std::vector<std::shared_ptr<const ThresholdStore>> snapshot;
+    {
+        // Snapshot the store set, then sum per-store stats outside
+        // the registry lock (each store takes its own mutex).
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        out.stores = reg.stores.size();
+        out.hits = reg.hits;
+        out.misses = reg.misses;
+        out.evictions = reg.evictions;
+        snapshot.reserve(reg.stores.size());
+        for (const auto &[key, store] : reg.stores) {
+            (void)key;
+            snapshot.push_back(store);
+        }
+    }
+    for (const auto &store : snapshot) {
+        const ThresholdStoreStats s = store->stats();
+        out.totals.candidateRows += s.candidateRows;
+        out.totals.candidateCells += s.candidateCells;
+        out.totals.wordMaskRows += s.wordMaskRows;
+        out.totals.approxBytes += s.approxBytes;
+    }
+    return out;
+}
+
+std::size_t
+ThresholdStore::evictRegistry()
+{
+    StoreRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const std::size_t n = reg.stores.size();
+    reg.stores.clear();
+    reg.evictions += n;
+    return n;
 }
 
 std::shared_ptr<const ThresholdStore>

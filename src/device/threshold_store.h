@@ -276,6 +276,28 @@ struct RowWordMasks
     static constexpr std::size_t npos = std::size_t(-1);
 };
 
+/** Point-in-time usage/size accounting of one ThresholdStore. */
+struct ThresholdStoreStats
+{
+    std::size_t candidateRows = 0; ///< Rows with a built candidate tier.
+    std::size_t candidateCells = 0;///< Total cached candidate cells.
+    std::size_t wordMaskRows = 0;  ///< Rows with a built word tier.
+    std::size_t approxBytes = 0;   ///< Rough heap footprint of both tiers.
+};
+
+/**
+ * Aggregate view of the process-wide keyed store registry — the warm
+ * cache the api::Service reports on (`rowpress serve`'s cache verb).
+ */
+struct ThresholdStoreRegistryStats
+{
+    std::size_t stores = 0;     ///< Registered (die, bits, seed) configs.
+    std::uint64_t hits = 0;     ///< acquire() calls served warm.
+    std::uint64_t misses = 0;   ///< acquire() calls that built a store.
+    std::uint64_t evictions = 0;///< Stores dropped by evictRegistry().
+    ThresholdStoreStats totals; ///< Summed over registered stores.
+};
+
 /** Lazily built, mutex-protected candidate rows of one device model. */
 class ThresholdStore
 {
@@ -320,6 +342,24 @@ class ThresholdStore
 
     int bitsPerRow() const { return bitsPerRow_; }
     std::uint64_t seed() const { return seed_; }
+
+    /** Usage accounting of this store's built tiers (thread-safe). */
+    ThresholdStoreStats stats() const;
+
+    /**
+     * Registry-wide accounting: store count, warm-hit/miss counters
+     * of acquire(), and summed per-store tier sizes (thread-safe).
+     */
+    static ThresholdStoreRegistryStats registryStats();
+
+    /**
+     * Eviction hook: drop the registry's strong references, returning
+     * how many stores were released.  Stores still referenced by live
+     * CellModels survive until those die; the next acquire() of any
+     * key rebuilds lazily.  Results are unaffected (stores are pure
+     * caches) — this only trades warm-cache time for memory.
+     */
+    static std::size_t evictRegistry();
 
   private:
     ThresholdStore(const CellModelParams &params, int bits_per_row,

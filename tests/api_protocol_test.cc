@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Serve-protocol tests: the minimal JSON parser/serializer, the
+ * machine-readable experiment listing shared with `rowpress list
+ * --format json`, and a full NDJSON session against a Service —
+ * submit/status/list/cancel/cache verbs, error responses for
+ * malformed requests, tag echo, and the EOF drain that makes
+ * `printf ... | rowpress serve` run everything it was fed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "api/cli.h"
+#include "api/context.h"
+#include "api/protocol.h"
+#include "api/service.h"
+
+namespace rp::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RegisterDummies
+{
+    RegisterDummies()
+    {
+        ExperimentRegistry::instance().add(
+            {{"zzproto_a", "Protocol dummy A", "none", "test"},
+             [](ConfigSchema &schema) {
+                 schema.add({"knob", OptionType::Int, "5", "",
+                             "dummy knob", 0.0, true});
+             },
+             [](ExperimentContext &ctx) {
+                 Dataset d("proto table");
+                 d.header({"k", "v"});
+                 d.rowf("knob", ctx.config().getInt("knob"));
+                 ctx.emit(d);
+                 ctx.note("proto note\n");
+             }});
+    }
+};
+const RegisterDummies register_dummies;
+
+TEST(ApiJson, ParseScalarsAndNesting)
+{
+    EXPECT_EQ(parseJson("null").kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(parseJson("true").boolean);
+    EXPECT_FALSE(parseJson("false").boolean);
+    EXPECT_EQ(parseJson(" -12.5e3 ").text, "-12.5e3");
+    EXPECT_EQ(parseJson("\"a\\n\\\"b\\\\\"").text, "a\n\"b\\");
+    EXPECT_EQ(parseJson("\"\\u0041\\u00e9\"").text, "A\xc3\xa9");
+    // Surrogate pair (U+1F600).
+    EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"").text,
+              "\xf0\x9f\x98\x80");
+
+    const JsonValue v = parseJson(
+        "{\"a\": [1, \"two\", {\"b\": true}], \"c\": null}");
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_EQ(a->items[0].text, "1");
+    EXPECT_EQ(a->items[1].text, "two");
+    EXPECT_TRUE(a->items[2].find("b")->boolean);
+    EXPECT_EQ(v.find("c")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.find("zz"), nullptr);
+}
+
+TEST(ApiJson, ParseRejectsMalformed)
+{
+    EXPECT_THROW(parseJson(""), ConfigError);
+    EXPECT_THROW(parseJson("{"), ConfigError);
+    EXPECT_THROW(parseJson("{\"a\":1} trailing"), ConfigError);
+    EXPECT_THROW(parseJson("{'a':1}"), ConfigError);
+    EXPECT_THROW(parseJson("\"\\q\""), ConfigError);
+    EXPECT_THROW(parseJson("\"unterminated"), ConfigError);
+    EXPECT_THROW(parseJson("01"), ConfigError);
+    EXPECT_THROW(parseJson("nulle"), ConfigError);
+    EXPECT_THROW(parseJson("\"\\ud83d\""), ConfigError); // lone high surrogate
+    EXPECT_THROW(parseJson("\"\\udc00\""), ConfigError); // lone low surrogate
+    // Raw control characters must be escaped.
+    EXPECT_THROW(parseJson(std::string("\"a\nb\"")), ConfigError);
+}
+
+TEST(ApiJson, SerializeRoundTripsAndScalarText)
+{
+    JsonValue obj = JsonValue::object();
+    obj.add("n", JsonValue::number("42"));
+    obj.add("s", JsonValue::string("a\"b\n"));
+    obj.add("b", JsonValue::makeBool(true));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue::number(1.5));
+    arr.push(JsonValue::makeNull());
+    obj.add("a", std::move(arr));
+
+    const std::string compact = toJson(obj);
+    EXPECT_EQ(compact,
+              "{\"n\":42,\"s\":\"a\\\"b\\n\",\"b\":true,"
+              "\"a\":[1.5,null]}");
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+
+    // Pretty form parses back to the same structure.
+    const JsonValue reparsed = parseJson(toJson(obj, 2));
+    EXPECT_EQ(toJson(reparsed), compact);
+
+    EXPECT_EQ(parseJson("65").scalarText("x"), "65");
+    EXPECT_EQ(parseJson("\"65\"").scalarText("x"), "65");
+    EXPECT_EQ(parseJson("true").scalarText("x"), "1");
+    EXPECT_THROW(parseJson("[1]").scalarText("x"), ConfigError);
+}
+
+TEST(ApiProtocol, ExperimentListingSharedWithCli)
+{
+    const JsonValue listing = experimentListJson({"zzproto_*"});
+    const JsonValue *experiments = listing.find("experiments");
+    ASSERT_NE(experiments, nullptr);
+    ASSERT_EQ(experiments->items.size(), 1u);
+    const JsonValue &e = experiments->items[0];
+    EXPECT_EQ(e.find("id")->text, "zzproto_a");
+    EXPECT_EQ(e.find("category")->text, "test");
+    // Options cover the base schema plus the declared knob.
+    const JsonValue *options = e.find("options");
+    ASSERT_NE(options, nullptr);
+    bool saw_knob = false, saw_threads = false;
+    for (const JsonValue &o : options->items) {
+        if (o.find("key")->text == "knob") {
+            saw_knob = true;
+            EXPECT_EQ(o.find("type")->text, "int");
+            EXPECT_EQ(o.find("default")->text, "5");
+        }
+        if (o.find("key")->text == "threads")
+            saw_threads = true;
+    }
+    EXPECT_TRUE(saw_knob);
+    EXPECT_TRUE(saw_threads);
+
+    // `rowpress list --format json` prints the same document.
+    std::ostringstream out, err;
+    ASSERT_EQ(runCli({"list", "zzproto_*", "--format", "json"}, out,
+                     err),
+              0);
+    EXPECT_EQ(toJson(parseJson(out.str())), toJson(listing));
+}
+
+/** One full stdio session: verbs, errors, events, and the EOF drain. */
+TEST(ApiProtocol, ServeSessionEndToEnd)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "rp_proto_session";
+    fs::remove_all(dir);
+
+    std::istringstream in(
+        "\n"
+        "{\"op\":\"submit\",\"experiment\":\"zzproto_a\","
+        "\"config\":{\"knob\":7,\"threads\":\"1\"},"
+        "\"formats\":[\"csv\",\"json\"],"
+        "\"out\":\"" + (dir / "out").string() + "\",\"tag\":\"j1\"}\n"
+        "not json\n"
+        "{\"op\":\"submit\",\"experiment\":\"zz_missing\"}\n"
+        "{\"nop\":1}\n"
+        "{\"op\":\"frobnicate\"}\n"
+        "{\"op\":\"list\",\"glob\":\"zzproto_*\"}\n"
+        "{\"op\":\"cancel\",\"job\":999}\n"
+        "{\"op\":\"cache\"}\n"
+        "{\"op\":\"status\"}\n"
+        "{\"op\":\"status\",\"job\":999,\"tag\":\"e1\"}\n");
+    std::ostringstream out;
+
+    Service service;
+    EXPECT_EQ(serveSession(service, in, out), 0);
+
+    // Session ended at EOF after draining: the job must be finished
+    // and its artifacts final.
+    EXPECT_TRUE(fs::exists(dir / "out" / "zzproto_a" / "result.json"));
+    EXPECT_TRUE(
+        fs::exists(dir / "out" / "zzproto_a" / "proto_table.csv"));
+
+    // Every line is one valid JSON object.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<JsonValue> responses, events;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        JsonValue v = parseJson(line);
+        ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+        if (v.find("event"))
+            events.push_back(std::move(v));
+        else
+            responses.push_back(std::move(v));
+    }
+
+    ASSERT_EQ(responses.size(), 10u);
+    // submit: ok, job id, tag echoed.
+    EXPECT_TRUE(responses[0].find("ok")->boolean);
+    EXPECT_EQ(responses[0].find("op")->text, "submit");
+    EXPECT_EQ(responses[0].find("tag")->text, "j1");
+    EXPECT_EQ(responses[0].find("job")->text, "1");
+    // Malformed line, unknown experiment, missing op, unknown op: all
+    // errors, and the session keeps serving.
+    for (int i = 1; i <= 4; ++i) {
+        EXPECT_FALSE(responses[std::size_t(i)].find("ok")->boolean)
+            << i;
+        EXPECT_NE(responses[std::size_t(i)].find("error"), nullptr);
+    }
+    // list shares the experimentListJson document.
+    const JsonValue *experiments = responses[5].find("experiments");
+    ASSERT_NE(experiments, nullptr);
+    EXPECT_EQ(experiments->items[0].find("id")->text, "zzproto_a");
+    // cancel of an unknown job: ok response, cancelled=false.
+    EXPECT_TRUE(responses[6].find("ok")->boolean);
+    EXPECT_FALSE(responses[6].find("cancelled")->boolean);
+    // cache: warm-cache report present.
+    ASSERT_NE(responses[7].find("warm_cache"), nullptr);
+    // status (no job): every job listed, with the warm-cache report.
+    const JsonValue *jobs = responses[8].find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->items.size(), 1u);
+    EXPECT_EQ(jobs->items[0].find("experiment")->text, "zzproto_a");
+    ASSERT_NE(responses[8].find("warm_cache"), nullptr);
+    // A failing request still echoes its tag (correlation matters
+    // most on errors).
+    EXPECT_FALSE(responses[9].find("ok")->boolean);
+    ASSERT_NE(responses[9].find("tag"), nullptr);
+    EXPECT_EQ(responses[9].find("tag")->text, "e1");
+    ASSERT_NE(responses[9].find("error"), nullptr);
+    // Events: the job's stream opens with queued and closes finished.
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events.front().find("event")->text, "queued");
+    bool saw_started = false, saw_finished = false, saw_dataset = false;
+    for (const JsonValue &event : events) {
+        const std::string kind = event.find("event")->text;
+        saw_started = saw_started || kind == "started";
+        saw_finished = saw_finished || kind == "finished";
+        saw_dataset = saw_dataset || kind == "dataset";
+        EXPECT_EQ(event.find("experiment")->text, "zzproto_a");
+    }
+    EXPECT_TRUE(saw_started);
+    EXPECT_TRUE(saw_dataset);
+    EXPECT_TRUE(saw_finished);
+
+    // The submitted overlay (knob=7 as a JSON number) resolved as
+    // config text; the started event carries it.
+    for (const JsonValue &event : events) {
+        if (event.find("event")->text != "started")
+            continue;
+        const JsonValue *config = event.find("config");
+        ASSERT_NE(config, nullptr);
+        const JsonValue *knob = config->find("knob");
+        ASSERT_NE(knob, nullptr);
+        EXPECT_EQ(knob->find("value")->text, "7");
+        EXPECT_EQ(knob->find("origin")->text, "cli");
+    }
+}
+
+TEST(ApiProtocol, RequestsRejectUnknownMembers)
+{
+    // A typo'd member ("format" for "formats") must error, never
+    // silently run the job with defaults.
+    std::istringstream in(
+        "{\"op\":\"submit\",\"experiment\":\"zzproto_a\","
+        "\"format\":[\"json\"]}\n"
+        "{\"op\":\"status\",\"glob\":\"*\"}\n");
+    std::ostringstream out;
+    Service service;
+    EXPECT_EQ(serveSession(service, in, out), 0);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t errors = 0;
+    while (std::getline(lines, line)) {
+        const JsonValue v = parseJson(line);
+        if (v.find("event"))
+            continue;
+        EXPECT_FALSE(v.find("ok")->boolean);
+        EXPECT_NE(v.find("error")->text.find("unknown member"),
+                  std::string::npos);
+        ++errors;
+    }
+    EXPECT_EQ(errors, 2u);
+    // Nothing ran.
+    EXPECT_TRUE(service.jobs().empty());
+}
+
+TEST(ApiProtocol, ServeRejectsRunOnlyFlags)
+{
+    // These rejections happen before any stdin is read.
+    for (const std::vector<std::string> &args :
+         {std::vector<std::string>{"serve", "--out", "x"},
+          std::vector<std::string>{"serve", "--format", "json"},
+          std::vector<std::string>{"serve", "--time"},
+          std::vector<std::string>{"serve", "--all"},
+          std::vector<std::string>{"serve", "fig06"},
+          std::vector<std::string>{"serve", "--jobs", "0"},
+          std::vector<std::string>{"serve", "--port", "99999"},
+          std::vector<std::string>{"serve", "--bogus", "1"}}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(runCli(args, out, err), 2) << args[1];
+    }
+}
+
+TEST(ApiProtocol, ShutdownVerbEndsSessionBeforeEof)
+{
+    std::istringstream in(
+        "{\"op\":\"shutdown\"}\n"
+        "{\"op\":\"list\"}\n"); // never reached
+    std::ostringstream out;
+    Service service;
+    EXPECT_EQ(serveSession(service, in, out), 0);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        const JsonValue v = parseJson(line);
+        EXPECT_EQ(v.find("op")->text, "shutdown");
+        EXPECT_TRUE(v.find("ok")->boolean);
+        ++n;
+    }
+    EXPECT_EQ(n, 1u);
+
+    // The service is stopped: further submissions are rejected.
+    JobRequest req;
+    req.experiment = "zzproto_a";
+    EXPECT_THROW(service.submit(req), ConfigError);
+}
+
+} // namespace
+} // namespace rp::api

@@ -114,6 +114,35 @@ TEST(ParallelDeterminism, SharedThresholdStoreThreadCountInvariant)
     }
 }
 
+TEST(ParallelDeterminism, OverlapAtAcminUnchunkedVsChunked)
+{
+    // 2 locations + the retention task = 3 coarse tasks: at 1 thread
+    // the driver runs one grid task per location (split = 1), at 4 it
+    // re-chunks each location's grid into slices (split = 2).  The
+    // oracle-backed measurement never mutates the platform, so the
+    // chunking must be bit-invisible.
+    chr::ModuleConfig mc;
+    mc.die = device::dieS8GbB();
+    mc.numLocations = 2;
+    mc.temperatureC = 80.0;
+
+    const std::vector<Time> sweep = {36_ns, 7800_ns, 70200_ns};
+    core::ExperimentEngine serial(withThreads(1));
+    core::ExperimentEngine parallel(withThreads(4));
+    auto a = chr::overlapAtAcmin(mc, serial, sweep,
+                                 chr::AccessKind::SingleSided);
+    auto b = chr::overlapAtAcmin(mc, parallel, sweep,
+                                 chr::AccessKind::SingleSided);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tAggOn, b[i].tAggOn);
+        EXPECT_EQ(a[i].rpCells, b[i].rpCells);
+        EXPECT_EQ(a[i].withRowHammer, b[i].withRowHammer);
+        EXPECT_EQ(a[i].withRetention, b[i].withRetention);
+    }
+}
+
 TEST(ParallelDeterminism, SharedStoreIdenticalToUnsharedStore)
 {
     // Two models acquire the same shared store; a third is detached
