@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Static-initializer anchor that pulls the fuzz.* experiments
+ * (src/fuzz/experiments.cc) into the `rowpress` binary.  The run
+ * functions live in the library so the test suite can drive them
+ * through api::runCli too.
+ */
+
+#include "fuzz/experiments.h"
+
+namespace {
+
+[[maybe_unused]] const bool registered =
+    (rp::fuzz::registerFuzzExperiments(), true);
+
+} // namespace

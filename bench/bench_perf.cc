@@ -20,6 +20,7 @@
 
 #include "api/context.h"
 #include "chr/ecc.h"
+#include "fuzz/search.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -163,6 +164,33 @@ runPerfBerFullScan(api::ExperimentContext &ctx)
               mc.numLocations);
 }
 
+void
+runPerfFuzzEval(api::ExperimentContext &ctx)
+{
+    // The fuzz objective-layer workload: evaluate a batch of random
+    // genomes against Graphene, each on a private platform through
+    // the segmented fast-forward execution path.
+    fuzz::EvalConfig ec;
+    ec.module = perfModule(ctx);
+    ec.budget = 2 * units::MS;
+    const fuzz::Evaluator evaluator(ec, fuzz::MitigationKind::Graphene);
+    const fuzz::Searcher searcher(evaluator, ctx.engine());
+
+    const int n = 24;
+    std::vector<fuzz::PatternSpec> genomes;
+    for (int i = 0; i < n; ++i) {
+        Rng rng(hashU64(ctx.seed(), std::uint64_t(i)));
+        genomes.push_back(fuzz::randomPattern(rng, ec.module.bank,
+                                              ec.module.firstRow));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = searcher.evaluateAll(genomes);
+    (void)results;
+    const double ms = msSince(t0);
+    emitBench(ctx, "fuzz_eval", ms, std::size_t(n), "patterns",
+              ctx.locations());
+}
+
 // Registered directly (not via REGISTER_EXPERIMENT) because the perf
 // ids contain a dot, which the macro cannot use as a C++ identifier.
 const api::ExperimentRegistrar reg_perf_acmin_sweep(
@@ -186,5 +214,11 @@ const api::ExperimentRegistrar reg_perf_ber_fullscan(
      "Perf: BER/ECC full-scan macro benchmark",
      "word-mask full-scan fast path + chunked attempt tasks", "perf"},
     nullptr, runPerfBerFullScan);
+
+const api::ExperimentRegistrar reg_perf_fuzz_eval(
+    {"perf.fuzz_eval",
+     "Perf: fuzz objective-evaluation macro benchmark",
+     "segmented mitigation-aware pattern evaluation", "perf"},
+    nullptr, runPerfFuzzEval);
 
 } // namespace

@@ -70,12 +70,23 @@ void
 Config::loadEnv()
 {
     for (const auto &opt : schema_.options()) {
-        if (opt.envVar.empty())
-            continue;
-        const char *v = std::getenv(opt.envVar.c_str());
+        // The primary alias wins; the deprecated legacy alias is
+        // consulted only when the primary is unset.
+        std::string name = opt.envVar;
+        const char *v =
+            name.empty() ? nullptr : std::getenv(name.c_str());
+        if (!v && !opt.envVarLegacy.empty()) {
+            name = opt.envVarLegacy;
+            v = std::getenv(name.c_str());
+        }
         if (!v)
             continue;
-        set(opt.key, v, ConfigLayer::Env);
+        validate(opt, v, name);
+        Entry &entry = values_[opt.key];
+        if (int(ConfigLayer::Env) < int(entry.origin))
+            continue; // a CLI value already set this key
+        entry.value = v;
+        entry.origin = ConfigLayer::Env;
     }
 }
 

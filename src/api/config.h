@@ -66,10 +66,15 @@ struct OptionSpec
     std::string key;          ///< CLI flag name (`--<key>`).
     OptionType type = OptionType::String;
     std::string defaultValue; ///< Textual default (schema-validated).
-    std::string envVar;       ///< Legacy env alias; "" = none.
+    std::string envVar;       ///< Env alias; "" = none.
     std::string help;         ///< One-line description for `--help`.
     double minValue = 0.0;    ///< Lower bound when hasMin (Int/Double).
     bool hasMin = false;
+    /**
+     * Deprecated second env alias kept for compatibility; consulted
+     * only when @ref envVar is not set in the environment.
+     */
+    std::string envVarLegacy = {};
 };
 
 /** The set of options one experiment (or the CLI itself) accepts. */

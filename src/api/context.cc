@@ -21,8 +21,9 @@ baseSchema()
                 "ROWPRESS_BENCH_SCALE",
                 "effort multiplier for the heavy experiments", 0.0,
                 true});
-    schema.add({"seed", OptionType::Int, "1", "ROWPRESS_SEED",
-                "root seed for module construction", 0.0, true});
+    schema.add({"seed", OptionType::Int, "1", "RP_SEED",
+                "root seed for module construction and searches", 0.0,
+                true, "ROWPRESS_SEED"});
     schema.add({"threads", OptionType::Int, "0", "RP_THREADS",
                 "engine worker threads (0 = hardware concurrency)",
                 0.0, true});

@@ -95,6 +95,17 @@ class TestPlatform
     void checkRowInto(int bank, int row, bool full_scan,
                       std::vector<device::FlipRecord> &out);
 
+    /**
+     * Non-destructive probe: would @p row show any flip if inspected
+     * now?  Unlike checkRow, nothing is latched or cleared, so search
+     * layers (fuzz minimum-cost checkpoints) may poll mid-pattern
+     * without perturbing subsequent dose accumulation.
+     */
+    bool rowWouldFlip(int bank, int row) const
+    {
+        return chip_->rowWouldFlip(bank, row, nextFree_);
+    }
+
     /** Reset chip state and the command clock to power-on. */
     void reset();
 

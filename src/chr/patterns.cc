@@ -67,28 +67,45 @@ RowLayout::highRow() const
     return hi;
 }
 
+std::vector<int>
+victimsOfAggressors(const std::vector<int> &aggressors)
+{
+    std::vector<int> victims;
+    for (int a : aggressors) {
+        for (int d = -3; d <= 3; ++d) {
+            if (d == 0)
+                continue;
+            const int r = a + d;
+            if (std::find(aggressors.begin(), aggressors.end(), r) ==
+                aggressors.end())
+                victims.push_back(r);
+        }
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    return victims;
+}
+
 RowLayout
-makeLayout(AccessKind kind, int bank, int row0)
+makeAggressorLayout(int bank, std::vector<int> aggressors)
 {
     RowLayout layout;
     layout.bank = bank;
-    if (kind == AccessKind::SingleSided) {
-        layout.aggressors = {row0};
-        for (int d = 1; d <= 3; ++d) {
-            layout.victims.push_back(row0 - d);
-            layout.victims.push_back(row0 + d);
-        }
-    } else {
-        // Aggressors R0 and R2 sandwich victim R1 (paper Fig. 16).
-        layout.aggressors = {row0, row0 + 2};
-        layout.victims.push_back(row0 + 1);
-        for (int d = 1; d <= 3; ++d) {
-            layout.victims.push_back(row0 - d);
-            layout.victims.push_back(row0 + 2 + d);
-        }
-    }
-    std::sort(layout.victims.begin(), layout.victims.end());
+    layout.victims = victimsOfAggressors(aggressors);
+    layout.aggressors = std::move(aggressors);
     return layout;
+}
+
+RowLayout
+makeLayout(AccessKind kind, int bank, int row0)
+{
+    // Aggressors R0 and R2 sandwich victim R1 (paper Fig. 16) in the
+    // double-sided case; victim placement is the shared blast-radius
+    // rule either way.
+    if (kind == AccessKind::SingleSided)
+        return makeAggressorLayout(bank, {row0});
+    return makeAggressorLayout(bank, {row0, row0 + 2});
 }
 
 void

@@ -82,6 +82,17 @@ struct RowLayout
     int highRow() const;
 };
 
+/**
+ * Victim rows implied by an aggressor set: every row within the
+ * +/-3 blast radius of any aggressor that is not itself an aggressor,
+ * sorted ascending.  Shared by makeLayout and fuzz::PatternBuilder so
+ * the fixed paper patterns and fuzz genomes place victims identically.
+ */
+std::vector<int> victimsOfAggressors(const std::vector<int> &aggressors);
+
+/** Build the layout of an explicit aggressor set (any arity). */
+RowLayout makeAggressorLayout(int bank, std::vector<int> aggressors);
+
 /** Build the layout for base aggressor row @p row0. */
 RowLayout makeLayout(AccessKind kind, int bank, int row0);
 

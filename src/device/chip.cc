@@ -182,6 +182,45 @@ Chip::materializeRowInto(int b, int row, Time now, bool full_scan,
     fault_.onRestore(b, row, now);
 }
 
+void
+Chip::peekRowInto(int b, int row, Time now, bool full_scan,
+                  std::vector<FlipRecord> &out) const
+{
+    static const std::unordered_map<int, std::uint8_t> no_overrides;
+    auto it = data_.find(key(b, row));
+
+    RowContext ctx;
+    DoseState dose = fault_.dose(b, row);
+    ctx.dose = &dose;
+    ctx.victimFill = it != data_.end() ? it->second.fill : 0x00;
+    ctx.victimOverrides =
+        it != data_.end() ? &it->second.overrides : &no_overrides;
+    ctx.aggrFill[0] = row > 0 ? rowFill(b, row - 1) : 0x00;
+    ctx.aggrFill[1] = row + 1 < org_.rows ? rowFill(b, row + 1) : 0x00;
+    ctx.retentionSeconds = fault_.retentionSeconds(b, row, now);
+    ctx.noiseSigma = fault_.evalNoiseSigma();
+    ctx.noiseNonce = std::uint64_t(now);
+
+    fault_.cells().evaluateInto(b, row, ctx, full_scan,
+                                fault_.temperature(), out);
+}
+
+bool
+Chip::rowWouldFlip(int b, int row, Time now) const
+{
+    const DoseState &dose = fault_.dose(b, row);
+    const double ret = fault_.retentionSeconds(b, row, now);
+    if (dose.empty() && ret <= 0.0)
+        return false;
+    if (!fault_.cells().rowMayFlip(b, row, dose, ret,
+                                   fault_.temperature()))
+        return false;
+    thread_local std::vector<FlipRecord> probe;
+    probe.clear();
+    peekRowInto(b, row, now, /*full_scan=*/false, probe);
+    return !probe.empty();
+}
+
 std::vector<FlipRecord>
 Chip::materializeRow(int b, int row, Time now, bool full_scan)
 {

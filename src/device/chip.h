@@ -94,6 +94,22 @@ class Chip
     void materializeRowInto(int b, int row, Time now, bool full_scan,
                             std::vector<FlipRecord> &out);
 
+    /**
+     * Evaluate the flips @p row's current dose would produce at
+     * @p now, without latching them, clearing the dose, or restoring
+     * the row — the non-destructive probe the fuzz evaluator's
+     * minimum-cost checkpoints use between pattern segments.
+     */
+    void peekRowInto(int b, int row, Time now, bool full_scan,
+                     std::vector<FlipRecord> &out) const;
+
+    /**
+     * O(1)-gated form of "would the row show any flip if inspected
+     * now": false is proven cheaply via CellModel::rowMayFlip; true
+     * requires at least one candidate cell to actually flip.
+     */
+    bool rowWouldFlip(int b, int row, Time now) const;
+
     /** Bits of @p row that currently differ from its fill pattern. */
     std::vector<int> storedFlipBits(int b, int row) const;
 

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Registration of the fuzz.* experiments.
+ *
+ * The run functions live in the library so the test suite can drive
+ * the real experiments through api::runCli; the static-initializer
+ * anchor that pulls them into the `rowpress` binary is
+ * bench/bench_fuzz.cc (a static library drops the initializers of
+ * unreferenced translation units, so registration is an explicit
+ * call, not a global registrar object).
+ */
+
+#ifndef ROWPRESS_FUZZ_EXPERIMENTS_H
+#define ROWPRESS_FUZZ_EXPERIMENTS_H
+
+namespace rp::fuzz {
+
+/**
+ * Add fuzz.random / fuzz.evolve / fuzz.bypass_matrix to the
+ * api::ExperimentRegistry.  Idempotent: repeated calls are no-ops.
+ */
+void registerFuzzExperiments();
+
+} // namespace rp::fuzz
+
+#endif // ROWPRESS_FUZZ_EXPERIMENTS_H

@@ -1,0 +1,201 @@
+#include "fuzz/pattern.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rp::fuzz {
+
+using namespace rp::literals;
+
+const std::vector<Time> &
+dwellGrid()
+{
+    // Ascending subset of chr::standardTAggOnSweep(): index 0 is the
+    // RowHammer-style tRAS toggle, the tail is deep RowPress dwell.
+    static const std::vector<Time> grid = {
+        36_ns,   96_ns, 336_ns,   1536_ns,
+        7800_ns, 30_us, 70200_ns, 300_us,
+    };
+    return grid;
+}
+
+std::vector<int>
+PatternSpec::aggressorRows() const
+{
+    std::vector<int> rows;
+    rows.reserve(slots.size());
+    for (const auto &s : slots)
+        rows.push_back(baseRow + s.rowOffset);
+    return rows;
+}
+
+chr::RowLayout
+PatternSpec::layout() const
+{
+    return chr::makeAggressorLayout(bank, aggressorRows());
+}
+
+std::string
+PatternSpec::key() const
+{
+    std::string k = "b" + std::to_string(bank) + "@" +
+                    std::to_string(baseRow) + ":" +
+                    chr::dataPatternName(dataPattern);
+    for (const auto &s : slots) {
+        k += "|o" + std::to_string(s.rowOffset) + ".f" +
+             std::to_string(s.frequency) + ".p" +
+             std::to_string(s.phase) + ".i" +
+             std::to_string(s.intensity) + ".d" +
+             std::to_string(s.dwellIdx);
+    }
+    return k;
+}
+
+std::uint64_t
+PatternSpec::hash() const
+{
+    // FNV-1a over the canonical key: stable across platforms and
+    // standard-library implementations (unlike std::hash).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key()) {
+        h ^= std::uint64_t(std::uint8_t(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+validPattern(const PatternSpec &spec)
+{
+    if (spec.slots.empty() || int(spec.slots.size()) > kMaxSlots)
+        return false;
+    std::vector<int> offsets;
+    for (const auto &s : spec.slots) {
+        if (s.rowOffset < 0 || s.rowOffset >= kMaxRowSpan)
+            return false;
+        if (s.frequency < 1 || s.frequency > kMaxFrequency ||
+            (s.frequency & (s.frequency - 1)) != 0)
+            return false;
+        if (s.phase < 0 || s.phase >= s.frequency)
+            return false;
+        if (s.intensity < 1 || s.intensity > kMaxIntensity)
+            return false;
+        if (s.dwellIdx < 0 || s.dwellIdx >= int(dwellGrid().size()))
+            return false;
+        offsets.push_back(s.rowOffset);
+    }
+    std::sort(offsets.begin(), offsets.end());
+    return std::adjacent_find(offsets.begin(), offsets.end()) ==
+           offsets.end();
+}
+
+int
+periodRounds(const PatternSpec &spec)
+{
+    // Frequencies are powers of two, so the lcm is their maximum.
+    int rounds = 1;
+    for (const auto &s : spec.slots)
+        rounds = std::max(rounds, s.frequency);
+    return rounds;
+}
+
+std::uint64_t
+actsPerPeriod(const PatternSpec &spec)
+{
+    const int rounds = periodRounds(spec);
+    std::uint64_t acts = 0;
+    for (const auto &s : spec.slots)
+        acts += std::uint64_t(rounds / s.frequency) *
+                std::uint64_t(s.intensity);
+    return acts;
+}
+
+PatternSpec
+fixedSingleSided(int bank, int base_row, int dwell_idx)
+{
+    PatternSpec spec;
+    spec.bank = bank;
+    spec.baseRow = base_row;
+    spec.slots = {{0, 1, 0, 1, dwell_idx}};
+    return spec;
+}
+
+PatternSpec
+fixedDoubleSided(int bank, int base_row, int dwell_idx)
+{
+    PatternSpec spec;
+    spec.bank = bank;
+    spec.baseRow = base_row;
+    spec.slots = {{0, 1, 0, 1, dwell_idx}, {2, 1, 0, 1, dwell_idx}};
+    return spec;
+}
+
+std::vector<std::pair<int, Time>>
+periodActs(const PatternSpec &spec)
+{
+    const int rounds = periodRounds(spec);
+    std::vector<std::pair<int, Time>> acts;
+    for (int r = 0; r < rounds; ++r) {
+        for (const auto &s : spec.slots) {
+            if (r % s.frequency != s.phase)
+                continue;
+            for (int i = 0; i < s.intensity; ++i)
+                acts.emplace_back(spec.baseRow + s.rowOffset,
+                                  dwellGrid()[std::size_t(s.dwellIdx)]);
+        }
+    }
+    return acts;
+}
+
+namespace {
+
+void
+emitAct(bender::Program &program, int bank, int row, Time t_on)
+{
+    program.act(bank, row);
+    program.wait(t_on);
+    program.pre(bank);
+}
+
+} // namespace
+
+bender::Program
+PatternBuilder::periodBody(const PatternSpec &spec) const
+{
+    if (!validPattern(spec))
+        fatal("PatternBuilder: invalid genome %s", spec.key().c_str());
+    for (const auto &s : spec.slots) {
+        if (dwellGrid()[std::size_t(s.dwellIdx)] < timing_.tRAS)
+            fatal("PatternBuilder: tAggON %s below tRAS %s",
+                  formatTime(dwellGrid()[std::size_t(s.dwellIdx)])
+                      .c_str(),
+                  formatTime(timing_.tRAS).c_str());
+    }
+
+    bender::Program body;
+    for (const auto &[row, t_on] : periodActs(spec))
+        emitAct(body, spec.bank, row, t_on);
+    return body;
+}
+
+bender::Program
+PatternBuilder::build(const PatternSpec &spec,
+                      std::uint64_t total_acts) const
+{
+    const bender::Program body = periodBody(spec);
+    const std::uint64_t per = actsPerPeriod(spec);
+
+    bender::Program program;
+    program.loop(total_acts / per, body);
+    const std::uint64_t tail = total_acts % per;
+    if (tail) {
+        const auto acts = periodActs(spec);
+        for (std::uint64_t i = 0; i < tail; ++i)
+            emitAct(program, spec.bank, acts[std::size_t(i)].first,
+                    acts[std::size_t(i)].second);
+    }
+    return program;
+}
+
+} // namespace rp::fuzz

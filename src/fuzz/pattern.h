@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Frequency-phased attack-pattern genome (Blacksmith / ZenHammer
+ * direction; see ROADMAP "attack-pattern search engine").
+ *
+ * A PatternSpec describes a many-sided aggressor set as ordered slots.
+ * Each slot carries the knobs the frequency-based fuzzers search over:
+ *
+ *  - rowOffset: aggressor placement relative to the base row;
+ *  - frequency/phase: the slot is activated only in rounds r with
+ *    r % frequency == phase, so aggressors can hammer at different
+ *    rates and alignments (the property that slips recency-sampled
+ *    TRR mechanisms);
+ *  - intensity: consecutive activations per active round (Blacksmith
+ *    "amplitude");
+ *  - dwellIdx: per-activation row-open time tAggON, indexed into a
+ *    fixed grid spanning RowHammer-style toggling (tRAS) through deep
+ *    RowPress dwells (300 us) — the axis this paper adds.
+ *
+ * One period = lcm of the slot frequencies rounds.  PatternBuilder
+ * compiles a genome into a bender::Program of counted period loops so
+ * the platform's loop fast-forward applies; degenerate genomes
+ * (frequency 1, intensity 1, offsets {0} or {0, 2}) compile
+ * node-for-node identically to chr::makePressProgram, which the fuzz
+ * tests pin.
+ */
+
+#ifndef ROWPRESS_FUZZ_PATTERN_H
+#define ROWPRESS_FUZZ_PATTERN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chr/patterns.h"
+
+namespace rp::fuzz {
+
+/** Genome bounds (inclusive search space of the mutation operators). */
+constexpr int kMaxSlots = 4;
+constexpr int kMaxRowSpan = 8;   ///< rowOffset in [0, kMaxRowSpan).
+constexpr int kMaxFrequency = 8; ///< Power of two in {1, 2, 4, 8}.
+constexpr int kMaxIntensity = 4;
+
+/** The tAggON grid a slot's dwellIdx indexes (subset of the paper sweep). */
+const std::vector<Time> &dwellGrid();
+
+/** One aggressor slot of the genome. */
+struct AggressorSlot
+{
+    int rowOffset = 0;  ///< Row relative to PatternSpec::baseRow.
+    int frequency = 1;  ///< Active every `frequency` rounds (1/2/4/8).
+    int phase = 0;      ///< Active rounds r: r % frequency == phase.
+    int intensity = 1;  ///< Consecutive ACTs per active round.
+    int dwellIdx = 0;   ///< Index into dwellGrid().
+
+    bool operator==(const AggressorSlot &o) const
+    {
+        return rowOffset == o.rowOffset && frequency == o.frequency &&
+               phase == o.phase && intensity == o.intensity &&
+               dwellIdx == o.dwellIdx;
+    }
+};
+
+/** A complete attack-pattern genome. */
+struct PatternSpec
+{
+    int bank = 1;
+    int baseRow = 64;
+    chr::DataPattern dataPattern = chr::DataPattern::CheckerBoard;
+    std::vector<AggressorSlot> slots;
+
+    /** Absolute aggressor rows, in slot order. */
+    std::vector<int> aggressorRows() const;
+
+    /** Aggressor/victim layout via the shared placement helper. */
+    chr::RowLayout layout() const;
+
+    /**
+     * Canonical text form ("b1@64:CB|o0.f1.p0.i1.d0|..."), used for
+     * artifacts and as the deterministic tie-breaker of the search.
+     */
+    std::string key() const;
+
+    /** Stable 64-bit digest of key() (per-candidate seed material). */
+    std::uint64_t hash() const;
+
+    bool operator==(const PatternSpec &o) const
+    {
+        return bank == o.bank && baseRow == o.baseRow &&
+               dataPattern == o.dataPattern && slots == o.slots;
+    }
+};
+
+/**
+ * Structural validity: 1..kMaxSlots slots, distinct in-bounds offsets,
+ * power-of-two frequency, phase < frequency, in-bounds intensity and
+ * dwell index.  Every genome the random sampler or a mutation operator
+ * produces satisfies this (unit-tested per operator).
+ */
+bool validPattern(const PatternSpec &spec);
+
+/** Rounds per period: lcm of the slot frequencies (<= kMaxFrequency). */
+int periodRounds(const PatternSpec &spec);
+
+/** Aggressor activations issued by one full period. */
+std::uint64_t actsPerPeriod(const PatternSpec &spec);
+
+/**
+ * The (absolute row, tAggON) activations of one period in issue
+ * order — the act stream the mitigation-aware evaluator feeds to
+ * Graphene/PARA/TRR models.
+ */
+std::vector<std::pair<int, Time>> periodActs(const PatternSpec &spec);
+
+/**
+ * The paper's fixed patterns as degenerate genomes (frequency 1,
+ * intensity 1, dwell @p dwell_idx) — the baselines every
+ * bypass-resistance table scores searched patterns against.
+ */
+PatternSpec fixedSingleSided(int bank, int base_row, int dwell_idx = 0);
+PatternSpec fixedDoubleSided(int bank, int base_row, int dwell_idx = 0);
+
+/** Compiles genomes into command-level test programs. */
+class PatternBuilder
+{
+  public:
+    explicit PatternBuilder(const dram::TimingParams &timing)
+        : timing_(timing)
+    {
+    }
+
+    /**
+     * One period of the pattern: for each round, each active slot in
+     * genome order issues `intensity` x (ACT, wait(tAggON), PRE).
+     */
+    bender::Program periodBody(const PatternSpec &spec) const;
+
+    /**
+     * Full program for @p total_acts activations: a counted loop of
+     * whole periods plus an act-granular partial-period tail.
+     */
+    bender::Program build(const PatternSpec &spec,
+                          std::uint64_t total_acts) const;
+
+  private:
+    dram::TimingParams timing_;
+};
+
+} // namespace rp::fuzz
+
+#endif // ROWPRESS_FUZZ_PATTERN_H

@@ -1,0 +1,218 @@
+#include "fuzz/search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rp::fuzz {
+
+const char *
+strategyName(Strategy s)
+{
+    return s == Strategy::Random ? "random" : "evolve";
+}
+
+const std::vector<MutationOp> &
+allMutationOps()
+{
+    static const std::vector<MutationOp> all = {
+        MutationOp::RowOffset, MutationOp::Frequency,
+        MutationOp::Phase,     MutationOp::Intensity,
+        MutationOp::Dwell,     MutationOp::DataPattern,
+        MutationOp::AddSlot,   MutationOp::DropSlot,
+    };
+    return all;
+}
+
+namespace {
+
+/** An in-bounds offset no other slot uses (span >= kMaxSlots). */
+int
+freeOffset(const PatternSpec &spec, Rng &rng, int skip_slot = -1)
+{
+    for (;;) {
+        const int off = int(rng.below(kMaxRowSpan));
+        bool used = false;
+        for (std::size_t i = 0; i < spec.slots.size(); ++i) {
+            if (int(i) != skip_slot &&
+                spec.slots[i].rowOffset == off) {
+                used = true;
+                break;
+            }
+        }
+        if (!used)
+            return off;
+    }
+}
+
+AggressorSlot
+randomSlot(const PatternSpec &spec, Rng &rng)
+{
+    AggressorSlot s;
+    s.rowOffset = freeOffset(spec, rng);
+    s.frequency = 1 << int(rng.below(4));
+    s.phase = int(rng.below(std::uint64_t(s.frequency)));
+    s.intensity = 1 + int(rng.below(kMaxIntensity));
+    s.dwellIdx = int(rng.below(dwellGrid().size()));
+    return s;
+}
+
+} // namespace
+
+PatternSpec
+randomPattern(Rng &rng, int bank, int base_row)
+{
+    PatternSpec spec;
+    spec.bank = bank;
+    spec.baseRow = base_row;
+    const auto &patterns = chr::allDataPatterns();
+    spec.dataPattern = patterns[rng.below(patterns.size())];
+    const int n = 1 + int(rng.below(kMaxSlots));
+    for (int i = 0; i < n; ++i)
+        spec.slots.push_back(randomSlot(spec, rng));
+    return spec;
+}
+
+void
+applyMutation(PatternSpec &spec, MutationOp op, Rng &rng)
+{
+    const int slot = int(rng.below(spec.slots.size()));
+    AggressorSlot &s = spec.slots[std::size_t(slot)];
+    switch (op) {
+      case MutationOp::RowOffset:
+        s.rowOffset = freeOffset(spec, rng, slot);
+        break;
+      case MutationOp::Frequency:
+        s.frequency = 1 << int(rng.below(4));
+        s.phase = s.phase % s.frequency;
+        break;
+      case MutationOp::Phase:
+        s.phase = int(rng.below(std::uint64_t(s.frequency)));
+        break;
+      case MutationOp::Intensity:
+        s.intensity = 1 + int(rng.below(kMaxIntensity));
+        break;
+      case MutationOp::Dwell:
+        s.dwellIdx = int(rng.below(dwellGrid().size()));
+        break;
+      case MutationOp::DataPattern: {
+        const auto &patterns = chr::allDataPatterns();
+        spec.dataPattern = patterns[rng.below(patterns.size())];
+        break;
+      }
+      case MutationOp::AddSlot:
+        if (int(spec.slots.size()) < kMaxSlots)
+            spec.slots.push_back(randomSlot(spec, rng));
+        break;
+      case MutationOp::DropSlot:
+        if (spec.slots.size() > 1)
+            spec.slots.erase(spec.slots.begin() +
+                             std::ptrdiff_t(rng.below(
+                                 spec.slots.size())));
+        break;
+    }
+}
+
+void
+mutatePattern(PatternSpec &spec, Rng &rng)
+{
+    const auto &ops = allMutationOps();
+    applyMutation(spec, ops[rng.below(ops.size())], rng);
+}
+
+bool
+betterTrial(const TrialResult &a, const TrialResult &b)
+{
+    if (betterScore(a.score, b.score))
+        return true;
+    if (betterScore(b.score, a.score))
+        return false;
+    return a.spec.key() < b.spec.key();
+}
+
+std::vector<TrialResult>
+Searcher::evaluateAll(const std::vector<PatternSpec> &specs) const
+{
+    // Closed tasks: each trial builds its private platform inside
+    // Evaluator::evaluate, so the ordered map is bit-identical at any
+    // thread count.
+    return engine_.map<TrialResult>(
+        specs.size(), [this, &specs](const core::TaskContext &ctx) {
+            TrialResult r;
+            r.spec = specs[ctx.index];
+            r.score = evaluator_.evaluate(r.spec);
+            return r;
+        });
+}
+
+TrialResult
+Searcher::run(const SearchSpec &spec) const
+{
+    return spec.strategy == Strategy::Random ? runRandom(spec)
+                                             : runEvolve(spec);
+}
+
+TrialResult
+Searcher::runRandom(const SearchSpec &spec) const
+{
+    if (spec.trials < 1)
+        fatal("fuzz search needs at least one trial");
+    std::vector<PatternSpec> genomes;
+    genomes.reserve(std::size_t(spec.trials));
+    for (int i = 0; i < spec.trials; ++i) {
+        Rng rng(hashU64(spec.rootSeed, std::uint64_t(i)));
+        genomes.push_back(randomPattern(rng, spec.bank, spec.baseRow));
+    }
+    const auto results = evaluateAll(genomes);
+    TrialResult best = results.front();
+    for (const auto &r : results) {
+        if (betterTrial(r, best))
+            best = r;
+    }
+    return best;
+}
+
+TrialResult
+Searcher::runEvolve(const SearchSpec &spec) const
+{
+    const int population = std::max(1, spec.population);
+    const int generations =
+        std::max(1, spec.trials / std::max(1, population));
+
+    // Generation 0: random sampling (trial indices 0..population-1).
+    std::vector<PatternSpec> genomes;
+    for (int i = 0; i < population; ++i) {
+        Rng rng(hashU64(spec.rootSeed, std::uint64_t(i)));
+        genomes.push_back(randomPattern(rng, spec.bank, spec.baseRow));
+    }
+    std::vector<TrialResult> results = evaluateAll(genomes);
+    TrialResult best = results.front();
+
+    for (int g = 0; g < generations; ++g) {
+        std::sort(results.begin(), results.end(), betterTrial);
+        if (betterTrial(results.front(), best))
+            best = results.front();
+        if (g + 1 == generations)
+            break;
+
+        // Offspring: mutate the elite quarter; trial index
+        // (g+1) * population + j keeps every child's seed unique.
+        const int elites =
+            std::max(1, int(results.size()) / 4);
+        genomes.clear();
+        for (int j = 0; j < population; ++j) {
+            Rng rng(hashU64(spec.rootSeed,
+                            std::uint64_t(g + 1) *
+                                    std::uint64_t(population) +
+                                std::uint64_t(j)));
+            PatternSpec child =
+                results[std::size_t(j % elites)].spec;
+            mutatePattern(child, rng);
+            genomes.push_back(std::move(child));
+        }
+        results = evaluateAll(genomes);
+    }
+    return best;
+}
+
+} // namespace rp::fuzz

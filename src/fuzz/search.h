@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Pattern-search strategies over the genome space.
+ *
+ * Two pluggable strategies:
+ *
+ *  - Random: pure random sampling, one genome per trial;
+ *  - Evolve: mutation-based evolutionary refinement — a random
+ *    initial population, then generations of offspring mutated from
+ *    the elite quarter.
+ *
+ * Every trial's genome is derived from a deterministic per-trial seed
+ * (`hashU64(rootSeed, trialIndex)`; offspring additionally mix the
+ * generation), and trials are dispatched through the shared
+ * core::ExperimentEngine as closed tasks (each on a private
+ * platform), so any fuzz run is bit-reproducible at 1..N threads:
+ * same seed => identical best pattern and score.
+ */
+
+#ifndef ROWPRESS_FUZZ_SEARCH_H
+#define ROWPRESS_FUZZ_SEARCH_H
+
+#include "core/engine.h"
+#include "fuzz/evaluator.h"
+
+namespace rp::fuzz {
+
+/** Search strategy selector. */
+enum class Strategy
+{
+    Random,
+    Evolve,
+};
+
+const char *strategyName(Strategy s);
+
+/** The named mutation operators of the Evolve strategy. */
+enum class MutationOp
+{
+    RowOffset,   ///< Move one slot to a free in-bounds offset.
+    Frequency,   ///< Re-draw one slot's frequency (phase re-clamped).
+    Phase,       ///< Re-draw one slot's phase.
+    Intensity,   ///< Re-draw one slot's intensity.
+    Dwell,       ///< Re-draw one slot's tAggON grid index.
+    DataPattern, ///< Re-draw the layout's data pattern.
+    AddSlot,     ///< Add a random slot (no-op at kMaxSlots).
+    DropSlot,    ///< Drop a random slot (no-op at one slot).
+};
+
+const std::vector<MutationOp> &allMutationOps();
+
+/** Uniform random valid genome at (bank, base_row). */
+PatternSpec randomPattern(Rng &rng, int bank, int base_row);
+
+/** Apply @p op; the result is always a valid in-bounds genome. */
+void applyMutation(PatternSpec &spec, MutationOp op, Rng &rng);
+
+/** Apply one uniformly chosen operator. */
+void mutatePattern(PatternSpec &spec, Rng &rng);
+
+/** Search-run parameters. */
+struct SearchSpec
+{
+    Strategy strategy = Strategy::Random;
+    int trials = 64;        ///< Random: samples; Evolve: total budget.
+    int population = 16;    ///< Evolve: genomes per generation.
+    int bank = 1;
+    int baseRow = 64;
+    std::uint64_t rootSeed = 1;
+};
+
+/** One evaluated candidate. */
+struct TrialResult
+{
+    PatternSpec spec;
+    Score score;
+};
+
+/**
+ * True when @p a ranks strictly ahead of @p b: better score, or equal
+ * score and lexicographically smaller canonical key (the total order
+ * that makes "the best pattern" unique and thread-count independent).
+ */
+bool betterTrial(const TrialResult &a, const TrialResult &b);
+
+/** Runs search strategies for one (evaluator, engine) pair. */
+class Searcher
+{
+  public:
+    Searcher(const Evaluator &evaluator, core::ExperimentEngine &engine)
+        : evaluator_(evaluator), engine_(engine)
+    {
+    }
+
+    /** Evaluate @p specs in parallel (ordered results). */
+    std::vector<TrialResult>
+    evaluateAll(const std::vector<PatternSpec> &specs) const;
+
+    /** Run the configured strategy; returns the best trial. */
+    TrialResult run(const SearchSpec &spec) const;
+
+  private:
+    TrialResult runRandom(const SearchSpec &spec) const;
+    TrialResult runEvolve(const SearchSpec &spec) const;
+
+    const Evaluator &evaluator_;
+    core::ExperimentEngine &engine_;
+};
+
+} // namespace rp::fuzz
+
+#endif // ROWPRESS_FUZZ_SEARCH_H

@@ -100,6 +100,49 @@ TEST(ApiConfig, CliBeatsEnvRegardlessOfOrder)
     }
 }
 
+TEST(ApiConfig, LegacyEnvAliasConsultedOnlyWhenPrimaryUnset)
+{
+    // --seed's RP_SEED has the deprecated ROWPRESS_SEED spelling as
+    // envVarLegacy; model the same shape with test variables.
+    ConfigSchema schema;
+    schema.add({"seed", OptionType::Int, "1", "RP_TEST_SEED",
+                "root seed", 0.0, true, "RP_TEST_SEED_LEGACY"});
+    {
+        ScopedEnv legacy("RP_TEST_SEED_LEGACY", "9");
+        Config cfg{schema};
+        cfg.loadEnv();
+        EXPECT_EQ(cfg.getInt("seed"), 9);
+        EXPECT_EQ(cfg.origin("seed"), ConfigLayer::Env);
+    }
+    {
+        ScopedEnv primary("RP_TEST_SEED", "5");
+        ScopedEnv legacy("RP_TEST_SEED_LEGACY", "9");
+        Config cfg{schema};
+        cfg.loadEnv();
+        EXPECT_EQ(cfg.getInt("seed"), 5); // primary wins
+    }
+    {
+        // A bad value is reported under the variable actually used.
+        ScopedEnv legacy("RP_TEST_SEED_LEGACY", "nope");
+        Config cfg{schema};
+        try {
+            cfg.loadEnv();
+            FAIL() << "expected ConfigError";
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find("RP_TEST_SEED_LEGACY"),
+                      std::string::npos);
+        }
+    }
+    {
+        // CLI still beats either env spelling.
+        ScopedEnv legacy("RP_TEST_SEED_LEGACY", "9");
+        Config cfg{schema};
+        cfg.set("seed", "3", ConfigLayer::Cli);
+        cfg.loadEnv();
+        EXPECT_EQ(cfg.getInt("seed"), 3);
+    }
+}
+
 TEST(ApiConfig, UnknownKeyRejected)
 {
     Config cfg{testSchema()};
