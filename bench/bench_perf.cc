@@ -14,11 +14,16 @@
  * archive).  The committed perf trajectory lives in `bench/results/`.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "api/context.h"
+#include "api/service.h"
 #include "chr/ecc.h"
 #include "fuzz/search.h"
 
@@ -191,6 +196,141 @@ runPerfFuzzEval(api::ExperimentContext &ctx)
               ctx.locations());
 }
 
+/**
+ * The unit of serve-load work: a tiny deterministic run (16 trivial
+ * engine tasks, one small dataset) whose cost is dominated by the
+ * Service's own per-job overhead — exactly what perf.serve_load wants
+ * to measure.
+ */
+void
+runPerfServeUnit(api::ExperimentContext &ctx)
+{
+    const auto vals = ctx.engine().map<std::uint64_t>(
+        16, [](const core::TaskContext &t) {
+            return t.seed ^ std::uint64_t(t.index);
+        });
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : vals)
+        sum += v;
+    api::Dataset d("serve unit");
+    d.header({"tasks", "checksum"});
+    d.row({std::to_string(vals.size()), std::to_string(sum)});
+    ctx.emit(d);
+}
+
+void
+runPerfServeLoad(api::ExperimentContext &ctx)
+{
+    // Concurrent-serve load generator: kSessions client threads, each
+    // submitting kBursts bursts of kBurstJobs perf.serve_unit jobs
+    // against one in-process Service with a bounded queue, then
+    // awaiting the burst.  Bursts intentionally exceed workers+queue,
+    // so admission backpressure (queue_full) is part of the measured
+    // workload: a rejected submit backs off 1 ms and retries, like a
+    // well-behaved protocol client.
+    constexpr int kSessions = 4;
+    constexpr int kBursts = 5;
+    constexpr int kBurstJobs = 5;
+    constexpr int kWorkers = 2;
+    constexpr std::size_t kQueueMax = 8;
+
+    api::Service service(api::Service::Options{kWorkers, kQueueMax});
+    const std::filesystem::path job_root =
+        ctx.outDir() / "serve_load_jobs";
+
+    std::mutex m;
+    std::vector<double> latencies; // submit-accept -> terminal, ms
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> failed{0};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> sessions;
+    for (int s = 0; s < kSessions; ++s) {
+        sessions.emplace_back([&, s] {
+            for (int burst = 0; burst < kBursts; ++burst) {
+                std::vector<std::pair<
+                    std::uint64_t,
+                    std::chrono::steady_clock::time_point>>
+                    inflight;
+                for (int j = 0; j < kBurstJobs; ++j) {
+                    api::JobRequest req;
+                    req.experiment = "perf.serve_unit";
+                    req.overlay = {{"threads", "1"}};
+                    req.formats = {"json"};
+                    req.outDir = job_root /
+                                 (std::to_string(s) + "_" +
+                                  std::to_string(burst) + "_" +
+                                  std::to_string(j));
+                    req.clientId = std::uint64_t(s + 1);
+                    for (;;) {
+                        const auto tj =
+                            std::chrono::steady_clock::now();
+                        try {
+                            inflight.emplace_back(
+                                service.submit(req), tj);
+                            break;
+                        } catch (const api::AdmissionError &) {
+                            rejected.fetch_add(
+                                1, std::memory_order_relaxed);
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(1));
+                        }
+                    }
+                }
+                for (const auto &[id, tj] : inflight) {
+                    const api::JobStatus st = service.wait(id);
+                    const double lat = msSince(tj);
+                    if (st.state == api::JobState::Finished) {
+                        std::lock_guard<std::mutex> lock(m);
+                        latencies.push_back(lat);
+                    } else {
+                        failed.fetch_add(1,
+                                         std::memory_order_relaxed);
+                    }
+                }
+            }
+        });
+    }
+    for (auto &t : sessions)
+        t.join();
+    const double ms = msSince(t0);
+    service.shutdown();
+
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t n = latencies.size();
+    const double p50 = n ? latencies[n / 2] : 0.0;
+    const double p99 = n ? latencies[std::min(n - 1, n * 99 / 100)]
+                         : 0.0;
+    const double jobs_per_s = ms > 0.0 ? 1000.0 * double(n) / ms : 0.0;
+
+    api::Dataset table(ctx.info().title);
+    table.header({"jobs", "elapsed ms", "jobs/s", "p50 ms", "p99 ms",
+                  "rejected", "failed"});
+    table.row({std::to_string(n), api::cell(ms),
+               api::cell(jobs_per_s), api::cell(p50), api::cell(p99),
+               std::to_string(rejected.load()),
+               std::to_string(failed.load())});
+    ctx.emit(table);
+
+    std::filesystem::create_directories(ctx.outDir());
+    const auto path = ctx.outDir() / "BENCH_serve_load.json";
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"name\": \"" << ctx.info().id << "\",\n"
+       << "  \"sessions\": " << kSessions << ",\n"
+       << "  \"jobs\": " << n << ",\n"
+       << "  \"workers\": " << kWorkers << ",\n"
+       << "  \"queue_max\": " << kQueueMax << ",\n"
+       << "  \"elapsed_ms\": " << ms << ",\n"
+       << "  \"jobs_per_s\": " << jobs_per_s << ",\n"
+       << "  \"p50_ms\": " << p50 << ",\n"
+       << "  \"p99_ms\": " << p99 << ",\n"
+       << "  \"rejected\": " << rejected.load() << ",\n"
+       << "  \"failed\": " << failed.load() << "\n"
+       << "}\n";
+    ctx.notef("wrote %s\n", path.string().c_str());
+}
+
 // Registered directly (not via REGISTER_EXPERIMENT) because the perf
 // ids contain a dot, which the macro cannot use as a C++ identifier.
 const api::ExperimentRegistrar reg_perf_acmin_sweep(
@@ -220,5 +360,18 @@ const api::ExperimentRegistrar reg_perf_fuzz_eval(
      "Perf: fuzz objective-evaluation macro benchmark",
      "segmented mitigation-aware pattern evaluation", "perf"},
     nullptr, runPerfFuzzEval);
+
+const api::ExperimentRegistrar reg_perf_serve_unit(
+    {"perf.serve_unit",
+     "Perf: serve-load unit job (tiny deterministic run)",
+     "per-job Service overhead isolation", "perf"},
+    nullptr, runPerfServeUnit);
+
+const api::ExperimentRegistrar reg_perf_serve_load(
+    {"perf.serve_load",
+     "Perf: concurrent-serve load generator macro benchmark",
+     "job scheduling, admission backpressure, per-job engines",
+     "perf"},
+    nullptr, runPerfServeLoad);
 
 } // namespace

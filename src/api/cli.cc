@@ -14,6 +14,7 @@
 #include "api/service.h"
 #include "api/sink.h"
 #include "core/engine.h"
+#include "core/fault.h"
 
 namespace rp::api {
 
@@ -46,10 +47,31 @@ const char *const kUsage =
     "  --seed S             root seed for module construction\n"
     "  --threads N          engine worker threads (0 = hardware)\n"
     "  --scale X            effort multiplier for heavy experiments\n"
+    "  --deadline-ms N      wall budget per job; exceeding it ends the\n"
+    "                       run as deadline_exceeded (0 = none)\n"
+    "  --max-attempts N     retry transient failures up to N attempts\n"
+    "                       (default: 1 = no retry)\n"
+    "  --retry-backoff-ms N base of the exponential retry backoff\n"
+    "                       (default: 100)\n"
     "\n"
     "serve options:\n"
     "  --jobs N             concurrent jobs in flight (default: 2)\n"
     "  --port P             serve on TCP 127.0.0.1:P instead of stdio\n"
+    "  --queue-max N        pending-queue admission bound; a full\n"
+    "                       queue rejects with queue_full (default:\n"
+    "                       64, 0 = unbounded)\n"
+    "  --session-max-inflight N\n"
+    "                       per-TCP-session cap on non-terminal jobs\n"
+    "                       (default: 8, 0 = uncapped)\n"
+    "  --idle-timeout-ms N  disconnect a TCP session silent for N ms\n"
+    "                       (default: 0 = never)\n"
+    "  --grace-ms N         SIGTERM/SIGINT drain budget before\n"
+    "                       in-flight jobs are cancelled (default:\n"
+    "                       5000; exit 3 = drained, 4 = cancelled)\n"
+    "\n"
+    "Fault injection (testing): set RP_FAULT_POINTS (and optionally\n"
+    "RP_FAULT_SEED) to inject deterministic faults at named points;\n"
+    "see docs for the grammar and the point registry.\n"
     "\n"
     "Experiments may declare further options (e.g. fig06 --temp,\n"
     "fig15 --temp-step); an option not declared by every selected\n"
@@ -223,8 +245,39 @@ int
 cmdRun(const std::vector<std::string> &args, std::ostream &out,
        std::ostream &err)
 {
-    const ParsedArgs parsed = parseArgs(args, 1);
+    ParsedArgs parsed = parseArgs(args, 1);
     const auto selected = selectExperiments(parsed);
+
+    // Peel the job-policy flags off before the rest becomes the
+    // config overlay: deadline/retry are service semantics, not
+    // experiment options, so no experiment schema declares them.
+    int deadline_ms = 0;
+    RetryPolicy retry;
+    {
+        std::vector<Flag> config_flags;
+        for (const Flag &flag : parsed.flags) {
+            if (flag.key == "deadline-ms") {
+                deadline_ms =
+                    int(parseInt(flag.value, "--deadline-ms"));
+                if (deadline_ms < 0)
+                    throw ConfigError("--deadline-ms: must be >= 0");
+            } else if (flag.key == "max-attempts") {
+                retry.maxAttempts =
+                    int(parseInt(flag.value, "--max-attempts"));
+                if (retry.maxAttempts < 1)
+                    throw ConfigError("--max-attempts: must be >= 1");
+            } else if (flag.key == "retry-backoff-ms") {
+                retry.backoffBaseMs =
+                    int(parseInt(flag.value, "--retry-backoff-ms"));
+                if (retry.backoffBaseMs < 1)
+                    throw ConfigError(
+                        "--retry-backoff-ms: must be >= 1");
+            } else {
+                config_flags.push_back(flag);
+            }
+        }
+        parsed.flags = std::move(config_flags);
+    }
     const auto overlay = overlayOf(parsed.flags);
 
     const std::vector<std::string> formats = splitList(parsed.format);
@@ -249,6 +302,8 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
         request.outDir = parsed.out;
         request.tableStream = &out;
         request.time = parsed.time;
+        request.deadlineMs = deadline_ms;
+        request.retry = retry;
 
         const JobStatus status = service.wait(service.submit(request));
         if (status.state == JobState::Failed) {
@@ -258,6 +313,12 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
             }
             err << "rowpress: experiment '" << exp->info.id
                 << "' failed: " << status.error << "\n";
+            return 1;
+        }
+        if (status.state != JobState::Finished) {
+            // Cancelled or deadline_exceeded: policy ended the run.
+            err << "rowpress: experiment '" << exp->info.id << "' "
+                << jobStateName(status.state) << "\n";
             return 1;
         }
         total_secs += status.elapsedMs / 1e3;
@@ -300,6 +361,8 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
                           (parsed.time ? "time" : "all"));
     int port = -1;
     int jobs = 2;
+    std::size_t queue_max = 64;
+    ServeOptions serve_opts;
     for (const Flag &flag : parsed.flags) {
         if (flag.key == "port") {
             port = int(parseInt(flag.value, "--port"));
@@ -311,6 +374,27 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
             jobs = int(parseInt(flag.value, "--jobs"));
             if (jobs < 1)
                 throw ConfigError("--jobs: must be >= 1");
+        } else if (flag.key == "queue-max") {
+            const long long v = parseInt(flag.value, "--queue-max");
+            if (v < 0)
+                throw ConfigError("--queue-max: must be >= 0");
+            queue_max = std::size_t(v);
+        } else if (flag.key == "session-max-inflight") {
+            serve_opts.sessionMaxInflight =
+                int(parseInt(flag.value, "--session-max-inflight"));
+            if (serve_opts.sessionMaxInflight < 0)
+                throw ConfigError(
+                    "--session-max-inflight: must be >= 0");
+        } else if (flag.key == "idle-timeout-ms") {
+            serve_opts.idleTimeoutMs =
+                int(parseInt(flag.value, "--idle-timeout-ms"));
+            if (serve_opts.idleTimeoutMs < 0)
+                throw ConfigError("--idle-timeout-ms: must be >= 0");
+        } else if (flag.key == "grace-ms") {
+            serve_opts.graceMs =
+                int(parseInt(flag.value, "--grace-ms"));
+            if (serve_opts.graceMs < 0)
+                throw ConfigError("--grace-ms: must be >= 0");
         } else {
             throw ConfigError("serve does not accept --" + flag.key);
         }
@@ -323,9 +407,11 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
     // additionally covered by MSG_NOSIGNAL/SO_NOSIGPIPE.)
     std::signal(SIGPIPE, SIG_IGN);
 #endif
-    Service service(Service::Options{jobs});
-    if (port >= 0)
-        return serveTcp(service, port, out);
+    Service service(Service::Options{jobs, queue_max});
+    if (port >= 0) {
+        serve_opts.port = port;
+        return serveTcp(service, serve_opts, out);
+    }
     return serveSession(service, std::cin, out);
 }
 
@@ -336,6 +422,10 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
        std::ostream &err)
 {
     try {
+        // Chaos drills set RP_FAULT_POINTS before spawning the CLI;
+        // a production process (no env) leaves the injector disarmed
+        // and every fault point a single relaxed load.
+        core::FaultInjector::instance().armFromEnv();
         if (args.empty() || args[0] == "help" || args[0] == "--help" ||
             args[0] == "-h") {
             out << kUsage;

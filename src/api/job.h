@@ -43,10 +43,42 @@ enum class JobState
     Finished,  ///< Completed successfully; artifacts are final.
     Failed,    ///< The experiment threw; see JobStatus::error.
     Cancelled, ///< Cancelled before or during execution.
+    /**
+     * The job's deadline_ms budget (measured from submission, across
+     * every retry attempt) expired: its cancel token fired and the
+     * engine unwound at the next task boundary.  Terminal, like
+     * Cancelled, but distinguishable — a deadline is the service
+     * enforcing policy, not a client changing its mind.
+     */
+    DeadlineExceeded,
 };
 
 /** Lower-case wire name of a job state ("queued", "running", ...). */
 const char *jobStateName(JobState state);
+
+/**
+ * Per-job retry policy: how often a *transient* failure (one thrown
+ * as core::TransientError, e.g. an injected transient fault) is
+ * retried, and how long to back off between attempts.  Every attempt
+ * re-runs with the same resolved config and seed, so a success after
+ * retries is byte-identical to a first-try success — the sinks
+ * restart from beginExperiment on each attempt and rewrite the same
+ * artifact bytes.  Non-transient failures never retry.
+ */
+struct RetryPolicy
+{
+    /** Total attempts (1 = no retry). */
+    int maxAttempts = 1;
+    /** Backoff before attempt k+1: min(base << (k-1), max) ms ... */
+    int backoffBaseMs = 100;
+    int backoffMaxMs = 5000;
+    /**
+     * ... plus a deterministic jitter in [0, backoff/2) derived from
+     * (job seed, attempt) — decorrelates retry storms across jobs
+     * without making any single job's schedule nondeterministic.
+     */
+    bool jitter = true;
+};
 
 /** One experiment run, as submitted by a client. */
 struct JobRequest
@@ -76,6 +108,25 @@ struct JobRequest
 
     /** Emit a Timing event after the run (`rowpress run --time`). */
     bool time = false;
+
+    /**
+     * Wall-clock budget in ms from submission (spanning queue time
+     * and every retry attempt); 0 = none.  On expiry the service
+     * fires the job's cancel token and the job terminates
+     * DeadlineExceeded at the engine's next task boundary.
+     */
+    int deadlineMs = 0;
+
+    /** Transient-failure retry policy (default: no retries). */
+    RetryPolicy retry;
+
+    /**
+     * Client/session scope tag, echoed on every JobEvent of this job
+     * (JobEvent::client).  Protocol sessions set a unique nonzero id
+     * and filter the observer stream on it, so one session never
+     * sees another session's events; 0 = unscoped (in-process API).
+     */
+    std::uint64_t clientId = 0;
 };
 
 /** Type of a streamed job event. */
@@ -88,7 +139,14 @@ enum class JobEventType
     Note,     ///< The experiment emitted commentary text.
     RawCsv,   ///< The experiment emitted a raw tidy-CSV artifact.
     Timing,   ///< Opt-in elapsed-time report (JobRequest::time).
-    Finished, ///< Terminal: state is Finished, Failed, or Cancelled.
+    /**
+     * A transient failure is about to be retried: carries the attempt
+     * number that failed, the backoff delay, and the error.  The next
+     * attempt re-opens the stream with a fresh Started event (sinks
+     * restart rendering from scratch).
+     */
+    Retrying,
+    Finished, ///< Terminal: Finished/Failed/Cancelled/DeadlineExceeded.
 };
 
 /**
@@ -100,6 +158,12 @@ struct JobEvent
     JobEventType type = JobEventType::Queued;
     std::uint64_t job = 0;
     std::string experiment;
+    /** JobRequest::clientId of the owning job (session scoping). */
+    std::uint64_t client = 0;
+
+    // Retrying
+    int attempt = 0;     ///< The attempt (1-based) that just failed.
+    int backoffMs = 0;   ///< Delay before the next attempt.
 
     // Started
     ExperimentInfo info;
@@ -152,6 +216,7 @@ struct JobStatus
     std::size_t total = 0;
     double elapsedMs = 0.0;  ///< Wall clock of the finished run.
     int engineThreads = 0;   ///< Resolved engine worker count.
+    int attempts = 0;        ///< Execution attempts so far (retry).
 };
 
 } // namespace rp::api

@@ -1,7 +1,11 @@
 #include "api/protocol.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <istream>
@@ -13,11 +17,13 @@
 #include "api/context.h"
 #include "api/service.h"
 #include "api/sink.h"
+#include "core/fault.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ROWPRESS_HAVE_SOCKETS 1
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -577,6 +583,15 @@ jobEventLine(const JobEvent &event)
         stamp("timing");
         line.add("elapsed_ms", JsonValue::number(event.elapsedMs));
         break;
+    case JobEventType::Retrying:
+        stamp("retrying");
+        line.add("attempt",
+                 JsonValue::number((long long)event.attempt));
+        line.add("backoff_ms",
+                 JsonValue::number((long long)event.backoffMs));
+        if (!event.error.empty())
+            line.add("error", JsonValue::string(event.error));
+        break;
     case JobEventType::Finished:
         stamp("finished");
         line.add("state",
@@ -597,9 +612,18 @@ namespace {
 class ProtocolSession
 {
   public:
+    /**
+     * @p client_id scopes the event stream: nonzero ids (one per TCP
+     * session) see only their own jobs' events; 0 (the stdio
+     * session, necessarily alone in its process) sees everything.
+     * @p max_inflight bounds this session's non-terminal jobs
+     * (0 = uncapped).
+     */
     ProtocolSession(Service &service, std::istream &in,
-                    std::ostream &out)
-        : service_(service), in_(in), out_(out)
+                    std::ostream &out, std::uint64_t client_id = 0,
+                    int max_inflight = 0)
+        : service_(service), in_(in), out_(out), clientId_(client_id),
+          maxInflight_(max_inflight)
     {
     }
 
@@ -615,6 +639,10 @@ class ProtocolSession
         std::thread writer([this] { writerLoop(); });
         const std::uint64_t observer =
             service_.addObserver([this](const JobEvent &event) {
+                if (clientId_ != 0 && event.client != clientId_)
+                    return; // another session's job
+                if (event.type == JobEventType::Finished)
+                    --inflight_; // balances opSubmit's increment
                 enqueue(jobEventLine(event),
                         /*critical=*/event.type ==
                             JobEventType::Finished);
@@ -631,6 +659,12 @@ class ProtocolSession
             if (handle(text, response, &shutdown_requested, &force))
                 writeLine(toJson(response));
             if (shutdown_requested)
+                break;
+            // A session whose responses can no longer be delivered
+            // (peer hung up mid-write) is dead: stop consuming its
+            // requests.  Its in-flight jobs keep running — only the
+            // event stream ends.
+            if (outFailed())
                 break;
         }
 
@@ -728,6 +762,15 @@ class ProtocolSession
         out_.flush();
     }
 
+    /** Stream-state read under the same lock the writer writes under
+     *  (the request loop and the writer thread share out_). */
+    bool
+    outFailed()
+    {
+        std::lock_guard<std::mutex> lock(outMutex_);
+        return out_.fail();
+    }
+
     /** Returns false when no response should be written (never today). */
     bool
     handle(const std::string &text, JsonValue &response,
@@ -758,11 +801,17 @@ class ProtocolSession
                 rejectUnknownMembers(request,
                                      {"op", "tag", "experiment",
                                       "config", "formats", "out",
-                                      "time"});
+                                      "time", "deadline_ms",
+                                      "max_attempts", "backoff_ms"});
                 opSubmit(request, response);
             } else if (op == "status") {
                 rejectUnknownMembers(request, {"op", "tag", "job"});
                 opStatus(request, response);
+            } else if (op == "wait") {
+                rejectUnknownMembers(request,
+                                     {"op", "tag", "job",
+                                      "timeout_ms"});
+                opWait(request, response);
             } else if (op == "list") {
                 rejectUnknownMembers(request, {"op", "tag", "glob"});
                 opList(request, response);
@@ -772,6 +821,9 @@ class ProtocolSession
             } else if (op == "cache") {
                 rejectUnknownMembers(request, {"op", "tag", "evict"});
                 opCache(request, response);
+            } else if (op == "shed") {
+                rejectUnknownMembers(request, {"op", "tag", "on"});
+                opShed(request, response);
             } else if (op == "shutdown") {
                 rejectUnknownMembers(request, {"op", "tag", "force"});
                 *force = boolMember(request, "force");
@@ -779,6 +831,17 @@ class ProtocolSession
             } else {
                 throw ConfigError("protocol: unknown op '" + op + "'");
             }
+        } catch (const AdmissionError &e) {
+            // Policy rejections carry a machine-readable reason so a
+            // client knows to back off and retry, not fix its request.
+            response = JsonValue::object();
+            response.add("ok", JsonValue::makeBool(false));
+            if (!op.empty())
+                response.add("op", JsonValue::string(op));
+            if (has_tag)
+                response.add("tag", tag);
+            response.add("error", JsonValue::string(e.what()));
+            response.add("reason", JsonValue::string(e.reason()));
         } catch (const std::exception &e) {
             response = JsonValue::object();
             response.add("ok", JsonValue::makeBool(false));
@@ -871,8 +934,85 @@ class ProtocolSession
             job.outDir = out->text;
         }
         job.time = boolMember(request, "time");
-        const std::uint64_t id = service_.submit(job);
+        if (const JsonValue *v = request.find("deadline_ms")) {
+            job.deadlineMs = int(parseInt(
+                v->scalarText("protocol: \"deadline_ms\""),
+                "protocol: \"deadline_ms\""));
+            if (job.deadlineMs < 0)
+                throw ConfigError(
+                    "protocol: \"deadline_ms\" must be >= 0");
+        }
+        if (const JsonValue *v = request.find("max_attempts")) {
+            job.retry.maxAttempts = int(parseInt(
+                v->scalarText("protocol: \"max_attempts\""),
+                "protocol: \"max_attempts\""));
+            if (job.retry.maxAttempts < 1)
+                throw ConfigError(
+                    "protocol: \"max_attempts\" must be >= 1");
+        }
+        if (const JsonValue *v = request.find("backoff_ms")) {
+            job.retry.backoffBaseMs = int(parseInt(
+                v->scalarText("protocol: \"backoff_ms\""),
+                "protocol: \"backoff_ms\""));
+            if (job.retry.backoffBaseMs < 1)
+                throw ConfigError(
+                    "protocol: \"backoff_ms\" must be >= 1");
+        }
+        job.clientId = clientId_;
+        if (maxInflight_ > 0 && inflight_.load() >= maxInflight_)
+            throw AdmissionError(
+                "session_limit",
+                "session has " + std::to_string(maxInflight_) +
+                    " jobs in flight; wait for one to finish");
+        // Count before submitting: the decrement rides the job's
+        // Finished event, which cannot precede the submit.
+        ++inflight_;
+        std::uint64_t id = 0;
+        try {
+            id = service_.submit(job);
+        } catch (...) {
+            --inflight_;
+            throw;
+        }
         response.add("job", JsonValue::number((long long)id));
+    }
+
+    void
+    opWait(const JsonValue &request, JsonValue &response)
+    {
+        const std::uint64_t id = jobIdOf(request);
+        int timeout_ms = 60000;
+        if (const JsonValue *v = request.find("timeout_ms")) {
+            timeout_ms = int(parseInt(
+                v->scalarText("protocol: \"timeout_ms\""),
+                "protocol: \"timeout_ms\""));
+            if (timeout_ms < 0)
+                throw ConfigError(
+                    "protocol: \"timeout_ms\" must be >= 0");
+        }
+        JobStatus st;
+        const Service::WaitOutcome outcome =
+            service_.waitFor(id, timeout_ms, st);
+        response.add("outcome",
+                     JsonValue::string(
+                         outcome == Service::WaitOutcome::Done
+                             ? "done"
+                             : "timeout"));
+        for (auto &member : statusJson(st).members)
+            response.add(member.first, std::move(member.second));
+    }
+
+    void
+    opShed(const JsonValue &request, JsonValue &response)
+    {
+        if (const JsonValue *on = request.find("on")) {
+            if (on->kind != JsonValue::Kind::Bool)
+                throw ConfigError(
+                    "protocol: \"on\" must be true or false");
+            service_.setLoadShed(on->boolean);
+        }
+        response.add("shedding",
+                     JsonValue::makeBool(service_.loadShedding()));
     }
 
     static JsonValue
@@ -888,6 +1028,7 @@ class ProtocolSession
         v.add("total", JsonValue::number((long long)st.total));
         v.add("elapsed_ms", JsonValue::number(st.elapsedMs));
         v.add("threads", JsonValue::number((long long)st.engineThreads));
+        v.add("attempts", JsonValue::number((long long)st.attempts));
         return v;
     }
 
@@ -965,6 +1106,9 @@ class ProtocolSession
     Service &service_;
     std::istream &in_;
     std::ostream &out_;
+    const std::uint64_t clientId_;
+    const int maxInflight_;
+    std::atomic<int> inflight_{0};
     std::mutex outMutex_;
 
     std::mutex queueMutex_;
@@ -994,7 +1138,8 @@ namespace {
 class FdStreamBuf : public std::streambuf
 {
   public:
-    explicit FdStreamBuf(int fd) : fd_(fd)
+    explicit FdStreamBuf(int fd, int idle_timeout_ms = 0)
+        : fd_(fd), idleTimeoutMs_(idle_timeout_ms)
     {
         setg(inBuf_, inBuf_, inBuf_);
     }
@@ -1005,6 +1150,26 @@ class FdStreamBuf : public std::streambuf
     {
         if (gptr() < egptr())
             return traits_type::to_int_type(*gptr());
+        // Fault point: the peer vanishing mid-read (ECONNRESET and
+        // friends read as EOF — the session ends, the service lives).
+        if (const int e = core::faultPoint("protocol.socket.read")) {
+            errno = e;
+            return traits_type::eof();
+        }
+        if (idleTimeoutMs_ > 0) {
+            // Idle supervision: a client that goes silent past the
+            // budget is disconnected (reads as EOF), freeing its
+            // session thread; its in-flight jobs keep running.
+            pollfd pfd{};
+            pfd.fd = fd_;
+            pfd.events = POLLIN;
+            int r;
+            do {
+                r = ::poll(&pfd, 1, idleTimeoutMs_);
+            } while (r < 0 && errno == EINTR);
+            if (r <= 0)
+                return traits_type::eof();
+        }
         ssize_t n;
         do {
             n = ::read(fd_, inBuf_, sizeof(inBuf_));
@@ -1034,6 +1199,13 @@ class FdStreamBuf : public std::streambuf
     bool
     writeAll(const char *data, std::size_t n)
     {
+        // Fault point: a peer hang-up surfacing on the write side
+        // (EPIPE); the writer thread sees a failed stream and the
+        // session winds down without touching other sessions' jobs.
+        if (const int e = core::faultPoint("protocol.socket.write")) {
+            errno = e;
+            return false;
+        }
         while (n > 0) {
             // MSG_NOSIGNAL: a peer that hung up must produce EPIPE
             // (ending this session), not SIGPIPE (whose default
@@ -1054,13 +1226,45 @@ class FdStreamBuf : public std::streambuf
     }
 
     int fd_;
+    int idleTimeoutMs_;
     char inBuf_[4096];
+};
+
+/**
+ * SIGTERM/SIGINT latch for the accept loop.  A lock-free atomic, not
+ * volatile sig_atomic_t: the handler may run on any thread of the
+ * process (raise() in tests, a signal delivered to a worker), so the
+ * latch must be data-race-free across threads as well as
+ * async-signal-safe — lock-free std::atomic is both.
+ */
+std::atomic<int> g_serveSignal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free latch");
+
+extern "C" void
+serveSignalHandler(int)
+{
+    g_serveSignal.store(1, std::memory_order_relaxed);
+}
+
+bool
+serveSignalled()
+{
+    return g_serveSignal.load(std::memory_order_relaxed) != 0;
+}
+
+/** One live TCP session: its socket, thread, and completion flag. */
+struct TcpSession
+{
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
 };
 
 } // namespace
 
 int
-serveTcp(Service &service, int port, std::ostream &log)
+serveTcp(Service &service, const ServeOptions &opts, std::ostream &log)
 {
     const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listener < 0)
@@ -1071,56 +1275,186 @@ serveTcp(Service &service, int port, std::ostream &log)
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(std::uint16_t(port));
+    addr.sin_port = htons(std::uint16_t(opts.port));
     if (::bind(listener, (const sockaddr *)&addr, sizeof(addr)) != 0 ||
-        ::listen(listener, 4) != 0) {
+        ::listen(listener, 16) != 0) {
         ::close(listener);
         throw ConfigError("serve: cannot bind 127.0.0.1:" +
-                          std::to_string(port));
+                          std::to_string(opts.port));
     }
-    log << "[rowpress] serving on 127.0.0.1:" << port << "\n";
+    log << "[rowpress] serving on 127.0.0.1:" << opts.port << "\n";
     log.flush();
 
-    bool shutdown_requested = false;
+    // Graceful-drain signals: latch and finish the loop iteration
+    // instead of dying mid-job.  Handlers are restored on exit so a
+    // caller embedding serveTcp gets its own disposition back.
+    g_serveSignal.store(0, std::memory_order_relaxed);
+    struct sigaction sa
+    {
+    };
+    sa.sa_handler = serveSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    struct sigaction old_term
+    {
+    }, old_int{};
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+
+    std::vector<TcpSession> sessions; // touched only by this thread
+    std::atomic<bool> shutdown_op{false};
+    std::uint64_t next_client = 0;
     bool accept_failed = false;
-    while (!shutdown_requested) {
-        const int conn = ::accept(listener, nullptr, nullptr);
-        if (conn < 0) {
-            // A harmless signal (profiler timer, window resize) must
-            // not take the whole long-lived server down.
+    int accept_backoff_ms = 0;
+
+    while (!shutdown_op.load(std::memory_order_acquire) &&
+           !serveSignalled()) {
+        // Reap finished sessions so a long-lived server's thread and
+        // fd counts track live clients, not total connections ever.
+        for (auto it = sessions.begin(); it != sessions.end();) {
+            if (it->done->load(std::memory_order_acquire)) {
+                it->thread.join();
+                ::close(it->fd);
+                it = sessions.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Poll with a bounded tick so signal/shutdown latches are
+        // noticed without a connection arriving.
+        pollfd pfd{};
+        pfd.fd = listener;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0) {
             if (errno == EINTR)
                 continue;
-            log << "[rowpress] accept failed; server exiting\n";
+            log << "[rowpress] poll failed; server exiting\n";
             accept_failed = true;
             break;
         }
+        if (pr == 0)
+            continue;
+
+        // Fault point: accept-path errno emulation (fd exhaustion
+        // drills without actually exhausting the process's table).
+        int err = core::faultPoint("protocol.accept");
+        int conn = -1;
+        if (err == 0) {
+            conn = ::accept(listener, nullptr, nullptr);
+            if (conn < 0)
+                err = errno;
+        }
+        if (conn < 0) {
+            // A harmless signal (profiler timer, window resize) must
+            // not take the whole long-lived server down.
+            if (err == EINTR)
+                continue;
+            if (err == EMFILE || err == ENFILE || err == ENOBUFS) {
+                // Transient resource exhaustion: back off (bounded,
+                // doubling) and retry — sessions closing will free
+                // fds.  Exiting here would turn a burst of clients
+                // into an outage.
+                accept_backoff_ms =
+                    accept_backoff_ms == 0
+                        ? 10
+                        : std::min(accept_backoff_ms * 2, 1000);
+                log << "[rowpress] accept: out of descriptors (errno "
+                    << err << "); retrying in " << accept_backoff_ms
+                    << " ms\n";
+                log.flush();
+                for (int slept = 0;
+                     slept < accept_backoff_ms && !serveSignalled() &&
+                     !shutdown_op.load(std::memory_order_acquire);
+                     slept += 20)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                continue;
+            }
+            log << "[rowpress] accept failed (errno " << err
+                << "); server exiting\n";
+            accept_failed = true;
+            break;
+        }
+        accept_backoff_ms = 0;
 #if defined(SO_NOSIGPIPE)
         // BSD/macOS equivalent of MSG_NOSIGNAL.
         const int no_sigpipe = 1;
         ::setsockopt(conn, SOL_SOCKET, SO_NOSIGPIPE, &no_sigpipe,
                      sizeof(no_sigpipe));
 #endif
-        FdStreamBuf buf(conn);
-        std::istream in(&buf);
-        std::ostream out(&buf);
-        ProtocolSession session(service, in, out);
-        // A client hang-up only ends its session; the service (and
-        // its warm caches and job history) persists for the next
-        // connection.  Only an explicit shutdown op ends the server.
-        shutdown_requested = session.run(/*eof_is_shutdown=*/false);
-        ::close(conn);
+        // One concurrent session per connection, each with a unique
+        // nonzero client id: its submits are tagged with it and its
+        // event stream filtered on it, so sessions never see each
+        // other's jobs.  A client hang-up only ends its session; the
+        // service (warm caches, job history) persists.
+        const std::uint64_t client = ++next_client;
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        const int idle_ms = opts.idleTimeoutMs;
+        const int inflight_cap = opts.sessionMaxInflight;
+        std::thread thread([&service, conn, client, idle_ms,
+                            inflight_cap, done, &shutdown_op] {
+            FdStreamBuf buf(conn, idle_ms);
+            std::istream in(&buf);
+            std::ostream out(&buf);
+            ProtocolSession session(service, in, out, client,
+                                    inflight_cap);
+            if (session.run(/*eof_is_shutdown=*/false))
+                shutdown_op.store(true, std::memory_order_release);
+            // Unblock nothing-in-particular: the accept loop owns
+            // the close; signalling both directions down lets any
+            // straggling peer write fail fast.
+            ::shutdown(conn, SHUT_RDWR);
+            done->store(true, std::memory_order_release);
+        });
+        sessions.push_back(
+            TcpSession{conn, std::move(thread), std::move(done)});
     }
-    ::close(listener);
-    // Exit status distinguishes the explicit shutdown op (clean)
-    // from an abnormal accept failure, for restart-on-failure
-    // supervisors.
-    return accept_failed ? 1 : 0;
+    ::close(listener); // stop accepting before any drain below
+
+    int exit_code = accept_failed ? 1 : 0;
+    if (serveSignalled() &&
+        !shutdown_op.load(std::memory_order_acquire)) {
+        // Signal drain: shed new submissions, give in-flight work the
+        // grace budget, then cancel whatever remains.  The exit code
+        // tells a supervisor which of the two happened.
+        log << "[rowpress] signal received; draining (grace "
+            << opts.graceMs << " ms)\n";
+        log.flush();
+        service.setLoadShed(true);
+        const bool drained = service.drainFor(opts.graceMs);
+        if (drained) {
+            service.shutdown();
+            exit_code = 3;
+        } else {
+            service.shutdownNow();
+            exit_code = 4;
+        }
+        log << "[rowpress] drain "
+            << (drained ? "complete" : "expired; in-flight jobs "
+                                       "cancelled")
+            << "\n";
+        log.flush();
+    }
+
+    // Wake every session reader off its socket, then join.  Sessions
+    // end at their next read; their in-flight jobs already drained
+    // (shutdown op / signal path) or were cancelled.
+    for (TcpSession &session : sessions)
+        ::shutdown(session.fd, SHUT_RDWR);
+    for (TcpSession &session : sessions) {
+        session.thread.join();
+        ::close(session.fd);
+    }
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+    return exit_code;
 }
 
 #else // !ROWPRESS_HAVE_SOCKETS
 
 int
-serveTcp(Service &, int, std::ostream &)
+serveTcp(Service &, const ServeOptions &, std::ostream &)
 {
     throw ConfigError("serve: --port is not supported on this platform "
                       "(no POSIX sockets); use stdin/stdout mode");

@@ -122,14 +122,55 @@ std::string jobEventLine(const JobEvent &event);
  */
 int serveSession(Service &service, std::istream &in, std::ostream &out);
 
+/** Supervision knobs of the TCP front-end (`rowpress serve` flags). */
+struct ServeOptions
+{
+    /** Listen port on 127.0.0.1. */
+    int port = 0;
+
+    /**
+     * Per-session cap on jobs submitted and not yet terminal; a
+     * submit past it is rejected with AdmissionError
+     * ("session_limit").  0 = uncapped.  Bounds what one client can
+     * pin in the service regardless of the global queue bound.
+     */
+    int sessionMaxInflight = 8;
+
+    /**
+     * Disconnect a session whose client sends nothing for this long
+     * (its in-flight jobs keep running; only the event stream ends).
+     * 0 = never.
+     */
+    int idleTimeoutMs = 0;
+
+    /**
+     * SIGTERM/SIGINT drain budget: the server stops accepting, sheds
+     * new submissions, and gives in-flight jobs this long to finish
+     * before cancelling whatever remains.
+     */
+    int graceMs = 5000;
+};
+
 /**
- * Serve over TCP: accept connections on 127.0.0.1:@p port, one
- * protocol session per connection (sequentially; the Service outlives
- * sessions, so warm caches and job history persist across them).
- * Returns when a session requests shutdown.  Only built on POSIX;
- * throws ConfigError elsewhere or when the port cannot be bound.
+ * Serve over TCP: accept connections on 127.0.0.1:opts.port, one
+ * concurrent protocol session per connection, each on its own thread
+ * with its own client id (a session streams only its own jobs'
+ * events).  The Service outlives sessions, so warm caches and job
+ * history persist across them.  accept() fd exhaustion (EMFILE/
+ * ENFILE/ENOBUFS) retries with bounded backoff instead of exiting.
+ *
+ * Returns the process exit code:
+ *   0 — a client's shutdown op drained the service cleanly;
+ *   1 — unrecoverable socket/accept failure;
+ *   3 — SIGTERM/SIGINT, and in-flight jobs drained within graceMs;
+ *   4 — SIGTERM/SIGINT, and the grace expired (remaining jobs were
+ *       cancelled).
+ *
+ * Only built on POSIX; throws ConfigError elsewhere or when the port
+ * cannot be bound.
  */
-int serveTcp(Service &service, int port, std::ostream &log);
+int serveTcp(Service &service, const ServeOptions &opts,
+             std::ostream &log);
 
 } // namespace rp::api
 

@@ -1,10 +1,13 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iterator>
 #include <utility>
 
 #include "api/context.h"
+#include "common/rng.h"
+#include "core/fault.h"
 
 namespace rp::api {
 
@@ -17,16 +20,18 @@ jobStateName(JobState state)
     case JobState::Finished: return "finished";
     case JobState::Failed: return "failed";
     case JobState::Cancelled: return "cancelled";
+    case JobState::DeadlineExceeded: return "deadline_exceeded";
     }
     return "unknown";
 }
 
-Service::Service(Options opts)
+Service::Service(Options opts) : opts_(opts)
 {
-    const int n = opts.workers > 0 ? opts.workers : 1;
+    const int n = opts_.workers > 0 ? opts_.workers : 1;
     workers_.reserve(std::size_t(n));
     for (int i = 0; i < n; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    deadlineMonitor_ = std::thread([this] { deadlineLoop(); });
 }
 
 Service::~Service()
@@ -101,26 +106,55 @@ Service::submit(const JobRequest &request)
         sinks.push_back(makeSink(format, request.outDir, os));
     }
 
+    // Fault point: submission-path failures after validation (tests
+    // of the admission/rejection plumbing).
+    if (const int err = core::faultPoint("service.submit.admit"))
+        throw core::TransientError(
+            "injected submit fault (errno " + std::to_string(err) +
+            ")");
+
     Job *job_ptr = nullptr;
     std::uint64_t id = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
             throw ConfigError("service is shutting down");
+        // Admission control, checked before the job exists: a
+        // policy rejection costs the client one round-trip and the
+        // service nothing.  `admitting_` counts submissions past
+        // this gate whose queue push is still in flight, so a burst
+        // cannot overshoot the bound between gate and push.
+        if (shedding_)
+            throw AdmissionError(
+                "load_shed",
+                "service is shedding load (draining in-flight jobs); "
+                "retry later");
+        if (opts_.maxQueue > 0 &&
+            queue_.size() + admitting_ >= opts_.maxQueue)
+            throw AdmissionError(
+                "queue_full",
+                "pending queue is full (" +
+                    std::to_string(opts_.maxQueue) +
+                    " jobs); retry with backoff");
+        ++admitting_;
         // Bound the job history: drop the oldest terminal jobs once
         // past the cap, so a long-lived service's memory tracks jobs
         // in flight, not total jobs ever submitted.
         for (auto it = jobs_.begin();
              jobs_.size() >= kMaxJobHistory && it != jobs_.end();) {
             Job &old = *it->second;
-            const bool terminal = old.state != JobState::Queued &&
-                                  old.state != JobState::Running &&
-                                  old.eventsDone;
-            it = terminal ? jobs_.erase(it) : std::next(it);
+            const bool done = terminal(old.state) && old.eventsDone;
+            it = done ? jobs_.erase(it) : std::next(it);
         }
         id = ++lastId_;
         auto job = std::make_unique<Job>(id, request, std::move(config));
         job->sinks = std::move(sinks);
+        if (request.deadlineMs > 0) {
+            job->hasDeadline = true;
+            job->deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(request.deadlineMs);
+        }
         job_ptr = job.get();
         jobs_[id] = std::move(job);
     }
@@ -134,14 +168,16 @@ Service::submit(const JobRequest &request)
     bool accepted = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        --admitting_;
         // Recheck: a shutdown() may have joined the workers while the
         // Queued event was being dispatched, and a push now would
         // leave the job runnable with nobody to run it (wait() would
         // block forever) — such a racing submission comes back
-        // cancelled.  A concurrent cancel() may also have flipped the
-        // state; since the job was not enqueued yet, delivery of its
-        // Finished event is ours either way, which keeps the event
-        // stream opening with Queued.
+        // cancelled.  A concurrent cancel() (or an already-expired
+        // deadline) may also have flipped the state; since the job
+        // was not enqueued yet, delivery of its Finished event is
+        // ours either way, which keeps the event stream opening with
+        // Queued.
         if (!stopping_ && job_ptr->state == JobState::Queued) {
             queue_.push_back(job_ptr);
             job_ptr->enqueued = true;
@@ -152,22 +188,27 @@ Service::submit(const JobRequest &request)
     }
     if (accepted) {
         queueCv_.notify_one();
+        if (job_ptr->hasDeadline)
+            deadlineCv_.notify_all();
         return id;
     }
-    deliverCancelledFinish(*job_ptr);
+    deliverAbortedFinish(*job_ptr);
     return id;
 }
 
 void
-Service::deliverCancelledFinish(Job &job)
+Service::deliverAbortedFinish(Job &job)
 {
     JobEvent event;
     event.type = JobEventType::Finished;
-    event.state = JobState::Cancelled;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        event.state = job.state;
+    }
     try {
         dispatch(job, std::move(event));
     } catch (const std::exception &) {
-        // Cancelled jobs finalize nothing; a sink error here has no
+        // Aborted jobs finalize nothing; a sink error here has no
         // outcome to report into.
     }
     releaseSinks(job);
@@ -191,6 +232,7 @@ Service::statusOf(const Job &job) const
     st.total = job.total.load(std::memory_order_relaxed);
     st.elapsedMs = job.elapsedMs;
     st.engineThreads = job.engineThreads;
+    st.attempts = job.attempts;
     return st;
 }
 
@@ -252,13 +294,15 @@ Service::cancel(std::uint64_t id)
         case JobState::Running:
             // Fires at the job engine's next task boundary; the
             // worker reports Cancelled when CancelledError unwinds.
+            // The notify wakes a worker sleeping in a retry backoff.
             job.cancelToken->store(true);
+            jobsCv_.notify_all();
             return true;
         default:
             return false;
         }
     }
-    deliverCancelledFinish(*to_finish);
+    deliverAbortedFinish(*to_finish);
     return true;
 }
 
@@ -277,10 +321,46 @@ Service::wait(std::uint64_t id)
                               " (never submitted, or pruned from the "
                               "job history)");
         Job &job = *it->second;
-        if (job.state != JobState::Queued &&
-            job.state != JobState::Running && job.eventsDone)
+        if (terminal(job.state) && job.eventsDone)
             return statusOf(job);
         jobsCv_.wait(lock);
+    }
+}
+
+Service::WaitOutcome
+Service::waitFor(std::uint64_t id, int timeout_ms, JobStatus &out)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            throw ConfigError("unknown job " + std::to_string(id) +
+                              " (never submitted, or pruned from the "
+                              "job history)");
+        Job &job = *it->second;
+        if (terminal(job.state) && job.eventsDone) {
+            out = statusOf(job);
+            return WaitOutcome::Done;
+        }
+        if (jobsCv_.wait_until(lock, until) ==
+            std::cv_status::timeout) {
+            // One last resolve under the lock: the job may have gone
+            // terminal (or been pruned) during the final wait slice.
+            it = jobs_.find(id);
+            if (it == jobs_.end())
+                throw ConfigError(
+                    "unknown job " + std::to_string(id) +
+                    " (never submitted, or pruned from the job "
+                    "history)");
+            Job &last = *it->second;
+            out = statusOf(last);
+            return terminal(last.state) && last.eventsDone
+                       ? WaitOutcome::Done
+                       : WaitOutcome::TimedOut;
+        }
     }
 }
 
@@ -291,12 +371,41 @@ Service::drain()
     jobsCv_.wait(lock, [this] {
         for (const auto &[id, job] : jobs_) {
             (void)id;
-            if (job->state == JobState::Queued ||
-                job->state == JobState::Running || !job->eventsDone)
+            if (!terminal(job->state) || !job->eventsDone)
                 return false;
         }
         return true;
     });
+}
+
+bool
+Service::drainFor(int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return jobsCv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0),
+        [this] {
+            for (const auto &[id, job] : jobs_) {
+                (void)id;
+                if (!terminal(job->state) || !job->eventsDone)
+                    return false;
+            }
+            return true;
+        });
+}
+
+void
+Service::setLoadShed(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shedding_ = on;
+}
+
+bool
+Service::loadShedding() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shedding_;
 }
 
 void
@@ -304,14 +413,21 @@ Service::shutdown()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (workers_.empty())
-            return;
         stopping_ = true;
     }
     queueCv_.notify_all();
     for (auto &w : workers_)
         w.join();
     workers_.clear();
+    // Deadlines stay enforced while the workers drain the queue;
+    // only once every job is done does the monitor go away.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        monitorStop_ = true;
+    }
+    deadlineCv_.notify_all();
+    if (deadlineMonitor_.joinable())
+        deadlineMonitor_.join();
 }
 
 void
@@ -333,12 +449,19 @@ Service::shutdownNow()
         }
     }
     for (Job *job : to_finish)
-        deliverCancelledFinish(*job);
+        deliverAbortedFinish(*job);
     jobsCv_.notify_all();
     queueCv_.notify_all();
     for (auto &w : workers_)
         w.join();
     workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        monitorStop_ = true;
+    }
+    deadlineCv_.notify_all();
+    if (deadlineMonitor_.joinable())
+        deadlineMonitor_.join();
 }
 
 std::uint64_t
@@ -366,6 +489,7 @@ Service::dispatch(Job &job, JobEvent &&event)
 {
     event.job = job.id;
     event.experiment = job.req.experiment;
+    event.client = job.req.clientId;
     // A job emits its events sequentially (the scheduler worker, or
     // its engine's progress hook while that worker blocks in run()),
     // so per-job order is inherent; the locks only serialize sink
@@ -373,8 +497,15 @@ Service::dispatch(Job &job, JobEvent &&event)
     // but observers are enqueue-only and cheap).
     {
         std::lock_guard<std::mutex> lock(job.sinkMutex);
-        for (const auto &sink : job.sinks)
+        for (const auto &sink : job.sinks) {
+            // Fault point: artifact-render failures.  Not on the
+            // Queued event — submit()'s admission bookkeeping
+            // brackets that dispatch, and a throw there would leak
+            // the in-flight admission count.
+            if (event.type != JobEventType::Queued)
+                core::faultPointThrow("sink.render");
             applyJobEvent(*sink, event);
+        }
     }
     std::lock_guard<std::mutex> lock(dispatchMutex_);
     for (const auto &[handle, observer] : observers_) {
@@ -464,14 +595,197 @@ Service::workerLoop()
 }
 
 void
+Service::deadlineLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (monitorStop_)
+            return;
+        // Earliest unexpired deadline among live jobs; sleep until
+        // it (or until a submit/shutdown replans the schedule).
+        bool any = false;
+        auto next = std::chrono::steady_clock::time_point::max();
+        for (const auto &[id, job] : jobs_) {
+            (void)id;
+            if (job->hasDeadline && !job->deadlineHit &&
+                !terminal(job->state)) {
+                any = true;
+                next = std::min(next, job->deadline);
+            }
+        }
+        if (!any) {
+            deadlineCv_.wait(lock);
+            continue;
+        }
+        if (deadlineCv_.wait_until(lock, next) ==
+            std::cv_status::no_timeout)
+            continue; // new deadline or shutdown: replan
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<Job *> expired_queued;
+        for (auto &[id, job] : jobs_) {
+            (void)id;
+            if (!job->hasDeadline || job->deadlineHit ||
+                terminal(job->state) || job->deadline > now)
+                continue;
+            job->deadlineHit = true;
+            if (job->state == JobState::Queued) {
+                // Never ran: go terminal directly.  If submit() has
+                // not pushed it yet, its recheck sees the non-Queued
+                // state and delivers the Finished event itself.
+                job->state = JobState::DeadlineExceeded;
+                if (job->enqueued) {
+                    queue_.erase(std::remove(queue_.begin(),
+                                             queue_.end(), job.get()),
+                                 queue_.end());
+                    expired_queued.push_back(job.get());
+                }
+            } else {
+                // Running: fire the token; the worker maps the
+                // CancelledError unwind to DeadlineExceeded via
+                // deadlineHit (also wakes a retry-backoff sleep).
+                job->cancelToken->store(true);
+            }
+        }
+        lock.unlock();
+        jobsCv_.notify_all();
+        for (Job *job : expired_queued)
+            deliverAbortedFinish(*job);
+        lock.lock();
+    }
+}
+
+int
+Service::retryDelayMs(const Job &job, int failed_attempt)
+{
+    const RetryPolicy &policy = job.req.retry;
+    const long long base = std::max(1, policy.backoffBaseMs);
+    const long long cap = std::max(base, (long long)policy.backoffMaxMs);
+    long long delay = base;
+    for (int i = 1; i < failed_attempt && delay < cap; ++i)
+        delay *= 2;
+    delay = std::min(delay, cap);
+    if (policy.jitter && delay > 1) {
+        // Deterministic jitter in [0, delay/2): a pure function of
+        // (job seed, attempt), so one job's schedule replays exactly
+        // while concurrent jobs' retries decorrelate.
+        const std::uint64_t h =
+            hashU64(std::uint64_t(job.config.getInt("seed")),
+                    std::uint64_t(failed_attempt), 0x4a495454ULL);
+        delay += (long long)(h % std::uint64_t(delay / 2));
+    }
+    return int(delay);
+}
+
+bool
+Service::backoffBeforeRetry(Job &job, int delay_ms)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(delay_ms);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // An interruptible sleep: cancel(), the deadline monitor, and
+    // shutdownNow() all fire the token and notify jobsCv_.
+    while (!job.cancelToken->load()) {
+        if (jobsCv_.wait_until(lock, until) ==
+            std::cv_status::timeout)
+            return !job.cancelToken->load();
+    }
+    return false;
+}
+
+void
 Service::executeJob(Job &job)
 {
     const auto start = std::chrono::steady_clock::now();
+    const int max_attempts = std::max(1, job.req.retry.maxAttempts);
+
     JobState final_state = JobState::Finished;
     std::string error;
     bool config_error = false;
 
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job.attempts = attempt;
+        }
+        final_state = JobState::Finished;
+        error.clear();
+        config_error = false;
+        bool transient = false;
+        runAttempt(job, &final_state, &error, &config_error,
+                   &transient);
+        if (final_state != JobState::Failed)
+            break; // success, cancelled, or deadline: never retry
+        if (!transient || attempt == max_attempts)
+            break;
+        const int delay_ms = retryDelayMs(job, attempt);
+        JobEvent retrying;
+        retrying.type = JobEventType::Retrying;
+        retrying.attempt = attempt;
+        retrying.backoffMs = delay_ms;
+        retrying.error = error;
+        try {
+            dispatch(job, std::move(retrying));
+        } catch (const std::exception &) {
+            // A sink choking on the retry notice is survivable: the
+            // next attempt's Started event resets every sink anyway.
+        }
+        if (!backoffBeforeRetry(job, delay_ms)) {
+            bool deadline_hit = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                deadline_hit = job.deadlineHit;
+            }
+            final_state = deadline_hit ? JobState::DeadlineExceeded
+                                       : JobState::Cancelled;
+            error.clear();
+            config_error = false;
+            break;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.elapsedMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    }
+
+    if (final_state == JobState::Finished && job.req.time) {
+        JobEvent timing;
+        timing.type = JobEventType::Timing;
+        timing.elapsedMs = job.elapsedMs;
+        try {
+            dispatch(job, std::move(timing));
+        } catch (const std::exception &e) {
+            final_state = JobState::Failed;
+            error = std::string("emitting timing failed: ") + e.what();
+        }
+    }
+
+    finishJob(job, final_state, std::move(error), config_error);
+}
+
+void
+Service::runAttempt(Job &job, JobState *final_state,
+                    std::string *error, bool *config_error,
+                    bool *transient)
+{
+    // A fresh attempt re-reports progress from zero.
+    job.done.store(0, std::memory_order_relaxed);
+    job.total.store(0, std::memory_order_relaxed);
+
     try {
+        // Fault point: the worker dying between claiming the job and
+        // opening its event stream (an errno fault here reads as a
+        // transient infrastructure failure; `transient` throws are
+        // retry-eligible via InjectedFault::transient()).
+        if (const int err =
+                core::faultPoint("service.worker.pre_dispatch"))
+            throw core::TransientError(
+                "injected worker fault before dispatch (errno " +
+                std::to_string(err) + ")");
+
         const Experiment &exp = findExperiment(job.req.experiment);
 
         JobEvent started;
@@ -516,37 +830,31 @@ Service::executeJob(Job &job)
 
         exp.run(ctx);
     } catch (const core::CancelledError &) {
-        final_state = JobState::Cancelled;
-    } catch (const ConfigError &e) {
-        final_state = JobState::Failed;
-        error = e.what();
-        config_error = true;
-    } catch (const std::exception &e) {
-        final_state = JobState::Failed;
-        error = e.what();
-    }
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job.elapsedMs =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-    }
-
-    if (final_state == JobState::Finished && job.req.time) {
-        JobEvent timing;
-        timing.type = JobEventType::Timing;
-        timing.elapsedMs = job.elapsedMs;
-        try {
-            dispatch(job, std::move(timing));
-        } catch (const std::exception &e) {
-            final_state = JobState::Failed;
-            error = std::string("emitting timing failed: ") + e.what();
+        bool deadline_hit = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            deadline_hit = job.deadlineHit;
         }
+        // The token fires for both client cancels and deadline
+        // expiry; deadlineHit disambiguates which policy unwound us.
+        *final_state = deadline_hit ? JobState::DeadlineExceeded
+                                    : JobState::Cancelled;
+    } catch (const core::InjectedFault &e) {
+        *final_state = JobState::Failed;
+        *error = e.what();
+        *transient = e.transient();
+    } catch (const core::TransientError &e) {
+        *final_state = JobState::Failed;
+        *error = e.what();
+        *transient = true;
+    } catch (const ConfigError &e) {
+        *final_state = JobState::Failed;
+        *error = e.what();
+        *config_error = true;
+    } catch (const std::exception &e) {
+        *final_state = JobState::Failed;
+        *error = e.what();
     }
-
-    finishJob(job, final_state, std::move(error), config_error);
 }
 
 } // namespace rp::api

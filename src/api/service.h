@@ -32,6 +32,7 @@
 #ifndef ROWPRESS_API_SERVICE_H
 #define ROWPRESS_API_SERVICE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,29 @@
 
 namespace rp::api {
 
+/**
+ * A submission the service refused by *policy* (not by validation):
+ * the pending queue is full, or the service is shedding load while it
+ * drains.  Distinct from ConfigError so front-ends can answer with a
+ * machine-readable rejection ("queue_full" / "load_shed" /
+ * "session_limit") that tells the client to back off and retry,
+ * rather than to fix its request.
+ */
+class AdmissionError : public std::runtime_error
+{
+  public:
+    AdmissionError(std::string reason, const std::string &what)
+        : std::runtime_error(what), reason_(std::move(reason))
+    {
+    }
+
+    /** "queue_full" | "load_shed" | "session_limit". */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    std::string reason_;
+};
+
 class Service
 {
   public:
@@ -60,10 +84,22 @@ class Service
          */
         int workers;
 
+        /**
+         * Admission bound on *pending* (queued, not yet running)
+         * jobs; a submit that would exceed it throws
+         * AdmissionError("queue_full").  0 = unbounded (the
+         * pre-robustness behavior; `rowpress serve` defaults to a
+         * bound via --queue-max).
+         */
+        std::size_t maxQueue;
+
         // Constructor instead of a default member initializer: the
         // latter cannot appear in a nested class used as a default
         // argument of the enclosing class (GCC rejects it).
-        explicit Options(int workers_ = 1) : workers(workers_) {}
+        explicit Options(int workers_ = 1, std::size_t max_queue = 0)
+            : workers(workers_), maxQueue(max_queue)
+        {
+        }
     };
 
     /** Global event tap (the serve protocol's streaming channel). */
@@ -112,8 +148,41 @@ class Service
     /** Block until the job is terminal; returns the final status. */
     JobStatus wait(std::uint64_t id);
 
+    /** Outcome of the timed wait overload. */
+    enum class WaitOutcome
+    {
+        Done,    ///< The job is terminal; the status is final.
+        TimedOut,///< Timeout expired; the status is a live snapshot.
+    };
+
+    /**
+     * wait() with a timeout: returns Done with the final status once
+     * the job is terminal, or TimedOut with a point-in-time snapshot
+     * after @p timeout_ms — so a wedged job can never hang a caller
+     * (a serve session thread) forever.  Throws like wait() on an
+     * unknown/pruned id.
+     */
+    WaitOutcome waitFor(std::uint64_t id, int timeout_ms,
+                        JobStatus &out);
+
     /** Block until every submitted job is terminal. */
     void drain();
+
+    /**
+     * drain() with a timeout: true when every job went terminal
+     * within @p timeout_ms (the graceful-shutdown grace window),
+     * false when work is still in flight after it.
+     */
+    bool drainFor(int timeout_ms);
+
+    /**
+     * Load-shed mode: while set, submissions are rejected with
+     * AdmissionError("load_shed") but queued and running jobs keep
+     * draining.  The graceful-signal drain uses it; operators can
+     * toggle it over the protocol (`{"op":"shed"}`).
+     */
+    void setLoadShed(bool on);
+    bool loadShedding() const;
 
     /** Stop accepting submissions, then drain (graceful shutdown). */
     void shutdown();
@@ -173,6 +242,17 @@ class Service
 
         JobState state = JobState::Queued;
         /**
+         * Deadline bookkeeping: the absolute expiry instant (valid
+         * when hasDeadline) and whether the monitor fired it.  A
+         * CancelledError unwinding a job whose deadlineHit is set
+         * reports DeadlineExceeded, not Cancelled.
+         */
+        std::chrono::steady_clock::time_point deadline{};
+        bool hasDeadline = false;
+        bool deadlineHit = false;
+        /** Execution attempts so far (1-based once running). */
+        int attempts = 0;
+        /**
          * True once submit() pushed the job onto the runnable queue.
          * A cancel() that wins the race before then flips the state
          * only; the submitting thread delivers the Finished event
@@ -213,29 +293,51 @@ class Service
     };
 
     void workerLoop();
+    void deadlineLoop();
     void executeJob(Job &job);
+    /** One execution attempt; returns whether the failure (if any)
+     *  is transient (retry-eligible). */
+    void runAttempt(Job &job, JobState *final_state,
+                    std::string *error, bool *config_error,
+                    bool *transient);
+    /** Exponential backoff + deterministic jitter before the next
+     *  attempt; false when the job's cancel token fired mid-sleep. */
+    bool backoffBeforeRetry(Job &job, int delay_ms);
+    static int retryDelayMs(const Job &job, int failed_attempt);
     void dispatch(Job &job, JobEvent &&event);
     JobStatus statusOf(const Job &job) const; ///< Caller holds mutex_.
     void finishJob(Job &job, JobState state, std::string error,
                    bool config_error);
-    /** Finished(Cancelled) event + eventsDone for a never-run job. */
-    void deliverCancelledFinish(Job &job);
+    /** Finished(job.state) event + eventsDone for a never-run job
+     *  (cancelled or deadline-expired while queued). */
+    void deliverAbortedFinish(Job &job);
     /** Drop a terminal job's sinks under the dispatch lock. */
     void releaseSinks(Job &job);
 
+    static bool terminal(JobState state)
+    {
+        return state != JobState::Queued && state != JobState::Running;
+    }
+
+    const Options opts_;
     mutable std::mutex mutex_;           ///< jobs_/queue_/state.
     std::condition_variable queueCv_;    ///< Wakes scheduler workers.
     std::condition_variable jobsCv_;     ///< Wakes wait()/drain().
+    std::condition_variable deadlineCv_; ///< Wakes the deadline loop.
     std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
     std::deque<Job *> queue_;
     std::uint64_t lastId_ = 0;
     bool stopping_ = false;
+    bool shedding_ = false;              ///< Load-shed admissions off.
+    std::size_t admitting_ = 0;          ///< Submissions mid-flight.
+    bool monitorStop_ = false;           ///< Deadline loop exit flag.
 
     std::mutex dispatchMutex_; ///< Observer list + observer calls.
     std::vector<std::pair<std::uint64_t, Observer>> observers_;
     std::uint64_t lastObserver_ = 0;
 
     std::vector<std::thread> workers_;
+    std::thread deadlineMonitor_;
 };
 
 } // namespace rp::api

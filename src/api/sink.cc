@@ -313,6 +313,12 @@ applyJobEvent(ResultSink &sink, const JobEvent &event)
     case JobEventType::Queued:
     case JobEventType::Progress:
         break;
+    case JobEventType::Retrying:
+        // Nothing to render: the retry's fresh Started event calls
+        // beginExperiment again, which resets every sink's state, so
+        // a success after retries rewrites the same artifact bytes a
+        // first-try success would have written.
+        break;
     case JobEventType::Started:
         sink.beginExperiment(event.info);
         sink.resolvedConfig(event.config);

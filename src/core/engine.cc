@@ -5,6 +5,7 @@
 
 #include "api/env.h"
 #include "common/logging.h"
+#include "core/fault.h"
 
 namespace rp::core {
 
@@ -163,6 +164,10 @@ ExperimentEngine::execute(int id, std::size_t task_index)
         ctx.seed = taskSeed(state.rootSeed, task_index);
         ctx.worker = id;
         try {
+            // Fault point: a worker dying mid-task (the engine's
+            // first-error capture turns it into the run's outcome,
+            // exactly like an experiment body throwing).
+            faultPointThrow("core.engine.task");
             state.tasks[task_index](ctx);
         } catch (...) {
             std::lock_guard<std::mutex> lock(state.doneMutex);

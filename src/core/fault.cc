@@ -1,0 +1,355 @@
+#include "core/fault.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace rp::core {
+
+namespace {
+
+/** FNV-1a over the point name: a stable per-point hash input. */
+std::uint64_t
+pointHash(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\n\r");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\n\r");
+    return s.substr(b, e - b + 1);
+}
+
+long long
+parsePlanInt(const std::string &text, const std::string &what)
+{
+    std::size_t used = 0;
+    long long v = 0;
+    try {
+        v = std::stoll(text, &used);
+    } catch (const std::exception &) {
+        used = std::string::npos;
+    }
+    if (used != text.size() || text.empty())
+        throw std::invalid_argument("RP_FAULT_POINTS: " + what +
+                                    ": bad integer '" + text + "'");
+    return v;
+}
+
+} // namespace
+
+int
+errnoValueOf(const std::string &name)
+{
+    // The errno families the instrumented layers emulate: interrupted
+    // syscalls, dead peers, and accept-loop resource exhaustion.
+    if (name == "EINTR") return EINTR;
+    if (name == "EPIPE") return EPIPE;
+    if (name == "ECONNRESET") return ECONNRESET;
+    if (name == "EMFILE") return EMFILE;
+    if (name == "ENFILE") return ENFILE;
+    if (name == "ENOBUFS") return ENOBUFS;
+    if (name == "EAGAIN") return EAGAIN;
+    if (name == "EIO") return EIO;
+    // Numeric fallback for anything else.
+    std::size_t used = 0;
+    int v = 0;
+    try {
+        v = std::stoi(name, &used);
+    } catch (const std::exception &) {
+        used = std::string::npos;
+    }
+    if (used != name.size() || name.empty() || v <= 0)
+        throw std::invalid_argument("unknown errno name '" + name +
+                                    "' (use EINTR/EPIPE/ECONNRESET/"
+                                    "EMFILE/ENFILE/ENOBUFS/EAGAIN/EIO "
+                                    "or a positive number)");
+    return v;
+}
+
+const std::vector<std::string> &
+FaultInjector::knownPoints()
+{
+    // THE registry.  Adding an instrumented site means adding its
+    // name here; arm() rejects anything else, so a typo in a test or
+    // RP_FAULT_POINTS fails loudly instead of injecting nothing.
+    static const std::vector<std::string> points = {
+        "core.engine.task",           // before each engine task runs
+        "service.submit.admit",       // submit(), after validation
+        "service.worker.pre_dispatch",// attempt start, before Started
+        "sink.render",                // per-sink event delivery
+        "protocol.socket.read",       // TCP session reads
+        "protocol.socket.write",      // TCP session writes
+        "protocol.accept",            // serveTcp accept loop
+    };
+    return points;
+}
+
+FaultInjector::FaultInjector()
+{
+    points_.reserve(knownPoints().size());
+    for (const std::string &name : knownPoints())
+        points_.push_back(PointState{name, 0, 0, {}});
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::PointState *
+FaultInjector::findPoint(const std::string &name)
+{
+    for (PointState &p : points_)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+void
+FaultInjector::arm(std::uint64_t seed, std::vector<FaultSpec> specs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PointState &p : points_) {
+        p.hits = 0;
+        p.fires = 0;
+        p.specs.clear();
+    }
+    seed_ = seed;
+    for (FaultSpec &spec : specs) {
+        PointState *point = findPoint(spec.point);
+        if (!point)
+            throw std::invalid_argument(
+                "fault point '" + spec.point +
+                "' is not registered (see "
+                "core::FaultInjector::knownPoints)");
+        if (spec.probability <= 0.0 || spec.probability > 1.0)
+            throw std::invalid_argument(
+                "fault spec for '" + spec.point +
+                "': probability must be in (0, 1]");
+        if (spec.skip < 0 || spec.delayMs < 0)
+            throw std::invalid_argument(
+                "fault spec for '" + spec.point +
+                "': skip/delay must be >= 0");
+        if (spec.kind == FaultSpec::Kind::Errno && spec.errnoValue <= 0)
+            throw std::invalid_argument(
+                "fault spec for '" + spec.point +
+                "': errno faults need a positive errno value");
+        point->specs.push_back(ArmedSpec{std::move(spec), 0});
+    }
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::armFromEnv()
+{
+    const char *points_env = std::getenv("RP_FAULT_POINTS");
+    if (!points_env || trim(points_env).empty())
+        return;
+
+    std::uint64_t seed = 1;
+    if (const char *seed_env = std::getenv("RP_FAULT_SEED"))
+        seed = std::uint64_t(
+            parsePlanInt(trim(seed_env), "RP_FAULT_SEED"));
+
+    std::vector<FaultSpec> specs;
+    std::string rest = points_env;
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        std::string entry = trim(rest.substr(0, comma));
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        if (entry.empty())
+            continue;
+
+        const auto eq = entry.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "RP_FAULT_POINTS: entry '" + entry +
+                "' is not point=kind[...]");
+        FaultSpec spec;
+        spec.point = trim(entry.substr(0, eq));
+        std::string body = trim(entry.substr(eq + 1));
+
+        // Peel the optional suffixes ~prob, xcount, @skip from the
+        // right (order-independent grammar, applied right-to-left).
+        for (bool peeled = true; peeled;) {
+            peeled = false;
+            for (const char mark : {'~', 'x', '@'}) {
+                const auto at = body.find_last_of(mark);
+                if (at == std::string::npos || at == 0)
+                    continue;
+                // 'x' also appears in no suffix context; only treat
+                // it as a suffix when what follows parses as its arg.
+                const std::string arg = trim(body.substr(at + 1));
+                if (mark == '~') {
+                    char *end = nullptr;
+                    const double p =
+                        std::strtod(arg.c_str(), &end);
+                    if (!end || *end != '\0' || arg.empty())
+                        throw std::invalid_argument(
+                            "RP_FAULT_POINTS: bad probability '" +
+                            arg + "'");
+                    spec.probability = p;
+                } else {
+                    bool numeric = !arg.empty();
+                    for (char c : arg)
+                        numeric = numeric && c >= '0' && c <= '9';
+                    if (!numeric) {
+                        if (mark == '@')
+                            throw std::invalid_argument(
+                                "RP_FAULT_POINTS: bad skip '" + arg +
+                                "'");
+                        continue; // an 'x' inside the kind body
+                    }
+                    const long long v = parsePlanInt(
+                        arg, mark == 'x' ? "count" : "skip");
+                    if (mark == 'x')
+                        spec.count = int(v);
+                    else
+                        spec.skip = int(v);
+                }
+                body = trim(body.substr(0, at));
+                peeled = true;
+                break;
+            }
+        }
+
+        std::string kind = body, arg;
+        const auto colon = body.find(':');
+        if (colon != std::string::npos) {
+            kind = trim(body.substr(0, colon));
+            arg = trim(body.substr(colon + 1));
+        }
+        if (kind == "throw") {
+            spec.kind = FaultSpec::Kind::Throw;
+            spec.transient = false;
+        } else if (kind == "transient") {
+            spec.kind = FaultSpec::Kind::Throw;
+            spec.transient = true;
+        } else if (kind == "errno") {
+            spec.kind = FaultSpec::Kind::Errno;
+            spec.errnoValue = errnoValueOf(arg);
+        } else if (kind == "delay") {
+            spec.kind = FaultSpec::Kind::Delay;
+            spec.delayMs =
+                int(parsePlanInt(arg, "delay ms for " + spec.point));
+        } else {
+            throw std::invalid_argument(
+                "RP_FAULT_POINTS: unknown kind '" + kind +
+                "' (throw | transient | errno:<E> | delay:<ms>)");
+        }
+        specs.push_back(std::move(spec));
+    }
+    if (!specs.empty())
+        arm(seed, std::move(specs));
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_release);
+    for (PointState &p : points_) {
+        p.hits = 0;
+        p.fires = 0;
+        p.specs.clear();
+    }
+}
+
+std::vector<FaultInjector::PointStats>
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PointStats> out;
+    out.reserve(points_.size());
+    for (const PointState &p : points_)
+        out.push_back(PointStats{p.name, p.hits, p.fires});
+    return out;
+}
+
+int
+FaultInjector::onHit(const char *point)
+{
+    // Decide under the lock (counters + plan), act outside it: a
+    // Delay fault must not serialize every other point behind its
+    // sleep, and a Throw must not unwind with the mutex held.
+    FaultSpec::Kind kind = FaultSpec::Kind::Delay;
+    bool fire = false;
+    bool transient = false;
+    int errno_value = 0;
+    int delay_ms = 0;
+    std::string name;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!armed_.load(std::memory_order_relaxed))
+            return 0;
+        PointState *state = findPoint(point);
+        if (!state)
+            return 0; // unregistered call site: never inject
+        const std::uint64_t hit = state->hits++;
+        for (ArmedSpec &armed : state->specs) {
+            const FaultSpec &spec = armed.spec;
+            if (hit < std::uint64_t(spec.skip))
+                continue;
+            if (spec.count >= 0 &&
+                armed.fired >= std::uint64_t(spec.count))
+                continue;
+            if (spec.probability < 1.0) {
+                // Pure function of (seed, point, hit): replayable,
+                // independent across points.
+                const std::uint64_t h = hashU64(
+                    seed_, pointHash(spec.point), hit);
+                const double u =
+                    double(h >> 11) * (1.0 / 9007199254740992.0);
+                if (u >= spec.probability)
+                    continue;
+            }
+            ++armed.fired;
+            ++state->fires;
+            fire = true;
+            kind = spec.kind;
+            transient = spec.transient;
+            errno_value = spec.errnoValue;
+            delay_ms = spec.delayMs;
+            name = spec.point;
+            break;
+        }
+    }
+    if (!fire)
+        return 0;
+    switch (kind) {
+    case FaultSpec::Kind::Throw:
+        throw InjectedFault(name, transient);
+    case FaultSpec::Kind::Errno:
+        return errno_value;
+    case FaultSpec::Kind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+        return 0;
+    }
+    return 0;
+}
+
+void
+faultPointThrow(const char *point)
+{
+    if (faultPoint(point) != 0)
+        throw InjectedFault(point, false);
+}
+
+} // namespace rp::core

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Deterministic fault injection for the serve/robustness stack.
+ *
+ * Real serving failures — a worker thread throwing mid-job, a sink
+ * that cannot render, a peer that vanishes mid-write, an accept loop
+ * starved of file descriptors — are rare and timing-dependent, which
+ * makes the code paths that handle them the least-tested code in the
+ * system.  The FaultInjector turns them into ordinary ctest suites:
+ * production code is instrumented with *named fault points*
+ * (`faultPoint("sink.render")`), which cost one relaxed atomic load
+ * when the injector is disarmed (the production state) and, when
+ * armed, consult a deterministic plan of what to inject where.
+ *
+ * Determinism contract: a fault plan is a pure function of
+ * (seed, point name, per-point hit index).  The hit index is an
+ * atomic per-point counter, so "fire on the 3rd hit of
+ * service.worker.pre_dispatch" reproduces exactly whenever the
+ * schedule of hits at that point is itself deterministic (one job in
+ * flight, or a fault that fires on every hit).  The probability gate
+ * hashes (seed, point, hit index) — never a global RNG — so two
+ * points never perturb each other's decisions and a fixed
+ * RP_FAULT_SEED replays the same fault schedule.
+ *
+ * Three fault kinds:
+ *  - Throw: throws InjectedFault (optionally transient — the
+ *    Service's RetryPolicy retries transient-classified failures);
+ *  - Errno: faultPoint() returns a nonzero errno value (EINTR,
+ *    EPIPE, EMFILE, ...) for call sites that emulate syscall
+ *    failures; sites with no errno semantics treat it as a throw
+ *    (faultPointThrow);
+ *  - Delay: sleeps a bounded number of milliseconds, for exercising
+ *    timeouts/backpressure without wall-clock-scale test times.
+ *
+ * Arming: programmatic (tests call `arm(seed, specs)`) or from the
+ * environment — `RP_FAULT_SEED` plus `RP_FAULT_POINTS`, a comma list
+ * of `point=kind[:arg][@skip][xcount][~prob]`, e.g.
+ *
+ *   RP_FAULT_POINTS='service.worker.pre_dispatch=transient x1,
+ *                    protocol.socket.write=errno:EPIPE@2'
+ *
+ * Point names are validated against a fixed registry (knownPoints),
+ * so a typo'd point errors instead of silently injecting nothing.
+ */
+
+#ifndef ROWPRESS_CORE_FAULT_H
+#define ROWPRESS_CORE_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rp::core {
+
+/**
+ * A failure the Service's RetryPolicy classifies as transient
+ * (retryable): the same attempt re-run may succeed.  Production code
+ * may throw it for genuinely transient conditions; the injector's
+ * transient Throw faults derive from it.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by an armed Throw fault point. */
+class InjectedFault : public TransientError
+{
+  public:
+    InjectedFault(const std::string &point, bool transient)
+        : TransientError("injected fault at " + point +
+                         (transient ? " (transient)" : "")),
+          point_(point), transient_(transient)
+    {
+    }
+
+    const std::string &point() const { return point_; }
+    /** Only transient injected faults are retry-eligible. */
+    bool transient() const { return transient_; }
+
+  private:
+    std::string point_;
+    bool transient_;
+};
+
+/** What to inject at one named point. */
+struct FaultSpec
+{
+    enum class Kind
+    {
+        Throw, ///< throw InjectedFault (transient flag below)
+        Errno, ///< faultPoint() returns errnoValue
+        Delay, ///< sleep delayMs, then continue normally
+    };
+
+    std::string point;       ///< Must name a registered point.
+    Kind kind = Kind::Throw;
+    bool transient = false;  ///< Throw: retry-eligible when true.
+    int errnoValue = 0;      ///< Errno: the value to return.
+    int delayMs = 0;         ///< Delay: bounded sleep.
+    int skip = 0;            ///< Ignore the first N hits of the point.
+    int count = -1;          ///< Fire at most N times (-1 = always).
+    double probability = 1.0;///< Seeded per-hit gate in (0, 1].
+};
+
+/**
+ * Process-wide injector.  Disarmed by default; `faultPoint()` is the
+ * only call production code makes and costs one relaxed atomic load
+ * until something arms a plan.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /**
+     * The fixed registry of instrumented points.  arm() validates
+     * every spec against it; the serve documentation lists it.
+     */
+    static const std::vector<std::string> &knownPoints();
+
+    /**
+     * Install a plan (replacing any previous one) and arm.  Throws
+     * std::invalid_argument for an unregistered point name or a
+     * malformed spec (probability outside (0, 1], negative skip).
+     */
+    void arm(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+    /**
+     * Arm from `RP_FAULT_SEED` (default 1) + `RP_FAULT_POINTS`.  A
+     * missing/empty RP_FAULT_POINTS leaves the injector disarmed.
+     * Spec grammar per comma-separated entry (whitespace ignored):
+     *   point=kind[:arg][@skip][xcount][~prob]
+     * with kind one of throw | transient | errno:<NAME|num> |
+     * delay:<ms>.  Throws std::invalid_argument on malformed input.
+     */
+    void armFromEnv();
+
+    /** Drop the plan and reset every per-point counter. */
+    void disarm();
+
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Hit/fire counters per instrumented point (test assertions). */
+    struct PointStats
+    {
+        std::string point;
+        std::uint64_t hits = 0;
+        std::uint64_t fires = 0;
+    };
+    std::vector<PointStats> stats() const;
+
+    /**
+     * Slow path behind faultPoint(): record a hit at @p point and
+     * apply the armed plan.  Returns 0 (no fault / after a Delay) or
+     * the errno value of a firing Errno fault; throws InjectedFault
+     * for a firing Throw fault.
+     */
+    int onHit(const char *point);
+
+  private:
+    FaultInjector();
+
+    /** One armed spec plus how often it has fired. */
+    struct ArmedSpec
+    {
+        FaultSpec spec;
+        std::uint64_t fired = 0;
+    };
+
+    /** Per-registered-point runtime state. */
+    struct PointState
+    {
+        std::string name;
+        std::uint64_t hits = 0;
+        std::uint64_t fires = 0;
+        std::vector<ArmedSpec> specs;
+    };
+
+    PointState *findPoint(const std::string &name);
+
+    std::vector<PointState> points_;
+    std::atomic<bool> armed_{false};
+    std::uint64_t seed_ = 1;
+    mutable std::mutex mutex_; ///< Guards plan swaps + counters.
+};
+
+/**
+ * THE instrumentation call.  Returns 0 when disarmed or when no fault
+ * fires; returns an errno value for Errno faults (call sites that
+ * emulate syscalls translate it); throws InjectedFault for Throw
+ * faults; Delay faults sleep and return 0.
+ */
+inline int
+faultPoint(const char *point)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    return fi.armed() ? fi.onHit(point) : 0;
+}
+
+/**
+ * faultPoint() for sites with no errno semantics: a firing Errno
+ * fault is promoted to a (non-transient) InjectedFault throw.
+ */
+void faultPointThrow(const char *point);
+
+/** Symbolic errno name ("EPIPE") to value; throws on unknown names. */
+int errnoValueOf(const std::string &name);
+
+} // namespace rp::core
+
+#endif // ROWPRESS_CORE_FAULT_H
