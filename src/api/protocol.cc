@@ -4,12 +4,10 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <deque>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -18,6 +16,7 @@
 #include "api/service.h"
 #include "api/sink.h"
 #include "core/fault.h"
+#include "core/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ROWPRESS_HAVE_SOCKETS 1
@@ -681,7 +680,7 @@ class ProtocolSession
         service_.removeObserver(observer);
         // No more producers: flush what is queued, then stop.
         {
-            std::lock_guard<std::mutex> lock(queueMutex_);
+            core::LockGuard lock(queueMutex_);
             writerStop_ = true;
         }
         queueCv_.notify_all();
@@ -692,6 +691,11 @@ class ProtocolSession
     bool
     failed() const
     {
+        // The writer thread is joined by the time callers ask, but
+        // take the stream lock anyway — it documents that out_ is
+        // shared with the writer and keeps the read race-free even
+        // if a caller ever probes mid-session.
+        core::LockGuard lock(outMutex_);
         return out_.fail();
     }
 
@@ -705,7 +709,7 @@ class ProtocolSession
     enqueue(std::string line, bool critical)
     {
         {
-            std::lock_guard<std::mutex> lock(queueMutex_);
+            core::LockGuard lock(queueMutex_);
             // Terminal (finished) events are exempt from the drop:
             // clients correlate on them (the documented pattern), so
             // a job's outcome must survive an overflow even if its
@@ -727,11 +731,10 @@ class ProtocolSession
             std::string line;
             std::uint64_t dropped = 0;
             {
-                std::unique_lock<std::mutex> lock(queueMutex_);
-                queueCv_.wait(lock, [this] {
-                    return writerStop_ || !queue_.empty() ||
-                           dropped_ != 0;
-                });
+                core::UniqueLock lock(queueMutex_);
+                while (!writerStop_ && queue_.empty() &&
+                       dropped_ == 0)
+                    queueCv_.wait(lock);
                 if (!queue_.empty()) {
                     line = std::move(queue_.front());
                     queue_.pop_front();
@@ -757,7 +760,7 @@ class ProtocolSession
     void
     writeLine(const std::string &line)
     {
-        std::lock_guard<std::mutex> lock(outMutex_);
+        core::LockGuard lock(outMutex_);
         out_ << line << "\n";
         out_.flush();
     }
@@ -767,7 +770,7 @@ class ProtocolSession
     bool
     outFailed()
     {
-        std::lock_guard<std::mutex> lock(outMutex_);
+        core::LockGuard lock(outMutex_);
         return out_.fail();
     }
 
@@ -1109,13 +1112,15 @@ class ProtocolSession
     const std::uint64_t clientId_;
     const int maxInflight_;
     std::atomic<int> inflight_{0};
-    std::mutex outMutex_;
+    /// Serializes request-loop and writer-thread access to out_
+    /// (stream writes and state probes); mutable for failed() const.
+    mutable core::Mutex outMutex_;
 
-    std::mutex queueMutex_;
-    std::condition_variable queueCv_;
-    std::deque<std::string> queue_;
-    std::uint64_t dropped_ = 0;
-    bool writerStop_ = false;
+    core::Mutex queueMutex_;
+    core::CondVar queueCv_;
+    std::deque<std::string> queue_ RP_GUARDED_BY(queueMutex_);
+    std::uint64_t dropped_ RP_GUARDED_BY(queueMutex_) = 0;
+    bool writerStop_ RP_GUARDED_BY(queueMutex_) = false;
 };
 
 } // namespace

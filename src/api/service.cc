@@ -115,8 +115,9 @@ Service::submit(const JobRequest &request)
 
     Job *job_ptr = nullptr;
     std::uint64_t id = 0;
+    bool has_deadline = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         if (stopping_)
             throw ConfigError("service is shutting down");
         // Admission control, checked before the job exists: a
@@ -155,6 +156,7 @@ Service::submit(const JobRequest &request)
                 std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(request.deadlineMs);
         }
+        has_deadline = job->hasDeadline;
         job_ptr = job.get();
         jobs_[id] = std::move(job);
     }
@@ -167,7 +169,7 @@ Service::submit(const JobRequest &request)
 
     bool accepted = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         --admitting_;
         // Recheck: a shutdown() may have joined the workers while the
         // Queued event was being dispatched, and a push now would
@@ -188,7 +190,10 @@ Service::submit(const JobRequest &request)
     }
     if (accepted) {
         queueCv_.notify_one();
-        if (job_ptr->hasDeadline)
+        // Local copy: job_ptr's scheduler fields belong to mutex_,
+        // which is no longer held here (annotation-surfaced cleanup;
+        // the old read was benign — only this thread ever wrote it).
+        if (has_deadline)
             deadlineCv_.notify_all();
         return id;
     }
@@ -202,7 +207,7 @@ Service::deliverAbortedFinish(Job &job)
     JobEvent event;
     event.type = JobEventType::Finished;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         event.state = job.state;
     }
     try {
@@ -213,7 +218,7 @@ Service::deliverAbortedFinish(Job &job)
     }
     releaseSinks(job);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         job.eventsDone = true;
     }
     jobsCv_.notify_all();
@@ -239,7 +244,7 @@ Service::statusOf(const Job &job) const
 JobStatus
 Service::status(std::uint64_t id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     auto it = jobs_.find(id);
     if (it == jobs_.end())
         throw ConfigError("unknown job " + std::to_string(id));
@@ -249,7 +254,7 @@ Service::status(std::uint64_t id) const
 std::vector<JobStatus>
 Service::jobs() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     std::vector<JobStatus> out;
     out.reserve(jobs_.size());
     for (const auto &[id, job] : jobs_) {
@@ -264,7 +269,7 @@ Service::cancel(std::uint64_t id)
 {
     Job *to_finish = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         auto it = jobs_.find(id);
         if (it == jobs_.end())
             return false;
@@ -309,7 +314,7 @@ Service::cancel(std::uint64_t id)
 JobStatus
 Service::wait(std::uint64_t id)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    core::UniqueLock lock(mutex_);
     for (;;) {
         // Re-resolve per wake: the history cap may prune a job that
         // went terminal while we slept (only terminal jobs are ever
@@ -333,7 +338,7 @@ Service::waitFor(std::uint64_t id, int timeout_ms, JobStatus &out)
     const auto until =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
-    std::unique_lock<std::mutex> lock(mutex_);
+    core::UniqueLock lock(mutex_);
     for (;;) {
         auto it = jobs_.find(id);
         if (it == jobs_.end())
@@ -364,47 +369,51 @@ Service::waitFor(std::uint64_t id, int timeout_ms, JobStatus &out)
     }
 }
 
+bool
+Service::allJobsDoneLocked() const
+{
+    for (const auto &[id, job] : jobs_) {
+        (void)id;
+        if (!terminal(job->state) || !job->eventsDone)
+            return false;
+    }
+    return true;
+}
+
 void
 Service::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    jobsCv_.wait(lock, [this] {
-        for (const auto &[id, job] : jobs_) {
-            (void)id;
-            if (!terminal(job->state) || !job->eventsDone)
-                return false;
-        }
-        return true;
-    });
+    core::UniqueLock lock(mutex_);
+    while (!allJobsDoneLocked())
+        jobsCv_.wait(lock);
 }
 
 bool
 Service::drainFor(int timeout_ms)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    return jobsCv_.wait_for(
-        lock, std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0),
-        [this] {
-            for (const auto &[id, job] : jobs_) {
-                (void)id;
-                if (!terminal(job->state) || !job->eventsDone)
-                    return false;
-            }
-            return true;
-        });
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+    core::UniqueLock lock(mutex_);
+    while (!allJobsDoneLocked()) {
+        if (jobsCv_.wait_until(lock, until) ==
+            std::cv_status::timeout)
+            return allJobsDoneLocked();
+    }
+    return true;
 }
 
 void
 Service::setLoadShed(bool on)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     shedding_ = on;
 }
 
 bool
 Service::loadShedding() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     return shedding_;
 }
 
@@ -412,7 +421,7 @@ void
 Service::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         stopping_ = true;
     }
     queueCv_.notify_all();
@@ -422,7 +431,7 @@ Service::shutdown()
     // Deadlines stay enforced while the workers drain the queue;
     // only once every job is done does the monitor go away.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         monitorStop_ = true;
     }
     deadlineCv_.notify_all();
@@ -435,7 +444,7 @@ Service::shutdownNow()
 {
     std::vector<Job *> to_finish;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         stopping_ = true;
         for (Job *job : queue_) {
             job->state = JobState::Cancelled;
@@ -456,7 +465,7 @@ Service::shutdownNow()
         w.join();
     workers_.clear();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         monitorStop_ = true;
     }
     deadlineCv_.notify_all();
@@ -467,7 +476,7 @@ Service::shutdownNow()
 std::uint64_t
 Service::addObserver(Observer fn)
 {
-    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    core::LockGuard lock(dispatchMutex_);
     observers_.emplace_back(++lastObserver_, std::move(fn));
     return lastObserver_;
 }
@@ -475,7 +484,7 @@ Service::addObserver(Observer fn)
 void
 Service::removeObserver(std::uint64_t handle)
 {
-    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    core::LockGuard lock(dispatchMutex_);
     for (auto it = observers_.begin(); it != observers_.end(); ++it) {
         if (it->first == handle) {
             observers_.erase(it);
@@ -496,7 +505,7 @@ Service::dispatch(Job &job, JobEvent &&event)
     // teardown (per job) and the shared observer list (process-wide,
     // but observers are enqueue-only and cheap).
     {
-        std::lock_guard<std::mutex> lock(job.sinkMutex);
+        core::LockGuard lock(job.sinkMutex);
         for (const auto &sink : job.sinks) {
             // Fault point: artifact-render failures.  Not on the
             // Queued event — submit()'s admission bookkeeping
@@ -507,7 +516,7 @@ Service::dispatch(Job &job, JobEvent &&event)
             applyJobEvent(*sink, event);
         }
     }
-    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    core::LockGuard lock(dispatchMutex_);
     for (const auto &[handle, observer] : observers_) {
         (void)handle;
         observer(event);
@@ -546,7 +555,7 @@ Service::finishJob(Job &job, JobState state, std::string error,
     // the dispatch lock — dispatch() iterates this vector under it.
     releaseSinks(job);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         job.state = state;
         job.eventsDone = true;
         job.error = std::move(error);
@@ -560,7 +569,7 @@ Service::releaseSinks(Job &job)
 {
     std::vector<std::unique_ptr<ResultSink>> doomed;
     {
-        std::lock_guard<std::mutex> lock(job.sinkMutex);
+        core::LockGuard lock(job.sinkMutex);
         doomed.swap(job.sinks);
     }
     // Destruction happens outside the lock.
@@ -572,10 +581,9 @@ Service::workerLoop()
     for (;;) {
         Job *job = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queueCv_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            core::UniqueLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                queueCv_.wait(lock);
             if (queue_.empty()) {
                 if (stopping_)
                     return;
@@ -597,7 +605,7 @@ Service::workerLoop()
 void
 Service::deadlineLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    core::UniqueLock lock(mutex_);
     for (;;) {
         if (monitorStop_)
             return;
@@ -681,7 +689,7 @@ Service::backoffBeforeRetry(Job &job, int delay_ms)
 {
     const auto until = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(delay_ms);
-    std::unique_lock<std::mutex> lock(mutex_);
+    core::UniqueLock lock(mutex_);
     // An interruptible sleep: cancel(), the deadline monitor, and
     // shutdownNow() all fire the token and notify jobsCv_.
     while (!job.cancelToken->load()) {
@@ -704,7 +712,7 @@ Service::executeJob(Job &job)
 
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::LockGuard lock(mutex_);
             job.attempts = attempt;
         }
         final_state = JobState::Finished;
@@ -732,7 +740,7 @@ Service::executeJob(Job &job)
         if (!backoffBeforeRetry(job, delay_ms)) {
             bool deadline_hit = false;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                core::LockGuard lock(mutex_);
                 deadline_hit = job.deadlineHit;
             }
             final_state = deadline_hit ? JobState::DeadlineExceeded
@@ -744,7 +752,7 @@ Service::executeJob(Job &job)
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         job.elapsedMs =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
@@ -817,7 +825,7 @@ Service::runAttempt(Job &job, JobState *final_state,
         };
         core::ExperimentEngine engine(eopts);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::LockGuard lock(mutex_);
             job.engineThreads = engine.numThreads();
         }
 
@@ -832,7 +840,7 @@ Service::runAttempt(Job &job, JobState *final_state,
     } catch (const core::CancelledError &) {
         bool deadline_hit = false;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::LockGuard lock(mutex_);
             deadline_hit = job.deadlineHit;
         }
         // The token fires for both client cancels and deadline

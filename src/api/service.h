@@ -33,18 +33,17 @@
 #define ROWPRESS_API_SERVICE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/job.h"
 #include "api/sink.h"
 #include "core/engine.h"
+#include "core/thread_annotations.h"
 #include "device/threshold_store.h"
 
 namespace rp::api {
@@ -240,6 +239,13 @@ class Service
         const JobRequest req;
         const Config config;
 
+        // Scheduler bookkeeping (state .. engineThreads below) is
+        // guarded by Service::mutex_.  Clang's analysis cannot bind a
+        // member of one object to the mutex of another
+        // (RP_GUARDED_BY(owner.mutex_) is not expressible), so the
+        // discipline is carried by RP_REQUIRES(mutex_) on every
+        // Service helper that touches these fields (statusOf etc.);
+        // see README "Static analysis".
         JobState state = JobState::Queued;
         /**
          * Deadline bookkeeping: the absolute expiry instant (valid
@@ -288,12 +294,13 @@ class Service
          * a large artifact must not stall other jobs' dispatch (a
          * progress hook blocks its engine's workers while it waits).
          */
-        std::mutex sinkMutex;
-        std::vector<std::unique_ptr<ResultSink>> sinks;
+        core::Mutex sinkMutex;
+        std::vector<std::unique_ptr<ResultSink>> sinks
+            RP_GUARDED_BY(sinkMutex);
     };
 
     void workerLoop();
-    void deadlineLoop();
+    void deadlineLoop() RP_EXCLUDES(mutex_);
     void executeJob(Job &job);
     /** One execution attempt; returns whether the failure (if any)
      *  is transient (retry-eligible). */
@@ -304,8 +311,13 @@ class Service
      *  attempt; false when the job's cancel token fired mid-sleep. */
     bool backoffBeforeRetry(Job &job, int delay_ms);
     static int retryDelayMs(const Job &job, int failed_attempt);
-    void dispatch(Job &job, JobEvent &&event);
-    JobStatus statusOf(const Job &job) const; ///< Caller holds mutex_.
+    void dispatch(Job &job, JobEvent &&event)
+        RP_EXCLUDES(mutex_, dispatchMutex_);
+    /** Snapshot one job's scheduler fields; caller holds mutex_. */
+    JobStatus statusOf(const Job &job) const RP_REQUIRES(mutex_);
+    /** True when every retained job is terminal with its event
+     *  stream closed (the drain()/drainFor() condition). */
+    bool allJobsDoneLocked() const RP_REQUIRES(mutex_);
     void finishJob(Job &job, JobState state, std::string error,
                    bool config_error);
     /** Finished(job.state) event + eventsDone for a never-run job
@@ -320,21 +332,26 @@ class Service
     }
 
     const Options opts_;
-    mutable std::mutex mutex_;           ///< jobs_/queue_/state.
-    std::condition_variable queueCv_;    ///< Wakes scheduler workers.
-    std::condition_variable jobsCv_;     ///< Wakes wait()/drain().
-    std::condition_variable deadlineCv_; ///< Wakes the deadline loop.
-    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-    std::deque<Job *> queue_;
-    std::uint64_t lastId_ = 0;
-    bool stopping_ = false;
-    bool shedding_ = false;              ///< Load-shed admissions off.
-    std::size_t admitting_ = 0;          ///< Submissions mid-flight.
-    bool monitorStop_ = false;           ///< Deadline loop exit flag.
+    mutable core::Mutex mutex_;   ///< jobs_/queue_/scheduler state.
+    core::CondVar queueCv_;       ///< Wakes scheduler workers.
+    core::CondVar jobsCv_;        ///< Wakes wait()/drain().
+    core::CondVar deadlineCv_;    ///< Wakes the deadline loop.
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_
+        RP_GUARDED_BY(mutex_);
+    std::deque<Job *> queue_ RP_GUARDED_BY(mutex_);
+    std::uint64_t lastId_ RP_GUARDED_BY(mutex_) = 0;
+    bool stopping_ RP_GUARDED_BY(mutex_) = false;
+    /// Load-shed admissions off.
+    bool shedding_ RP_GUARDED_BY(mutex_) = false;
+    /// Submissions past the admission gate, queue push in flight.
+    std::size_t admitting_ RP_GUARDED_BY(mutex_) = 0;
+    /// Deadline loop exit flag.
+    bool monitorStop_ RP_GUARDED_BY(mutex_) = false;
 
-    std::mutex dispatchMutex_; ///< Observer list + observer calls.
-    std::vector<std::pair<std::uint64_t, Observer>> observers_;
-    std::uint64_t lastObserver_ = 0;
+    core::Mutex dispatchMutex_; ///< Observer list + observer calls.
+    std::vector<std::pair<std::uint64_t, Observer>> observers_
+        RP_GUARDED_BY(dispatchMutex_);
+    std::uint64_t lastObserver_ RP_GUARDED_BY(dispatchMutex_) = 0;
 
     std::vector<std::thread> workers_;
     std::thread deadlineMonitor_;

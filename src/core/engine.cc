@@ -42,7 +42,7 @@ ExperimentEngine::ExperimentEngine(Options opts)
 ExperimentEngine::~ExperimentEngine()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -72,7 +72,7 @@ ExperimentEngine::run(std::vector<Task> tasks, const RunOptions &opts)
     }
 
     // One task set at a time; concurrent callers queue up here.
-    std::lock_guard<std::mutex> run_lock(runMutex_);
+    LockGuard run_lock(runMutex_);
 
     // Cancellation point: a cancelled job never starts another task
     // set (the per-task checks in execute() cover sets in flight).
@@ -88,12 +88,12 @@ ExperimentEngine::run(std::vector<Task> tasks, const RunOptions &opts)
     const std::size_t n_workers = queues_.size();
     for (std::size_t i = 0; i < state.tasks.size(); ++i) {
         WorkerQueue &q = *queues_[i % n_workers];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        LockGuard lock(q.mutex);
         q.tasks.push_back(i);
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         run_ = &state;
         activeWorkers_ = int(n_workers);
         ++epoch_;
@@ -101,13 +101,22 @@ ExperimentEngine::run(std::vector<Task> tasks, const RunOptions &opts)
     wake_.notify_all();
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return activeWorkers_ == 0; });
+        UniqueLock lock(mutex_);
+        while (activeWorkers_ != 0)
+            idle_.wait(lock);
         run_ = nullptr;
     }
 
-    if (state.firstError)
-        std::rethrow_exception(state.firstError);
+    // All workers are idle again, but read the outcome under its lock
+    // anyway: the annotation (and TSan) cannot see the idle_ handshake
+    // that orders the workers' last writes before this read.
+    std::exception_ptr first_error;
+    {
+        LockGuard lock(state.doneMutex);
+        first_error = state.firstError;
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 bool
@@ -116,7 +125,7 @@ ExperimentEngine::claimTask(int id, std::size_t *out)
     // Own queue first (front: cache-friendly submission order) ...
     {
         WorkerQueue &own = *queues_[std::size_t(id)];
-        std::lock_guard<std::mutex> lock(own.mutex);
+        LockGuard lock(own.mutex);
         if (!own.tasks.empty()) {
             *out = own.tasks.front();
             own.tasks.pop_front();
@@ -127,7 +136,7 @@ ExperimentEngine::claimTask(int id, std::size_t *out)
     const std::size_t n = queues_.size();
     for (std::size_t k = 1; k < n; ++k) {
         WorkerQueue &victim = *queues_[(std::size_t(id) + k) % n];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        LockGuard lock(victim.mutex);
         if (!victim.tasks.empty()) {
             *out = victim.tasks.back();
             victim.tasks.pop_back();
@@ -138,13 +147,12 @@ ExperimentEngine::claimTask(int id, std::size_t *out)
 }
 
 void
-ExperimentEngine::execute(int id, std::size_t task_index)
+ExperimentEngine::execute(int id, RunState &state,
+                          std::size_t task_index)
 {
-    RunState &state = *run_;
-
     bool skip;
     {
-        std::lock_guard<std::mutex> lock(state.doneMutex);
+        LockGuard lock(state.doneMutex);
         // Cancellation point: between any two tasks of a set.  The
         // token fires asynchronously (Service::cancel); the first
         // worker to notice records CancelledError as the run's
@@ -170,14 +178,14 @@ ExperimentEngine::execute(int id, std::size_t task_index)
             faultPointThrow("core.engine.task");
             state.tasks[task_index](ctx);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(state.doneMutex);
+            LockGuard lock(state.doneMutex);
             if (!state.firstError)
                 state.firstError = std::current_exception();
             state.cancelled = true;
         }
     }
 
-    std::lock_guard<std::mutex> lock(state.doneMutex);
+    LockGuard lock(state.doneMutex);
     ++state.done;
     if (state.progress && !state.cancelled) {
         // A throwing progress callback is treated like a failing task:
@@ -198,22 +206,27 @@ ExperimentEngine::workerLoop(int id)
 {
     std::uint64_t seen_epoch = 0;
     for (;;) {
+        // Snapshot the active run under mutex_; the snapshot stays
+        // valid for the whole epoch because run() does not return
+        // (and so cannot destroy the RunState) until every worker
+        // has decremented activeWorkers_ below.
+        RunState *state = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return stop_ || epoch_ != seen_epoch;
-            });
+            UniqueLock lock(mutex_);
+            while (!stop_ && epoch_ == seen_epoch)
+                wake_.wait(lock);
             if (stop_)
                 return;
             seen_epoch = epoch_;
+            state = run_;
         }
 
         std::size_t task_index = 0;
         while (claimTask(id, &task_index))
-            execute(id, task_index);
+            execute(id, *state, task_index);
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             if (--activeWorkers_ == 0)
                 idle_.notify_all();
         }

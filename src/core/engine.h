@@ -42,19 +42,18 @@
 #define ROWPRESS_CORE_ENGINE_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/thread_annotations.h"
 
 namespace rp::core {
 
@@ -194,25 +193,28 @@ class ExperimentEngine
   private:
     struct WorkerQueue
     {
-        std::mutex mutex;
-        std::deque<std::size_t> tasks; ///< Indices into run_->tasks.
+        Mutex mutex;
+        /// Indices into the active RunState's tasks.
+        std::deque<std::size_t> tasks RP_GUARDED_BY(mutex);
     };
 
     struct RunState
     {
+        // Immutable while the set is in flight (written by run()
+        // before workers wake, read-only afterwards): no guard.
         std::vector<Task> tasks;
         std::uint64_t rootSeed = 0;
         std::function<void(std::size_t, std::size_t)> progress;
 
-        std::size_t done = 0;             ///< Guarded by doneMutex.
-        bool cancelled = false;           ///< Guarded by doneMutex.
-        std::exception_ptr firstError;    ///< Guarded by doneMutex.
-        std::mutex doneMutex;
+        Mutex doneMutex;
+        std::size_t done RP_GUARDED_BY(doneMutex) = 0;
+        bool cancelled RP_GUARDED_BY(doneMutex) = false;
+        std::exception_ptr firstError RP_GUARDED_BY(doneMutex);
     };
 
     void workerLoop(int id);
     bool claimTask(int id, std::size_t *out);
-    void execute(int id, std::size_t task_index);
+    void execute(int id, RunState &state, std::size_t task_index);
 
     bool cancelRequested() const
     {
@@ -226,15 +228,18 @@ class ExperimentEngine
     std::vector<std::thread> workers_;
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
 
-    std::mutex mutex_;                 ///< Pool coordination.
-    std::condition_variable wake_;     ///< Signals a new epoch / stop.
-    std::condition_variable idle_;     ///< Signals all workers idle.
-    std::uint64_t epoch_ = 0;          ///< Incremented per run().
-    int activeWorkers_ = 0;
-    bool stop_ = false;
-    RunState *run_ = nullptr;          ///< Valid during a run.
+    Mutex mutex_;                      ///< Pool coordination.
+    CondVar wake_;                     ///< Signals a new epoch / stop.
+    CondVar idle_;                     ///< Signals all workers idle.
+    /// Incremented per run().
+    std::uint64_t epoch_ RP_GUARDED_BY(mutex_) = 0;
+    int activeWorkers_ RP_GUARDED_BY(mutex_) = 0;
+    bool stop_ RP_GUARDED_BY(mutex_) = false;
+    /// Valid during a run; workers snapshot it under mutex_ at epoch
+    /// start and use the snapshot for the whole set.
+    RunState *run_ RP_GUARDED_BY(mutex_) = nullptr;
 
-    std::mutex runMutex_;              ///< Serializes run() callers.
+    Mutex runMutex_;                   ///< Serializes run() callers.
 };
 
 /**

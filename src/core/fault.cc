@@ -124,7 +124,7 @@ FaultInjector::findPoint(const std::string &name)
 void
 FaultInjector::arm(std::uint64_t seed, std::vector<FaultSpec> specs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (PointState &p : points_) {
         p.hits = 0;
         p.fires = 0;
@@ -158,12 +158,16 @@ FaultInjector::arm(std::uint64_t seed, std::vector<FaultSpec> specs)
 void
 FaultInjector::armFromEnv()
 {
-    const char *points_env = std::getenv("RP_FAULT_POINTS");
+    // getenv is read-only here and armFromEnv runs from main() before
+    // any worker thread exists, so the mt-unsafe concern doesn't apply.
+    const char *points_env =
+        std::getenv("RP_FAULT_POINTS"); // NOLINT(concurrency-mt-unsafe): startup-only, pre-thread
     if (!points_env || trim(points_env).empty())
         return;
 
     std::uint64_t seed = 1;
-    if (const char *seed_env = std::getenv("RP_FAULT_SEED"))
+    if (const char *seed_env =
+            std::getenv("RP_FAULT_SEED")) // NOLINT(concurrency-mt-unsafe): startup-only, pre-thread
         seed = std::uint64_t(
             parsePlanInt(trim(seed_env), "RP_FAULT_SEED"));
 
@@ -262,7 +266,7 @@ FaultInjector::armFromEnv()
 void
 FaultInjector::disarm()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     armed_.store(false, std::memory_order_release);
     for (PointState &p : points_) {
         p.hits = 0;
@@ -274,7 +278,7 @@ FaultInjector::disarm()
 std::vector<FaultInjector::PointStats>
 FaultInjector::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::vector<PointStats> out;
     out.reserve(points_.size());
     for (const PointState &p : points_)
@@ -295,7 +299,7 @@ FaultInjector::onHit(const char *point)
     int delay_ms = 0;
     std::string name;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         if (!armed_.load(std::memory_order_relaxed))
             return 0;
         PointState *state = findPoint(point);

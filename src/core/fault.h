@@ -48,10 +48,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace rp::core {
 
@@ -184,12 +185,13 @@ class FaultInjector
         std::vector<ArmedSpec> specs;
     };
 
-    PointState *findPoint(const std::string &name);
+    PointState *findPoint(const std::string &name)
+        RP_REQUIRES(mutex_);
 
-    std::vector<PointState> points_;
-    std::atomic<bool> armed_{false};
-    std::uint64_t seed_ = 1;
-    mutable std::mutex mutex_; ///< Guards plan swaps + counters.
+    mutable Mutex mutex_;      ///< Guards plan swaps + counters.
+    std::vector<PointState> points_ RP_GUARDED_BY(mutex_);
+    std::atomic<bool> armed_{false}; ///< Lock-free fast-path gate.
+    std::uint64_t seed_ RP_GUARDED_BY(mutex_) = 1;
 };
 
 /**

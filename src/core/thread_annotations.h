@@ -1,0 +1,159 @@
+#ifndef ROWPRESS_CORE_THREAD_ANNOTATIONS_H
+#define ROWPRESS_CORE_THREAD_ANNOTATIONS_H
+
+/**
+ * Clang Thread Safety Analysis annotations plus annotated lock types.
+ *
+ * The RP_* macros expand to Clang `capability` attributes when the
+ * compiler supports them (clang with -Wthread-safety) and to nothing
+ * otherwise, so GCC builds are unaffected.  All mutex-guarded state in
+ * the repo is expected to use `rp::core::Mutex` + `RP_GUARDED_BY`, and
+ * helpers that assume a lock is already held use `RP_REQUIRES`.  The
+ * CI `static-analysis` job compiles the tree with
+ * `-Wthread-safety -Werror` so violations are build errors.
+ *
+ * See README "Static analysis" for the annotation idioms used here
+ * (condition-variable wait loops, nested-struct guarding via
+ * RP_REQUIRES on accessors).
+ */
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RP_THREAD_ANNOTATION
+#define RP_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define RP_CAPABILITY(x) RP_THREAD_ANNOTATION(capability(x))
+#define RP_SCOPED_CAPABILITY RP_THREAD_ANNOTATION(scoped_lockable)
+#define RP_GUARDED_BY(x) RP_THREAD_ANNOTATION(guarded_by(x))
+#define RP_PT_GUARDED_BY(x) RP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define RP_ACQUIRED_BEFORE(...) \
+    RP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RP_ACQUIRED_AFTER(...) \
+    RP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RP_REQUIRES(...) \
+    RP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RP_ACQUIRE(...) \
+    RP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RP_RELEASE(...) \
+    RP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RP_TRY_ACQUIRE(...) \
+    RP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RP_EXCLUDES(...) RP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RP_ASSERT_CAPABILITY(x) \
+    RP_THREAD_ANNOTATION(assert_capability(x))
+#define RP_RETURN_CAPABILITY(x) RP_THREAD_ANNOTATION(lock_returned(x))
+#define RP_NO_THREAD_SAFETY_ANALYSIS \
+    RP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rp::core
+{
+
+/**
+ * std::mutex with a capability annotation so members can be declared
+ * RP_GUARDED_BY(mutex_) and functions RP_REQUIRES(mutex_).
+ */
+class RP_CAPABILITY("mutex") Mutex
+{
+public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() RP_ACQUIRE() { m_.lock(); }
+    void unlock() RP_RELEASE() { m_.unlock(); }
+    bool try_lock() RP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /// Underlying std::mutex, for APIs that need the real type.
+    std::mutex &native() { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/** std::lock_guard equivalent over Mutex, visible to the analysis. */
+class RP_SCOPED_CAPABILITY LockGuard
+{
+public:
+    explicit LockGuard(Mutex &m) RP_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+    ~LockGuard() RP_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+    Mutex &mu_;
+};
+
+/**
+ * std::unique_lock equivalent over Mutex: relockable and usable with
+ * CondVar.  Constructed locked; lock()/unlock() toggle ownership (the
+ * analysis tracks both).
+ */
+class RP_SCOPED_CAPABILITY UniqueLock
+{
+public:
+    explicit UniqueLock(Mutex &m) RP_ACQUIRE(m)
+        : mu_(m), lk_(m.native())
+    {
+    }
+    ~UniqueLock() RP_RELEASE() = default;
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void lock() RP_ACQUIRE() { lk_.lock(); }
+    void unlock() RP_RELEASE() { lk_.unlock(); }
+
+    /// The wrapped std::unique_lock (for std APIs; CondVar uses it).
+    std::unique_lock<std::mutex> &native() { return lk_; }
+
+private:
+    Mutex &mu_;
+    std::unique_lock<std::mutex> lk_;
+};
+
+/**
+ * Condition variable over UniqueLock.  No predicate overloads on
+ * purpose: predicate lambdas cannot carry RP_REQUIRES, so waits are
+ * written as explicit `while (!cond) cv.wait(lk);` loops where the
+ * analysis can see the lock held around the condition read.
+ */
+class CondVar
+{
+public:
+    void wait(UniqueLock &lk) { cv_.wait(lk.native()); }
+
+    template <class Clock, class Duration>
+    std::cv_status
+    wait_until(UniqueLock &lk,
+               const std::chrono::time_point<Clock, Duration> &tp)
+    {
+        return cv_.wait_until(lk.native(), tp);
+    }
+
+    template <class Rep, class Period>
+    std::cv_status
+    wait_for(UniqueLock &lk,
+             const std::chrono::duration<Rep, Period> &dur)
+    {
+        return cv_.wait_for(lk.native(), dur);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+} // namespace rp::core
+
+#endif // ROWPRESS_CORE_THREAD_ANNOTATIONS_H

@@ -149,7 +149,7 @@ storeKeyOf(const DieConfig &die, int bits_per_row, std::uint64_t seed)
 
 struct StoreRegistry
 {
-    std::mutex mutex;
+    core::Mutex mutex;
     // Strong references: a store is a pure deterministic cache, and
     // the engine drivers churn through short-lived Modules (one per
     // task), so a weak registry would rebuild every tier each time
@@ -159,12 +159,12 @@ struct StoreRegistry
     // memory stays bounded by (distinct configs) x (touched rows).
     std::unordered_map<std::string,
                        std::shared_ptr<const ThresholdStore>>
-        stores;
+        stores RP_GUARDED_BY(mutex);
 
     // Warm-cache accounting for the service layer's cache report.
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t hits RP_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses RP_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions RP_GUARDED_BY(mutex) = 0;
 };
 
 StoreRegistry &
@@ -194,7 +194,7 @@ ThresholdStore::acquire(const DieConfig &die,
 {
     StoreRegistry &reg = registry();
     const std::string key = storeKeyOf(die, bits_per_row, seed);
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    core::LockGuard lock(reg.mutex);
     if (auto it = reg.stores.find(key); it != reg.stores.end()) {
         ++reg.hits;
         return it->second;
@@ -210,7 +210,7 @@ ThresholdStoreStats
 ThresholdStore::stats() const
 {
     ThresholdStoreStats out;
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     out.candidateRows = rows_.size();
     for (const auto &[key, row] : rows_) {
         (void)key;
@@ -241,7 +241,7 @@ ThresholdStore::registryStats()
     {
         // Snapshot the store set, then sum per-store stats outside
         // the registry lock (each store takes its own mutex).
-        std::lock_guard<std::mutex> lock(reg.mutex);
+        core::LockGuard lock(reg.mutex);
         out.stores = reg.stores.size();
         out.hits = reg.hits;
         out.misses = reg.misses;
@@ -266,7 +266,7 @@ std::size_t
 ThresholdStore::evictRegistry()
 {
     StoreRegistry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    core::LockGuard lock(reg.mutex);
     const std::size_t n = reg.stores.size();
     reg.stores.clear();
     reg.evictions += n;
@@ -393,7 +393,7 @@ ThresholdStore::wordMasks(int bank, int row) const
 {
     const std::uint64_t key = packRowKey(bank, row);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         if (auto it = wordMasks_.find(key); it != wordMasks_.end())
             return *it->second;
     }
@@ -402,7 +402,7 @@ ThresholdStore::wordMasks(int bank, int row) const
     // results (pure function of the key) and the loser is discarded.
     auto built =
         std::make_unique<RowWordMasks>(buildWordMasks(bank, row));
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     auto [it, inserted] = wordMasks_.emplace(key, std::move(built));
     (void)inserted;
     return *it->second;
@@ -413,7 +413,7 @@ ThresholdStore::row(int bank, int row) const
 {
     const std::uint64_t key = packRowKey(bank, row);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::LockGuard lock(mutex_);
         if (auto it = rows_.find(key); it != rows_.end())
             return *it->second;
     }
@@ -422,7 +422,7 @@ ThresholdStore::row(int bank, int row) const
     // results are identical (pure function of the key) and the loser's
     // copy is discarded.
     auto built = std::make_unique<RowCandidates>(buildRow(bank, row));
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::LockGuard lock(mutex_);
     auto [it, inserted] = rows_.emplace(key, std::move(built));
     (void)inserted;
     return *it->second;

@@ -37,12 +37,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "core/thread_annotations.h"
 #include "device/die_config.h"
 
 namespace rp::device {
@@ -376,13 +376,16 @@ class ThresholdStore
     BucketLadder pressLadder_;
     BucketLadder retentionLadder_;
 
-    mutable std::mutex mutex_;
+    // Tier builds happen outside the lock (racing builders discard);
+    // only the maps themselves are guarded.  Values are immutable
+    // once inserted, so returned references need no lock.
+    mutable core::Mutex mutex_;
     mutable std::unordered_map<std::uint64_t,
                                std::unique_ptr<RowCandidates>>
-        rows_;
+        rows_ RP_GUARDED_BY(mutex_);
     mutable std::unordered_map<std::uint64_t,
                                std::unique_ptr<RowWordMasks>>
-        wordMasks_;
+        wordMasks_ RP_GUARDED_BY(mutex_);
 };
 
 } // namespace rp::device

@@ -1,0 +1,44 @@
+/**
+ * Positive fixture: the corrected counterparts of the two violation
+ * fixtures.  tests/static_analysis_test.cmake asserts that this file
+ * compiles cleanly under -Werror=thread-safety-analysis, so a fixture
+ * failure really means the analysis fired (not that the fixture setup
+ * is broken).  Never add this file to any build target.
+ */
+
+#include "core/thread_annotations.h"
+
+namespace {
+
+struct Counter
+{
+    rp::core::Mutex mutex;
+    int value RP_GUARDED_BY(mutex) = 0;
+};
+
+class Registry
+{
+  public:
+    int sizeLocked() const RP_REQUIRES(mutex_) { return size_; }
+
+    int size() const
+    {
+        rp::core::LockGuard lock(mutex_);
+        return sizeLocked(); // fine: mutex_ held
+    }
+
+  private:
+    mutable rp::core::Mutex mutex_;
+    int size_ RP_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+readWithLock()
+{
+    Counter c;
+    Registry r;
+    rp::core::LockGuard lock(c.mutex);
+    return c.value + r.size(); // fine: c.mutex held
+}

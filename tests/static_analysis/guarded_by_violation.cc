@@ -1,0 +1,30 @@
+/**
+ * Negative-compile fixture: reading an RP_GUARDED_BY member without
+ * holding its mutex.  tests/static_analysis_test.cmake asserts that
+ * this file FAILS to compile under clang with
+ * -Werror=thread-safety-analysis — proving the annotations bite.
+ * Never add this file to any build target.
+ */
+
+#include "core/thread_annotations.h"
+
+namespace {
+
+struct Counter
+{
+    rp::core::Mutex mutex;
+    int value RP_GUARDED_BY(mutex) = 0;
+};
+
+} // namespace
+
+int
+readWithoutLock()
+{
+    Counter c;
+    {
+        rp::core::LockGuard lock(c.mutex);
+        c.value = 7; // fine: lock held
+    }
+    return c.value; // seeded violation: mutex not held
+}

@@ -1,0 +1,35 @@
+/**
+ * Negative-compile fixture: calling an RP_REQUIRES(mutex_) method
+ * without holding the mutex.  tests/static_analysis_test.cmake
+ * asserts that this file FAILS to compile under clang with
+ * -Werror=thread-safety-analysis.  Never add this file to any build
+ * target.
+ */
+
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Registry
+{
+  public:
+    int sizeLocked() const RP_REQUIRES(mutex_) { return size_; }
+
+    int size() const
+    {
+        return sizeLocked(); // seeded violation: mutex_ not held
+    }
+
+  private:
+    mutable rp::core::Mutex mutex_;
+    int size_ RP_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+probe()
+{
+    Registry r;
+    return r.size();
+}

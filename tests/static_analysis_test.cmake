@@ -1,0 +1,80 @@
+# Negative-compile proof for the RP_* thread-safety annotations
+# (src/core/thread_annotations.h): compiles each fixture under
+# tests/static_analysis/ in try_compile fashion and asserts
+#
+#   clean.cc                      -> MUST compile
+#   guarded_by_violation.cc       -> MUST fail (guarded member, no lock)
+#   missing_requires_violation.cc -> MUST fail (REQUIRES not satisfied)
+#
+# Registered as ctest `static_analysis_test` only when the compiler
+# supports -Wthread-safety (clang); GCC expands the macros to nothing,
+# so there is nothing to prove there.
+#
+# Usage (wired by tests/CMakeLists.txt):
+#   cmake -DCXX=<compiler> -DINCLUDE_DIR=<repo>/src
+#         -DFIXTURE_DIR=<repo>/tests/static_analysis
+#         -DWORK_DIR=<build>/static_analysis
+#         -P static_analysis_test.cmake
+
+foreach(var CXX INCLUDE_DIR FIXTURE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "static_analysis_test: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(TSA_FLAGS
+    -std=c++17 -Wthread-safety
+    -Werror=thread-safety-analysis
+    -Werror=thread-safety-attributes
+    -Werror=thread-safety-precise
+    -Werror=thread-safety-reference)
+
+# compile(<fixture.cc> <out-var>): TRUE when the fixture compiles.
+function(compile fixture result_var)
+  get_filename_component(base "${fixture}" NAME_WE)
+  execute_process(
+    COMMAND "${CXX}" ${TSA_FLAGS} "-I${INCLUDE_DIR}"
+            -c "${FIXTURE_DIR}/${fixture}"
+            -o "${WORK_DIR}/${base}.o"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    set(${result_var} TRUE PARENT_SCOPE)
+  else()
+    set(${result_var} FALSE PARENT_SCOPE)
+  endif()
+  set(${result_var}_LOG "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+compile(clean.cc clean_ok)
+if(clean_ok)
+  message(STATUS "PASS: clean.cc compiles under -Wthread-safety")
+else()
+  math(EXPR failures "${failures} + 1")
+  message(SEND_ERROR
+          "FAIL: clean.cc should compile but did not:\n"
+          "${clean_ok_LOG}")
+endif()
+
+foreach(fixture guarded_by_violation.cc missing_requires_violation.cc)
+  compile(${fixture} ok)
+  if(ok)
+    math(EXPR failures "${failures} + 1")
+    message(SEND_ERROR
+            "FAIL: ${fixture} compiled, but the seeded thread-safety "
+            "violation should have been a hard error — the RP_* "
+            "annotations are not biting")
+  else()
+    message(STATUS
+            "PASS: ${fixture} fails to compile (violation caught)")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "static_analysis_test: ${failures} failure(s)")
+endif()

@@ -1,0 +1,11 @@
+// D1 fixture: ambient randomness / wall clock in a result-path file.
+#include <chrono>
+#include <cstdlib>
+
+int
+jitteredSample()
+{
+    const auto now = std::chrono::steady_clock::now(); // D1: clock
+    (void)now;
+    return rand(); // D1: unseeded randomness
+}

@@ -1,0 +1,19 @@
+// D1 clean fixture: seeded hashing only; the one sanctioned escape
+// carries a lint:allow with a reason.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+seededSample(std::uint64_t seed, std::uint64_t index)
+{
+    return seed * 0x9e3779b97f4a7c15ULL + index;
+}
+
+double
+debugOnlyTimestamp()
+{
+    // Never reaches an artifact: debug logging.
+    const auto t =
+        std::chrono::steady_clock::now(); // lint:allow D1 debug log only
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

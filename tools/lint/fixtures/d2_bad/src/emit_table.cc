@@ -1,0 +1,17 @@
+// D2 fixture: a dataset-emitting file iterating unordered containers.
+#include <string>
+#include <unordered_map>
+
+struct Ctx
+{
+    void emit(int) {}
+};
+
+void
+emitCounts(Ctx &ctx)
+{
+    std::unordered_map<std::string, int> counts;
+    counts["a"] = 1;
+    for (const auto &entry : counts) // D2: hash order leaks into rows
+        ctx.emit(entry.second);
+}

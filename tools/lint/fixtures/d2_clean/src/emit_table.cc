@@ -1,0 +1,20 @@
+// D2 clean fixture: the emitting path iterates an ordered container;
+// the unordered map is used only for lookups, never iterated.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Ctx
+{
+    void emit(int) {}
+};
+
+void
+emitCounts(Ctx &ctx)
+{
+    std::unordered_map<std::string, int> lookup;
+    lookup["a"] = 1;
+    std::map<std::string, int> counts(lookup.begin(), lookup.end());
+    for (const auto &entry : counts) // ordered: deterministic rows
+        ctx.emit(entry.second);
+}

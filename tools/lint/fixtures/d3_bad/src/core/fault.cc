@@ -1,0 +1,15 @@
+// D3 fixture: knownPoints() out of sync with the README table —
+// "engine.task" is registered but undocumented, and the README below
+// documents "sink.render" which is not registered here.
+#include <string>
+#include <vector>
+
+const std::vector<std::string> &
+knownPoints()
+{
+    static const std::vector<std::string> points = {
+        "engine.task",    // D3: missing from the README table
+        "service.admit",  // documented: fine
+    };
+    return points;
+}

@@ -1,0 +1,13 @@
+// D3 clean fixture: code registry and README table agree exactly.
+#include <string>
+#include <vector>
+
+const std::vector<std::string> &
+knownPoints()
+{
+    static const std::vector<std::string> points = {
+        "engine.task",
+        "service.admit",
+    };
+    return points;
+}

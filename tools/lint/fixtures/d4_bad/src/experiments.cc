@@ -1,0 +1,13 @@
+// D4 fixture: registered experiment ids missing from README.md.
+#define REGISTER_EXPERIMENT(id, title, ref, cat, fn) int reg_##id = 0
+
+REGISTER_EXPERIMENT(fig99, "t", "r", "c", run); // D4: undocumented
+
+struct ExperimentRegistrar
+{
+    ExperimentRegistrar(const char *, const char *);
+};
+
+const ExperimentRegistrar reg_perf_zz(
+    {"perf.zz", // D4: undocumented dotted id
+     "t"});

@@ -1,0 +1,10 @@
+// D5 fixture: a cross-thread signal flag as volatile sig_atomic_t.
+#include <csignal>
+
+volatile sig_atomic_t g_stop = 0; // D5: not thread-safe
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}

@@ -1,0 +1,13 @@
+// D5 clean fixture: a lock-free atomic is both async-signal-safe and
+// thread-safe (the PR 7 serve-signal pattern).
+#include <atomic>
+
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free latch");
+
+void
+onSignal(int)
+{
+    g_stop.store(1, std::memory_order_relaxed);
+}

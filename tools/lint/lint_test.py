@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Self-test for the determinism/invariant linter (ctest `lint_test`).
+
+For each rule D1-D5, a `fixtures/dN_bad` mini-tree must produce at
+least one finding of exactly that rule, and the matching `dN_clean`
+tree must lint clean — so the linter itself cannot silently rot.
+Finally the real repo (RP_LINT_ROOT, default: this repo) must lint
+clean, which is what the CI static-analysis job enforces.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+RULES = ["D1", "D2", "D3", "D4", "D5"]
+
+
+def run_lint(root):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    failures = []
+
+    for rule in RULES:
+        tag = rule.lower()
+        bad = os.path.join(FIXTURES, f"{tag}_bad")
+        clean = os.path.join(FIXTURES, f"{tag}_clean")
+
+        rc, out = run_lint(bad)
+        if rc == 0:
+            failures.append(f"{rule}: {tag}_bad fixture produced no "
+                            f"findings (rule is dead)")
+        elif not any(line.startswith(rule + " ")
+                     for line in out.splitlines()):
+            failures.append(f"{rule}: {tag}_bad fixture fired, but "
+                            f"not rule {rule}:\n{out}")
+        else:
+            print(f"PASS {rule}: bad fixture caught\n"
+                  + "".join(f"  {l}\n" for l in out.splitlines()
+                            if l.startswith(rule + " ")), end="")
+
+        rc, out = run_lint(clean)
+        if rc != 0:
+            failures.append(f"{rule}: {tag}_clean fixture has "
+                            f"findings (false positive):\n{out}")
+        else:
+            print(f"PASS {rule}: clean fixture lints clean")
+
+    repo_root = os.environ.get(
+        "RP_LINT_ROOT", os.path.dirname(os.path.dirname(HERE)))
+    rc, out = run_lint(repo_root)
+    if rc != 0:
+        failures.append(f"tree: the repo at {repo_root} does not lint "
+                        f"clean:\n{out}")
+    else:
+        print(f"PASS tree: {repo_root} lints clean")
+
+    if failures:
+        print("\n".join(f"FAIL {f}" for f in failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Run the determinism/invariant linter (rules D1-D5) over the repo.
+# Exits nonzero on any finding; each finding prints as
+#   rule-id file:line message
+set -eu
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+exec python3 "$script_dir/lint.py" "$@"
