@@ -19,13 +19,16 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <thread>
 
 #include "api/context.h"
 #include "api/service.h"
 #include "chr/ecc.h"
+#include "core/thread_annotations.h"
+#include "device/cell_model.h"
+#include "device/threshold_store.h"
 #include "fuzz/search.h"
+#include "persist/snapshot.h"
 
 using namespace rp;
 using namespace rp::literals;
@@ -238,7 +241,7 @@ runPerfServeLoad(api::ExperimentContext &ctx)
     const std::filesystem::path job_root =
         ctx.outDir() / "serve_load_jobs";
 
-    std::mutex m;
+    core::Mutex m;
     std::vector<double> latencies; // submit-accept -> terminal, ms
     std::atomic<std::size_t> rejected{0};
     std::atomic<std::size_t> failed{0};
@@ -281,7 +284,7 @@ runPerfServeLoad(api::ExperimentContext &ctx)
                     const api::JobStatus st = service.wait(id);
                     const double lat = msSince(tj);
                     if (st.state == api::JobState::Finished) {
-                        std::lock_guard<std::mutex> lock(m);
+                        core::LockGuard lock(m);
                         latencies.push_back(lat);
                     } else {
                         failed.fetch_add(1,
@@ -331,6 +334,82 @@ runPerfServeLoad(api::ExperimentContext &ctx)
     ctx.notef("wrote %s\n", path.string().c_str());
 }
 
+void
+runPerfWarmStart(api::ExperimentContext &ctx)
+{
+    // The src/persist value proposition, measured: building both
+    // tiers of N rows cold (full candidate enumeration) vs adopting
+    // the same tiers from a snapshot file (read + validate + memcpy).
+    // Both sides use private stores, so the benchmark is hermetic —
+    // no shared registry or cache-directory state.
+    const int rows = std::max(1, int(16 * ctx.scale()));
+    device::CellModel model(device::dieS8GbB(), 65536, ctx.seed());
+    const std::string key = "perf-warm-start-key";
+
+    const auto t_cold = std::chrono::steady_clock::now();
+    const auto cold = device::ThresholdStore::makePrivate(
+        model.params(), 65536, ctx.seed());
+    for (int r = 0; r < rows; ++r) {
+        cold->row(0, 100 + r);
+        cold->wordMasks(0, 100 + r);
+    }
+    const double cold_ms = msSince(t_cold);
+
+    std::filesystem::create_directories(ctx.outDir());
+    const auto probe = ctx.outDir() / "warm_start_probe.rpsnap";
+    {
+        const std::vector<std::uint8_t> blob =
+            persist::writeSnapshot(*cold, key);
+        std::ofstream os(probe, std::ios::binary);
+        os.write(reinterpret_cast<const char *>(blob.data()),
+                 std::streamsize(blob.size()));
+    }
+
+    const auto t_warm = std::chrono::steady_clock::now();
+    const auto warm = device::ThresholdStore::makePrivate(
+        model.params(), 65536, ctx.seed());
+    std::size_t bytes = 0;
+    {
+        std::ifstream in(probe, std::ios::binary);
+        const std::vector<std::uint8_t> blob(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        persist::loadSnapshot(blob.data(), blob.size(), key, *warm);
+        bytes = blob.size();
+    }
+    const double warm_ms = msSince(t_warm);
+    std::filesystem::remove(probe);
+
+    const auto warm_stats = warm->stats();
+    if (int(warm_stats.candidateRows) != rows ||
+        int(warm_stats.wordMaskRows) != rows)
+        throw std::runtime_error(
+            "perf.warm_start: snapshot did not restore every tier");
+
+    const double speedup = cold_ms / std::max(warm_ms, 1e-6);
+    api::Dataset table(ctx.info().title);
+    table.header({"rows", "cold build ms", "snapshot load ms",
+                  "speedup", "snapshot bytes"});
+    table.row({std::to_string(rows), api::cell(cold_ms),
+               api::cell(warm_ms), api::cell(speedup),
+               std::to_string(bytes)});
+    ctx.emit(table);
+
+    const auto path = ctx.outDir() / "BENCH_warm_start.json";
+    std::ofstream os(path);
+    os << "{\n"
+       << "  \"name\": \"" << ctx.info().id << "\",\n"
+       << "  \"workload\": \"warm_start\",\n"
+       << "  \"die\": \"" << device::dieS8GbB().id << "\",\n"
+       << "  \"rows\": " << rows << ",\n"
+       << "  \"snapshot_bytes\": " << bytes << ",\n"
+       << "  \"cold_build_ms\": " << cold_ms << ",\n"
+       << "  \"snapshot_load_ms\": " << warm_ms << ",\n"
+       << "  \"speedup\": " << speedup << "\n"
+       << "}\n";
+    ctx.notef("wrote %s\n", path.string().c_str());
+}
+
 // Registered directly (not via REGISTER_EXPERIMENT) because the perf
 // ids contain a dot, which the macro cannot use as a C++ identifier.
 const api::ExperimentRegistrar reg_perf_acmin_sweep(
@@ -366,6 +445,12 @@ const api::ExperimentRegistrar reg_perf_serve_unit(
      "Perf: serve-load unit job (tiny deterministic run)",
      "per-job Service overhead isolation", "perf"},
     nullptr, runPerfServeUnit);
+
+const api::ExperimentRegistrar reg_perf_warm_start(
+    {"perf.warm_start",
+     "Perf: snapshot warm start vs cold tier build",
+     "persist snapshot load against candidate enumeration", "perf"},
+    nullptr, runPerfWarmStart);
 
 const api::ExperimentRegistrar reg_perf_serve_load(
     {"perf.serve_load",

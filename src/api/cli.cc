@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "api/sink.h"
 #include "core/engine.h"
 #include "core/fault.h"
+#include "persist/cache.h"
 
 namespace rp::api {
 
@@ -28,6 +30,8 @@ const char *const kUsage =
     "  run <id|glob>...     run experiments by name\n"
     "  serve                long-lived service: jobs over NDJSON on\n"
     "                       stdin/stdout (see --port for TCP)\n"
+    "  cache <verb>         snapshot-cache maintenance: ls | gc |\n"
+    "                       export DEST | import FILE...\n"
     "  bench [args]         run the google-benchmark micro-measurements\n"
     "  help                 show this message\n"
     "\n"
@@ -53,6 +57,16 @@ const char *const kUsage =
     "                       (default: 1 = no retry)\n"
     "  --retry-backoff-ms N base of the exponential retry backoff\n"
     "                       (default: 100)\n"
+    "  --cache-dir DIR      on-disk ThresholdStore snapshot cache\n"
+    "                       shared across runs and processes (also\n"
+    "                       RP_CACHE_DIR; empty = no persistence)\n"
+    "\n"
+    "cache options (directory: --cache-dir or RP_CACHE_DIR):\n"
+    "  ls [--format FMT]    verified listing (table or json)\n"
+    "  gc [--max-bytes N]   drop undecodable snapshots, then LRU down\n"
+    "                       to N bytes (no N = invalid-only sweep)\n"
+    "  export DEST          copy valid snapshots into directory DEST\n"
+    "  import FILE...       validate and install snapshot files\n"
     "\n"
     "serve options:\n"
     "  --jobs N             concurrent jobs in flight (default: 2)\n"
@@ -342,6 +356,177 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     return 0;
 }
 
+/**
+ * `rowpress cache`: offline maintenance of a snapshot cache
+ * directory.  Every verb works on explicit paths (no Service, no
+ * stores), so it is safe to run next to live serve processes — the
+ * same flock + atomic-rename discipline the cache itself uses.
+ */
+int
+cmdCache(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    const ParsedArgs parsed = parseArgs(args, 1);
+    if (parsed.positionals.empty())
+        throw ConfigError(
+            "cache: expected a verb (ls | gc | export | import)");
+    const std::string &verb = parsed.positionals.front();
+    const std::vector<std::string> operands(
+        parsed.positionals.begin() + 1, parsed.positionals.end());
+    if (parsed.all || parsed.time || parsed.outSet)
+        throw ConfigError(std::string("cache does not accept --") +
+                          (parsed.all    ? "all"
+                           : parsed.time ? "time"
+                                         : "out"));
+
+    std::string dir;
+    if (const char *env = std::getenv("RP_CACHE_DIR"))
+        dir = env;
+    long long max_bytes = -1;
+    for (const Flag &flag : parsed.flags) {
+        if (flag.key == "cache-dir") {
+            dir = flag.value;
+        } else if (flag.key == "max-bytes" && verb == "gc") {
+            max_bytes = parseInt(flag.value, "--max-bytes");
+            if (max_bytes < 0)
+                throw ConfigError("--max-bytes: must be >= 0");
+        } else {
+            throw ConfigError("cache " + verb +
+                              " does not accept --" + flag.key);
+        }
+    }
+    if (dir.empty())
+        throw ConfigError("cache: no directory (pass --cache-dir or "
+                          "set RP_CACHE_DIR)");
+
+    try {
+        if (verb == "ls") {
+            if (!operands.empty())
+                throw ConfigError("cache ls takes no arguments");
+            const auto entries = persist::SnapshotCache::listDir(dir);
+            if (parsed.format == "json") {
+                JsonValue v = JsonValue::object();
+                v.add("dir", JsonValue::string(dir));
+                JsonValue list = JsonValue::array();
+                for (const auto &e : entries) {
+                    JsonValue item = JsonValue::object();
+                    item.add("file", JsonValue::string(e.file));
+                    item.add("bytes",
+                             JsonValue::number((long long)e.bytes));
+                    item.add("valid",
+                             JsonValue::makeBool(e.info.valid));
+                    if (e.info.valid) {
+                        item.add("die",
+                                 JsonValue::string(e.info.dieId));
+                        item.add("bits_per_row",
+                                 JsonValue::number(
+                                     (long long)e.info.bitsPerRow));
+                        item.add("seed",
+                                 JsonValue::number(
+                                     (long long)e.info.seed));
+                        item.add("candidate_rows",
+                                 JsonValue::number(
+                                     (long long)e.info.candidateRows));
+                        item.add("word_mask_rows",
+                                 JsonValue::number(
+                                     (long long)e.info.wordMaskRows));
+                    } else {
+                        item.add("error",
+                                 JsonValue::string(e.info.error));
+                    }
+                    list.push(std::move(item));
+                }
+                v.add("snapshots", std::move(list));
+                writeJson(out, v, 2);
+                out << "\n";
+                return 0;
+            }
+            if (parsed.format != "table")
+                throw ConfigError(
+                    "cache ls --format: expected table or json, got "
+                    "'" + parsed.format + "'");
+            Dataset table("Snapshot cache " + dir);
+            table.header({"file", "bytes", "status", "die", "bits",
+                          "seed", "cand rows", "mask rows"});
+            for (const auto &e : entries) {
+                if (e.info.valid)
+                    table.row(
+                        {e.file, std::to_string(e.bytes), "ok",
+                         e.info.dieId,
+                         std::to_string(e.info.bitsPerRow),
+                         std::to_string(e.info.seed),
+                         std::to_string(e.info.candidateRows),
+                         std::to_string(e.info.wordMaskRows)});
+                else
+                    table.row({e.file, std::to_string(e.bytes),
+                               "invalid: " + e.info.error, "", "", "",
+                               "", ""});
+            }
+            out << table.renderAscii();
+            out << entries.size() << " snapshot(s)\n";
+            return 0;
+        }
+        if (verb == "gc") {
+            if (!operands.empty())
+                throw ConfigError("cache gc takes no arguments");
+            const auto result = persist::SnapshotCache::gcDir(
+                dir, max_bytes < 0 ? std::uintmax_t(-1)
+                                   : std::uintmax_t(max_bytes));
+            out << "removed " << result.removed << " file(s), "
+                << result.removedBytes << " byte(s); kept "
+                << result.keptBytes << " byte(s)\n";
+            return 0;
+        }
+        if (verb == "export") {
+            if (operands.size() != 1)
+                throw ConfigError(
+                    "cache export: expected one destination directory");
+            std::size_t installed = 0, skipped = 0;
+            for (const auto &e :
+                 persist::SnapshotCache::listDir(dir)) {
+                if (!e.info.valid) {
+                    err << "rowpress: cache export: skipping "
+                        << e.file << " (" << e.info.error << ")\n";
+                    ++skipped;
+                    continue;
+                }
+                const std::string src =
+                    (std::filesystem::path(dir) / e.file).string();
+                if (persist::SnapshotCache::installFile(
+                        src, operands.front()))
+                    ++installed;
+                else
+                    ++skipped;
+            }
+            out << "exported " << installed << " snapshot(s) to "
+                << operands.front() << " (" << skipped
+                << " skipped)\n";
+            return 0;
+        }
+        if (verb == "import") {
+            if (operands.empty())
+                throw ConfigError(
+                    "cache import: expected snapshot file(s)");
+            std::size_t installed = 0, skipped = 0;
+            for (const std::string &src : operands) {
+                if (persist::SnapshotCache::installFile(src, dir))
+                    ++installed;
+                else
+                    ++skipped;
+            }
+            out << "imported " << installed << " snapshot(s) into "
+                << dir << " (" << skipped << " already covered)\n";
+            return 0;
+        }
+        throw ConfigError("cache: unknown verb '" + verb +
+                          "' (ls | gc | export | import)");
+    } catch (const persist::CacheError &e) {
+        // Unusable directories and rejected imports are user errors:
+        // same exit discipline as any other bad flag (exit 2).
+        throw ConfigError(e.what());
+    }
+}
+
 int
 cmdServe(const std::vector<std::string> &args, std::ostream &out)
 {
@@ -437,6 +622,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             return cmdRun(args, out, err);
         if (args[0] == "serve")
             return cmdServe(args, out);
+        if (args[0] == "cache")
+            return cmdCache(args, out, err);
         err << "rowpress: unknown command '" << args[0] << "'\n\n"
             << kUsage;
         return 2;

@@ -17,6 +17,7 @@
 #include "api/sink.h"
 #include "core/fault.h"
 #include "core/thread_annotations.h"
+#include "persist/cache.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ROWPRESS_HAVE_SOCKETS 1
@@ -1056,6 +1057,31 @@ class ProtocolSession
         return v;
     }
 
+    static JsonValue
+    diskCacheJson()
+    {
+        const persist::CacheStats stats =
+            persist::SnapshotCache::instance().stats();
+        JsonValue v = JsonValue::object();
+        v.add("enabled", JsonValue::makeBool(stats.enabled));
+        v.add("dir", JsonValue::string(stats.dir));
+        v.add("hits", JsonValue::number((long long)stats.hits));
+        v.add("misses", JsonValue::number((long long)stats.misses));
+        v.add("rejected",
+              JsonValue::number((long long)stats.rejected));
+        v.add("publishes",
+              JsonValue::number((long long)stats.publishes));
+        v.add("publish_skips",
+              JsonValue::number((long long)stats.publishSkips));
+        v.add("publish_failures",
+              JsonValue::number((long long)stats.publishFailures));
+        v.add("bytes_loaded",
+              JsonValue::number((long long)stats.bytesLoaded));
+        v.add("bytes_published",
+              JsonValue::number((long long)stats.bytesPublished));
+        return v;
+    }
+
     void
     opStatus(const JsonValue &request, JsonValue &response)
     {
@@ -1104,6 +1130,7 @@ class ProtocolSession
                          JsonValue::number(
                              (long long)Service::evictWarmCache()));
         response.add("warm_cache", warmCacheJson());
+        response.add("disk_cache", diskCacheJson());
     }
 
     Service &service_;

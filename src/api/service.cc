@@ -8,6 +8,7 @@
 #include "api/context.h"
 #include "common/rng.h"
 #include "core/fault.h"
+#include "persist/cache.h"
 
 namespace rp::api {
 
@@ -759,6 +760,14 @@ Service::executeJob(Job &job)
                 .count();
     }
 
+    // Publish freshly built tiers to the snapshot cache (a no-op
+    // when no cache directory is configured; never throws).  Only
+    // successful jobs publish: a failed/cancelled run may have
+    // partially built tiers, which the monotone rule would happily
+    // accept, but publishing work we could not finish buys nothing.
+    if (final_state == JobState::Finished)
+        persist::SnapshotCache::instance().publishRegistry();
+
     if (final_state == JobState::Finished && job.req.time) {
         JobEvent timing;
         timing.type = JobEventType::Timing;
@@ -795,6 +804,16 @@ Service::runAttempt(Job &job, JobState *final_state,
                 std::to_string(err) + ")");
 
         const Experiment &exp = findExperiment(job.req.experiment);
+
+        // Arm (or, with "", disarm) the snapshot cache before any
+        // store can be acquired.  A bad directory is a configuration
+        // error — fail the job up front, not a silent cold run.
+        try {
+            persist::SnapshotCache::instance().configure(
+                job.config.getString("cache-dir"));
+        } catch (const persist::CacheError &e) {
+            throw ConfigError(e.what());
+        }
 
         JobEvent started;
         started.type = JobEventType::Started;

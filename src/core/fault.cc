@@ -94,6 +94,8 @@ FaultInjector::knownPoints()
         "protocol.socket.read",       // TCP session reads
         "protocol.socket.write",      // TCP session writes
         "protocol.accept",            // serveTcp accept loop
+        "persist.snapshot.read",      // warm-start snapshot loads
+        "persist.snapshot.write",     // snapshot cache publication
     };
     return points;
 }

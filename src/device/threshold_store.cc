@@ -174,6 +174,12 @@ registry()
     return reg;
 }
 
+/**
+ * The persistence layer's warm-start callback (see setWarmStartHook).
+ * Lock-free: read once per store creation, a cold path.
+ */
+std::atomic<ThresholdStore::WarmStartHook> warmStartHook{nullptr};
+
 } // namespace
 
 ThresholdStore::ThresholdStore(const CellModelParams &params,
@@ -193,17 +199,57 @@ ThresholdStore::acquire(const DieConfig &die,
                         std::uint64_t seed)
 {
     StoreRegistry &reg = registry();
-    const std::string key = storeKeyOf(die, bits_per_row, seed);
-    core::LockGuard lock(reg.mutex);
-    if (auto it = reg.stores.find(key); it != reg.stores.end()) {
-        ++reg.hits;
-        return it->second;
+    std::string key = storeKeyOf(die, bits_per_row, seed);
+    std::shared_ptr<const ThresholdStore> store;
+    {
+        core::LockGuard lock(reg.mutex);
+        if (auto it = reg.stores.find(key); it != reg.stores.end()) {
+            ++reg.hits;
+            return it->second;
+        }
+        ++reg.misses;
+        auto *created = new ThresholdStore(params, bits_per_row, seed);
+        created->contentKey_ = std::move(key);
+        store.reset(created);
+        reg.stores[created->contentKey_] = store;
     }
-    ++reg.misses;
-    std::shared_ptr<const ThresholdStore> store(
-        new ThresholdStore(params, bits_per_row, seed));
-    reg.stores[key] = store;
+    // Warm-start consult outside the registry lock: the hook takes
+    // the store's own mutex (via adoptRow) and the persistence
+    // layer's, so holding the registry lock here would order
+    // registry -> cache against the publication sweep's cache ->
+    // registry.  Racing acquirers of the same key may use the store
+    // while it loads; adopted and lazily built rows are bit-identical
+    // by construction, so the interleaving is unobservable.
+    if (const WarmStartHook hook =
+            warmStartHook.load(std::memory_order_acquire))
+        hook(*store);
     return store;
+}
+
+std::vector<std::shared_ptr<const ThresholdStore>>
+ThresholdStore::registrySnapshot()
+{
+    StoreRegistry &reg = registry();
+    std::vector<std::shared_ptr<const ThresholdStore>> out;
+    {
+        core::LockGuard lock(reg.mutex);
+        out.reserve(reg.stores.size());
+        for (const auto &[key, store] : reg.stores) {
+            (void)key;
+            out.push_back(store);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a->contentKey() < b->contentKey();
+              });
+    return out;
+}
+
+void
+ThresholdStore::setWarmStartHook(WarmStartHook hook)
+{
+    warmStartHook.store(hook, std::memory_order_release);
 }
 
 ThresholdStoreStats
@@ -287,7 +333,7 @@ ThresholdStore::buildRow(int bank, int row) const
     // Keep the cells in the lowest-quantile tails of either threshold
     // distribution: generous enough that any ACmin-level search result
     // is determined by a cached cell.
-    const double cap_q = 96.0 / double(bitsPerRow_);
+    const double cap_q = candidateCapQuantile();
     RowCandidates out;
     for (int bit = 0; bit < bitsPerRow_; ++bit) {
         HashRng cell(hashU64(seed_, std::uint64_t(bank),
@@ -406,6 +452,51 @@ ThresholdStore::wordMasks(int bank, int row) const
     auto [it, inserted] = wordMasks_.emplace(key, std::move(built));
     (void)inserted;
     return *it->second;
+}
+
+std::vector<std::pair<std::uint64_t, const RowCandidates *>>
+ThresholdStore::exportRows() const
+{
+    std::vector<std::pair<std::uint64_t, const RowCandidates *>> out;
+    {
+        core::LockGuard lock(mutex_);
+        out.reserve(rows_.size());
+        for (const auto &[key, row] : rows_)
+            out.emplace_back(key, row.get());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, const RowWordMasks *>>
+ThresholdStore::exportWordMasks() const
+{
+    std::vector<std::pair<std::uint64_t, const RowWordMasks *>> out;
+    {
+        core::LockGuard lock(mutex_);
+        out.reserve(wordMasks_.size());
+        for (const auto &[key, masks] : wordMasks_)
+            out.emplace_back(key, masks.get());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+ThresholdStore::adoptRow(std::uint64_t key, RowCandidates &&row) const
+{
+    auto built = std::make_unique<RowCandidates>(std::move(row));
+    core::LockGuard lock(mutex_);
+    return rows_.emplace(key, std::move(built)).second;
+}
+
+bool
+ThresholdStore::adoptWordMasks(std::uint64_t key,
+                               RowWordMasks &&masks) const
+{
+    auto built = std::make_unique<RowWordMasks>(std::move(masks));
+    core::LockGuard lock(mutex_);
+    return wordMasks_.emplace(key, std::move(built)).second;
 }
 
 const RowCandidates &

@@ -35,9 +35,12 @@
 #ifndef ROWPRESS_DEVICE_THRESHOLD_STORE_H
 #define ROWPRESS_DEVICE_THRESHOLD_STORE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -342,6 +345,74 @@ class ThresholdStore
 
     int bitsPerRow() const { return bitsPerRow_; }
     std::uint64_t seed() const { return seed_; }
+    const CellModelParams &params() const { return params_; }
+
+    /**
+     * The registry content key this store was acquired under (die
+     * targets + geometry + seed) — the identity a persisted snapshot
+     * is keyed and validated by.  Empty for makePrivate() stores,
+     * which are ablation-mutable and therefore never persisted.
+     */
+    const std::string &contentKey() const { return contentKey_; }
+
+    /**
+     * The candidate tier's uniform-quantile cap (the weakest-cells
+     * filter of buildRow).  Exposed so the snapshot invariants hash
+     * covers it: changing the cap changes which cells are cached, so
+     * old snapshots must stop validating.
+     */
+    double candidateCapQuantile() const
+    {
+        return 96.0 / double(bitsPerRow_);
+    }
+
+    // --- persistence surface (src/persist) ---
+
+    /**
+     * Point-in-time export of the built candidate tier, sorted by row
+     * key (deterministic regardless of build/thread order).  The
+     * pointees live in this store: the caller must keep the store
+     * alive while using them (values are immutable once inserted and
+     * never erased).
+     */
+    std::vector<std::pair<std::uint64_t, const RowCandidates *>>
+    exportRows() const;
+
+    /** Same export for the word-occupancy tier. */
+    std::vector<std::pair<std::uint64_t, const RowWordMasks *>>
+    exportWordMasks() const;
+
+    /**
+     * Pre-populate one candidate row from a snapshot (insert-if-
+     * absent; a concurrently built row wins and is bit-identical by
+     * construction, so either outcome yields the same bytes).  Const
+     * for the same reason lazy build is: adopting rows is a pure
+     * cache warm-up that cannot change any result.  Returns false
+     * when the row was already present.
+     */
+    bool adoptRow(std::uint64_t key, RowCandidates &&row) const;
+
+    /** adoptRow for the word-occupancy tier. */
+    bool adoptWordMasks(std::uint64_t key, RowWordMasks &&masks) const;
+
+    /**
+     * Strong references to every registered store (for snapshot
+     * publication sweeps).  Ordering is deterministic (sorted by
+     * content key).
+     */
+    static std::vector<std::shared_ptr<const ThresholdStore>>
+    registrySnapshot();
+
+    /**
+     * Warm-start hook: when set, acquire() calls it (outside the
+     * registry lock) for every newly created store so a persistence
+     * layer can pre-populate tiers from disk.  Dependency inversion
+     * keeps src/device below src/persist; persist::SnapshotCache
+     * installs the hook when a cache directory is configured.  The
+     * hook must not throw.
+     */
+    using WarmStartHook = void (*)(const ThresholdStore &);
+    static void setWarmStartHook(WarmStartHook hook);
 
     /** Usage accounting of this store's built tiers (thread-safe). */
     ThresholdStoreStats stats() const;
@@ -371,6 +442,7 @@ class ThresholdStore
     CellModelParams params_;
     int bitsPerRow_;
     std::uint64_t seed_;
+    std::string contentKey_; ///< Set by acquire(); "" for private stores.
 
     BucketLadder hammerLadder_;
     BucketLadder pressLadder_;

@@ -1,0 +1,605 @@
+#include "persist/cache.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/fault.h"
+#include "device/threshold_store.h"
+
+namespace rp::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+errnoText(int err)
+{
+    return std::string(std::strerror(err));
+}
+
+/**
+ * Read-only mmap of one snapshot file, held under a shared advisory
+ * flock for the lifetime of the mapping (the exclusive side is the
+ * publisher's side-lock; atomic rename is the primary torn-file
+ * guard — a reader that opened the old inode keeps a consistent
+ * view regardless).
+ */
+class MappedFile
+{
+  public:
+    explicit MappedFile(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd_ < 0) {
+            if (errno == ENOENT)
+                return; // absent: a miss, not an error
+            throw CacheError("open " + path + ": " +
+                             errnoText(errno));
+        }
+        present_ = true;
+        if (::flock(fd_, LOCK_SH) != 0)
+            throw CacheError("flock " + path + ": " +
+                             errnoText(errno));
+        struct stat st
+        {
+        };
+        if (::fstat(fd_, &st) != 0)
+            throw CacheError("fstat " + path + ": " +
+                             errnoText(errno));
+        size_ = std::size_t(st.st_size);
+        if (size_ > 0) {
+            void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE,
+                               fd_, 0);
+            if (map == MAP_FAILED)
+                throw CacheError("mmap " + path + ": " +
+                                 errnoText(errno));
+            map_ = map;
+        }
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    ~MappedFile()
+    {
+        if (map_)
+            ::munmap(map_, size_);
+        if (fd_ >= 0)
+            ::close(fd_); // releases the flock
+    }
+
+    bool present() const { return present_; }
+    const std::uint8_t *data() const
+    {
+        return static_cast<const std::uint8_t *>(map_);
+    }
+    std::size_t size() const { return size_; }
+
+  private:
+    int fd_ = -1;
+    bool present_ = false;
+    void *map_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Exclusive advisory lock on `<snapshot>.lock`, serializing
+ * publishers (across threads and processes: flock is per open file
+ * description) so the monotone-coverage check and the rename are one
+ * critical section.
+ */
+class PublishLock
+{
+  public:
+    explicit PublishLock(const std::string &snapshot_path)
+    {
+        const std::string path = snapshot_path + ".lock";
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                     0644);
+        if (fd_ < 0)
+            throw CacheError("open " + path + ": " +
+                             errnoText(errno));
+        if (::flock(fd_, LOCK_EX) != 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw CacheError("flock " + path + ": " + errnoText(err));
+        }
+    }
+
+    PublishLock(const PublishLock &) = delete;
+    PublishLock &operator=(const PublishLock &) = delete;
+
+    ~PublishLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Tier row counts of an on-disk snapshot's header (monotone rule). */
+struct DiskCounts
+{
+    bool valid = false;
+    std::uint64_t candRows = 0;
+    std::uint64_t wmRows = 0;
+};
+
+DiskCounts
+headerCountsOf(const std::string &path)
+{
+    // The file name already binds (key, invariants), so the header's
+    // row counts are all the monotone rule needs; full validation
+    // happens at load time.
+    DiskCounts out;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return out;
+    std::uint8_t header[96];
+    const ssize_t n = ::pread(fd, header, sizeof(header), 0);
+    ::close(fd);
+    if (n != ssize_t(sizeof(header)))
+        return out;
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    std::memcpy(&magic, header, 8);
+    std::memcpy(&version, header + 8, 4);
+    if (magic != kSnapshotMagic || version != kSnapshotFormatVersion)
+        return out;
+    out.valid = true;
+    std::memcpy(&out.candRows, header + 40, 8);
+    std::memcpy(&out.wmRows, header + 48, 8);
+    return out;
+}
+
+/** Write @p blob to @p path via temp file + fsync + atomic rename. */
+void
+writeAtomically(const std::string &path,
+                const std::vector<std::uint8_t> &blob)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        throw CacheError("open " + tmp + ": " + errnoText(errno));
+    std::size_t written = 0;
+    while (written < blob.size()) {
+        const ssize_t n = ::write(fd, blob.data() + written,
+                                  blob.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw CacheError("write " + tmp + ": " + errnoText(err));
+        }
+        written += std::size_t(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw CacheError("fsync " + tmp + ": " + errnoText(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw CacheError("rename " + tmp + ": " + errnoText(err));
+    }
+}
+
+/** Freshen @p path's mtime (LRU recency on a successful load). */
+void
+touchFile(const std::string &path)
+{
+    // utimensat with a null timespec stamps "now" kernel-side; the
+    // wall clock never enters the process, so result purity (lint
+    // D1) is structurally preserved.
+    (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CacheError("open " + path + ": " + errnoText(errno));
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+/** The warm-start hook ThresholdStore::acquire() calls (never throws). */
+void
+warmStartHook(const device::ThresholdStore &store)
+{
+    SnapshotCache::instance().tryLoad(store);
+}
+
+/**
+ * Install @p blob (already fully validated against @p info) into
+ * @p dir under the canonical name, honoring the monotone rule.
+ * Returns false when the existing snapshot already covers it.
+ */
+bool
+installBlob(const std::string &dir,
+            const std::vector<std::uint8_t> &blob,
+            const std::string &key, std::uint64_t invariants_hash,
+            std::uint64_t cand_rows, std::uint64_t wm_rows)
+{
+    const std::string path =
+        (fs::path(dir) /
+         SnapshotCache::snapshotFileName(key, invariants_hash))
+            .string();
+    PublishLock lock(path);
+    const DiskCounts existing = headerCountsOf(path);
+    if (existing.valid && existing.candRows >= cand_rows &&
+        existing.wmRows >= wm_rows)
+        return false;
+    writeAtomically(path, blob);
+    return true;
+}
+
+} // namespace
+
+SnapshotCache &
+SnapshotCache::instance()
+{
+    static SnapshotCache cache;
+    return cache;
+}
+
+void
+SnapshotCache::configure(const std::string &dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec || !fs::is_directory(dir))
+            throw CacheError(
+                "cache-dir '" + dir + "' is not a usable directory" +
+                (ec ? " (" + ec.message() + ")" : ""));
+    }
+    {
+        core::LockGuard lock(mutex_);
+        dir_ = dir;
+        stats_.enabled = !dir.empty();
+        stats_.dir = dir;
+    }
+    device::ThresholdStore::setWarmStartHook(
+        dir.empty() ? nullptr : &warmStartHook);
+}
+
+bool
+SnapshotCache::enabled() const
+{
+    core::LockGuard lock(mutex_);
+    return !dir_.empty();
+}
+
+std::string
+SnapshotCache::dir() const
+{
+    core::LockGuard lock(mutex_);
+    return dir_;
+}
+
+CacheStats
+SnapshotCache::stats() const
+{
+    core::LockGuard lock(mutex_);
+    return stats_;
+}
+
+void
+SnapshotCache::resetStats()
+{
+    core::LockGuard lock(mutex_);
+    const bool enabled = stats_.enabled;
+    const std::string dir = stats_.dir;
+    stats_ = CacheStats{};
+    stats_.enabled = enabled;
+    stats_.dir = dir;
+    // Dropping the memo is safe: the next sweep re-checks the disk
+    // header and the monotone rule skips already-covered snapshots.
+    published_.clear();
+}
+
+std::string
+SnapshotCache::snapshotFileName(const std::string &key,
+                                std::uint64_t invariants_hash)
+{
+    const std::uint64_t h =
+        hashU64(fnv1a(key.data(), key.size()), invariants_hash);
+    char name[40];
+    std::snprintf(name, sizeof(name), "ts-%016llx",
+                  (unsigned long long)h);
+    return std::string(name) + kSnapshotExtension;
+}
+
+bool
+SnapshotCache::tryLoad(const device::ThresholdStore &store)
+{
+    std::string dir;
+    {
+        core::LockGuard lock(mutex_);
+        dir = dir_;
+    }
+    if (dir.empty() || store.contentKey().empty())
+        return false;
+
+    const std::string path =
+        (fs::path(dir) / snapshotFileName(store.contentKey(),
+                                          invariantsHashOf(store)))
+            .string();
+    try {
+        if (const int err = core::faultPoint("persist.snapshot.read"))
+            throw CacheError("injected snapshot read fault: " +
+                             errnoText(err));
+        MappedFile map(path);
+        if (!map.present()) {
+            core::LockGuard lock(mutex_);
+            ++stats_.misses;
+            return false;
+        }
+        const LoadCounts counts = loadSnapshot(
+            map.data(), map.size(), store.contentKey(), store);
+        touchFile(path);
+        core::LockGuard lock(mutex_);
+        ++stats_.hits;
+        stats_.bytesLoaded += map.size();
+        TierCounts &memo = published_[store.contentKey()];
+        memo.candidateRows =
+            std::max(memo.candidateRows, counts.candidateRows);
+        memo.wordMaskRows =
+            std::max(memo.wordMaskRows, counts.wordMaskRows);
+        return true;
+    } catch (const std::exception &e) {
+        // Corrupt, truncated, stale-math, or fault-injected: one
+        // warning, then a clean cold build.  Never fatal.
+        warn("snapshot cache: %s: %s (rebuilding)", path.c_str(),
+             e.what());
+        quarantineIfInvalid(path);
+        core::LockGuard lock(mutex_);
+        ++stats_.rejected;
+        // Forget any publication memo: the disk copy is gone (or
+        // untrustworthy), so the next sweep must rewrite it even if
+        // the rebuilt tiers end up no larger than before.
+        published_.erase(store.contentKey());
+        return false;
+    }
+}
+
+void
+SnapshotCache::quarantineIfInvalid(const std::string &path)
+{
+    // A rejected file with an intact header would otherwise survive
+    // forever: the publish-side monotone check reads only header row
+    // counts, so the rebuilt store's snapshot never replaces it.
+    // Under the publisher lock (so we cannot unlink a good file a
+    // concurrent publisher just renamed in), re-verify and delete
+    // only if the bytes really are undecodable.  Best effort: any
+    // error here just leaves the file for `cache gc`.
+    try {
+        PublishLock lock(path);
+        const std::vector<std::uint8_t> bytes = readFileBytes(path);
+        if (!inspectSnapshot(bytes.data(), bytes.size()).valid)
+            ::unlink(path.c_str());
+    } catch (const std::exception &) {
+    }
+}
+
+std::size_t
+SnapshotCache::publishRegistry()
+{
+    std::string dir;
+    {
+        core::LockGuard lock(mutex_);
+        dir = dir_;
+    }
+    if (dir.empty())
+        return 0;
+    std::size_t written = 0;
+    for (const auto &store :
+         device::ThresholdStore::registrySnapshot())
+        if (publishStore(*store, dir))
+            ++written;
+    return written;
+}
+
+bool
+SnapshotCache::publishStore(const device::ThresholdStore &store,
+                            const std::string &dir)
+{
+    const std::string &key = store.contentKey();
+    if (key.empty())
+        return false;
+    const device::ThresholdStoreStats tiers = store.stats();
+    if (tiers.candidateRows == 0 && tiers.wordMaskRows == 0)
+        return false;
+    {
+        core::LockGuard lock(mutex_);
+        const auto it = published_.find(key);
+        if (it != published_.end() &&
+            it->second.candidateRows >= tiers.candidateRows &&
+            it->second.wordMaskRows >= tiers.wordMaskRows) {
+            ++stats_.publishSkips;
+            return false;
+        }
+    }
+    try {
+        const std::vector<std::uint8_t> blob =
+            writeSnapshot(store, key);
+        if (const int err =
+                core::faultPoint("persist.snapshot.write"))
+            throw CacheError("injected snapshot write fault: " +
+                             errnoText(err));
+        const bool wrote = installBlob(
+            dir, blob, key, invariantsHashOf(store),
+            tiers.candidateRows, tiers.wordMaskRows);
+        core::LockGuard lock(mutex_);
+        TierCounts &memo = published_[key];
+        memo.candidateRows =
+            std::max(memo.candidateRows, tiers.candidateRows);
+        memo.wordMaskRows =
+            std::max(memo.wordMaskRows, tiers.wordMaskRows);
+        if (wrote) {
+            ++stats_.publishes;
+            stats_.bytesPublished += blob.size();
+        } else {
+            ++stats_.publishSkips;
+        }
+        return wrote;
+    } catch (const std::exception &e) {
+        warn("snapshot cache: publish to %s failed: %s", dir.c_str(),
+             e.what());
+        core::LockGuard lock(mutex_);
+        ++stats_.publishFailures;
+        return false;
+    }
+}
+
+std::vector<CacheEntry>
+SnapshotCache::listDir(const std::string &dir)
+{
+    if (!fs::is_directory(dir))
+        throw CacheError("'" + dir + "' is not a directory");
+    std::vector<CacheEntry> entries;
+    for (const auto &it : fs::directory_iterator(dir)) {
+        if (!it.is_regular_file() ||
+            it.path().extension() != kSnapshotExtension)
+            continue;
+        CacheEntry entry;
+        entry.file = it.path().filename().string();
+        entry.bytes = it.file_size();
+        try {
+            const auto bytes = readFileBytes(it.path().string());
+            entry.info = inspectSnapshot(bytes.data(), bytes.size());
+        } catch (const std::exception &e) {
+            entry.info.valid = false;
+            entry.info.error = e.what();
+        }
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheEntry &a, const CacheEntry &b) {
+                  return a.file < b.file;
+              });
+    return entries;
+}
+
+SnapshotCache::GcResult
+SnapshotCache::gcDir(const std::string &dir, std::uintmax_t max_bytes)
+{
+    if (!fs::is_directory(dir))
+        throw CacheError("'" + dir + "' is not a directory");
+    GcResult result;
+
+    struct Candidate
+    {
+        fs::path path;
+        std::uintmax_t bytes = 0;
+        fs::file_time_type mtime;
+        bool valid = false;
+    };
+    std::vector<Candidate> files;
+    for (const auto &it : fs::directory_iterator(dir)) {
+        if (!it.is_regular_file())
+            continue;
+        const std::string name = it.path().filename().string();
+        // Leftover temp files from a crashed publisher are garbage
+        // by definition (the rename never happened).
+        if (name.find(".tmp.") != std::string::npos) {
+            result.removedBytes += it.file_size();
+            ++result.removed;
+            fs::remove(it.path());
+            continue;
+        }
+        if (it.path().extension() != kSnapshotExtension)
+            continue;
+        Candidate c;
+        c.path = it.path();
+        c.bytes = it.file_size();
+        c.mtime = fs::last_write_time(it.path());
+        try {
+            const auto bytes = readFileBytes(it.path().string());
+            c.valid =
+                inspectSnapshot(bytes.data(), bytes.size()).valid;
+        } catch (const std::exception &) {
+            c.valid = false;
+        }
+        files.push_back(std::move(c));
+    }
+
+    // Undecodable files go first; then LRU (oldest mtime, name as a
+    // deterministic tiebreak) until under the cap.
+    std::uintmax_t total = 0;
+    std::vector<Candidate> kept;
+    for (Candidate &c : files) {
+        if (!c.valid) {
+            result.removedBytes += c.bytes;
+            ++result.removed;
+            fs::remove(c.path);
+            fs::remove(c.path.string() + ".lock");
+            continue;
+        }
+        total += c.bytes;
+        kept.push_back(std::move(c));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    for (const Candidate &c : kept) {
+        if (total <= max_bytes)
+            break;
+        result.removedBytes += c.bytes;
+        ++result.removed;
+        total -= c.bytes;
+        fs::remove(c.path);
+        fs::remove(c.path.string() + ".lock");
+    }
+    result.keptBytes = total;
+    return result;
+}
+
+bool
+SnapshotCache::installFile(const std::string &src,
+                           const std::string &dir)
+{
+    const std::vector<std::uint8_t> blob = readFileBytes(src);
+    const SnapshotInfo info =
+        inspectSnapshot(blob.data(), blob.size());
+    if (!info.valid)
+        throw CacheError("'" + src + "' is not a valid snapshot: " +
+                         info.error);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec || !fs::is_directory(dir))
+        throw CacheError("'" + dir + "' is not a usable directory");
+    return installBlob(dir, blob, info.key, info.invariantsHash,
+                       info.candidateRows, info.wordMaskRows);
+}
+
+} // namespace rp::persist

@@ -1,0 +1,28 @@
+// D6 fixture: raw std synchronization primitives outside src/core/.
+// Each declaration below must produce one D6 finding.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct WorkerPool
+{
+    std::mutex m;                 // D6: invisible to TSA
+    std::condition_variable cv;   // D6: pairs with the raw mutex
+
+    void
+    poke()
+    {
+        std::lock_guard<std::mutex> lock(m); // D6: raw guard
+        cv.notify_one();
+    }
+
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lock(m); // D6: raw unique_lock
+        cv.wait(lock);
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// D6 clean fixture: the annotated core wrappers, not the std types.
+// A comment mentioning std::mutex must not trip the rule, and neither
+// may an escape-hatched line.
+#include "core/thread_annotations.h"
+
+namespace fixture {
+
+struct WorkerPool
+{
+    rp::core::Mutex m;
+    rp::core::CondVar cv;
+    int pending = 0; // would be RP_GUARDED_BY(m) in real code
+
+    void
+    poke()
+    {
+        rp::core::LockGuard lock(m);
+        ++pending;
+        cv.notify_one();
+    }
+
+    void
+    drain()
+    {
+        rp::core::UniqueLock lock(m);
+        while (pending > 0)
+            cv.wait(lock);
+    }
+};
+
+// Interop with a std API that demands the raw type, escape-hatched:
+std::mutex &nativeHandle(rp::core::Mutex &m) // lint:allow D6 std API interop
+{
+    return m.native();
+}
+
+} // namespace fixture

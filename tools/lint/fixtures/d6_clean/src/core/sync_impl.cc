@@ -1,0 +1,21 @@
+// D6 clean fixture: src/core/ is exempt — the annotated wrappers
+// themselves are built on the raw std types, so these must NOT fire.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture_core {
+
+struct AnnotatedWrapperImpl
+{
+    std::mutex m;
+    std::condition_variable cv;
+
+    void
+    signal()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+    }
+};
+
+} // namespace fixture_core

@@ -33,9 +33,17 @@ D4  Every registered experiment id (REGISTER_EXPERIMENT /
 D5  No `volatile sig_atomic_t` for cross-thread flags: signal
     handlers shared with threads need lock-free std::atomic (volatile
     sig_atomic_t is only async-signal-safe, not thread-safe).
+D6  No raw std::mutex / std::lock_guard / std::unique_lock /
+    std::scoped_lock / std::condition_variable outside src/core/:
+    mutex-guarded state must use core::Mutex + RP_GUARDED_BY (and
+    core::LockGuard / core::UniqueLock / core::CondVar) so Clang's
+    Thread Safety Analysis — which CI compiles with -Werror — can see
+    every acquisition.  A raw std::mutex is invisible to the analysis
+    and silently exempts its critical sections.  src/core/ is exempt:
+    that is where the annotated wrappers themselves live.
 
 Escape hatch: a line ending in `// lint:allow DN <reason>` suppresses
-rule DN for that line (D1/D2/D5).  Use sparingly; the reason is
+rule DN for that line (D1/D2/D5/D6).  Use sparingly; the reason is
 mandatory and reviewed.
 """
 
@@ -78,6 +86,15 @@ RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*\*?&?([A-Za-z_]\w*)")
 EMITTER_RE = re.compile(r"\.emit\w*\(|[^a-zA-Z_]dataset\(")
 
 D5_RE = re.compile(r"volatile\s+(std\s*::\s*)?sig_atomic_t")
+
+D6_RE = re.compile(
+    r"std\s*::\s*(mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|condition_variable|"
+    r"condition_variable_any)\b")
+
+# D6 exemption: the annotated wrappers themselves wrap std types.
+D6_EXEMPT_PREFIX = os.path.join("src", "core") + os.sep
 
 
 class Finding:
@@ -280,6 +297,23 @@ def check_d5(root, rel, lines, findings):
                 "flags shared between a signal handler and threads"))
 
 
+def check_d6(root, rel, lines, findings):
+    if rel.startswith(D6_EXEMPT_PREFIX):
+        return
+    for i, line in enumerate(lines, 1):
+        if allowed(line, "D6"):
+            continue
+        m = D6_RE.search(code_of(line))
+        if m:
+            findings.append(Finding(
+                "D6", rel, i,
+                f"raw std::{m.group(1)} outside src/core/: use the "
+                f"annotated core::Mutex / core::LockGuard / "
+                f"core::UniqueLock / core::CondVar "
+                f"(core/thread_annotations.h) so Thread Safety "
+                f"Analysis sees the acquisition"))
+
+
 def lint(root):
     findings = []
     for rel in iter_sources(root):
@@ -290,6 +324,7 @@ def lint(root):
         check_d1(root, rel, lines, findings)
         check_d2(root, rel, lines, findings)
         check_d5(root, rel, lines, findings)
+        check_d6(root, rel, lines, findings)
     check_d3(root, findings)
     check_d4(root, findings)
     findings.sort(key=lambda f: (f.rule, f.path, f.line))
@@ -298,7 +333,7 @@ def lint(root):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="rowpress determinism/invariant linter (D1-D5)")
+        description="rowpress determinism/invariant linter (D1-D6)")
     parser.add_argument(
         "--root", default=None,
         help="tree to lint (default: the repo containing this script)")

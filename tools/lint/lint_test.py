@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Self-test for the determinism/invariant linter (ctest `lint_test`).
 
-For each rule D1-D5, a `fixtures/dN_bad` mini-tree must produce at
+For each rule D1-D6, a `fixtures/dN_bad` mini-tree must produce at
 least one finding of exactly that rule, and the matching `dN_clean`
 tree must lint clean — so the linter itself cannot silently rot.
 Finally the real repo (RP_LINT_ROOT, default: this repo) must lint
@@ -15,7 +15,7 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 LINT = os.path.join(HERE, "lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
-RULES = ["D1", "D2", "D3", "D4", "D5"]
+RULES = ["D1", "D2", "D3", "D4", "D5", "D6"]
 
 
 def run_lint(root):
